@@ -1,0 +1,38 @@
+"""Session-wide cache of per-subject pipeline results.
+
+Several benchmarks need the same synthesis/detection artifacts; caching
+keeps ``pytest benchmarks/`` from re-fuzzing every class once per table.
+Detection here uses a fixed, modest fuzzing budget — enough to reproduce
+the tables' shape while keeping the whole harness in the minutes range.
+"""
+
+from __future__ import annotations
+
+from repro.narada import DetectionReport, Narada, SynthesisReport
+from repro.subjects import SubjectInfo, all_subjects
+
+#: Random schedules per synthesized test during detection.
+DETECT_RANDOM_RUNS = 5
+
+_synthesis: dict[str, tuple[SubjectInfo, Narada, SynthesisReport]] = {}
+_detection: dict[str, DetectionReport] = {}
+
+
+def synthesis_for(key: str) -> tuple[SubjectInfo, Narada, SynthesisReport]:
+    if key not in _synthesis:
+        subject = next(s for s in all_subjects() if s.key == key)
+        narada = Narada(subject.load())
+        report = narada.synthesize_for_class(subject.class_name)
+        _synthesis[key] = (subject, narada, report)
+    return _synthesis[key]
+
+
+def detection_for(key: str) -> DetectionReport:
+    if key not in _detection:
+        subject, narada, report = synthesis_for(key)
+        _detection[key] = narada.detect(report, random_runs=DETECT_RANDOM_RUNS)
+    return _detection[key]
+
+
+def all_keys() -> list[str]:
+    return [s.key for s in all_subjects()]

@@ -1,0 +1,70 @@
+"""Ablation: prefix fallback for underivable contexts (§4).
+
+When the exact owner of a raced field cannot be driven from the client
+(C4's internal buffer), the paper still synthesizes a test that shares
+the deepest settable ancestor.  Disabling the fallback leaves those
+pairs with bare, unshared tests; the races that the fallback exposes
+through receiver sharing disappear.
+"""
+
+from conftest import report_table
+
+from repro.context import derive_plans
+from repro.fuzz import RaceFuzzer
+from repro.narada import Narada
+from repro.subjects import get_subject
+from repro.synth import TestSynthesizer
+
+
+def build(allow_prefix_fallback):
+    subject = get_subject("C4")
+    narada = Narada(subject.load())
+    report = narada.synthesize_for_class(subject.class_name)
+    plans = derive_plans(
+        report.pairs,
+        narada.analysis(),
+        narada.table,
+        allow_prefix_fallback=allow_prefix_fallback,
+    )
+    tests = TestSynthesizer(narada.table).synthesize(plans)
+    return narada, plans, tests
+
+
+def detected_races(narada, tests, cap=25):
+    fuzzer = RaceFuzzer(narada.table, random_runs=3, directed=False)
+    keys = set()
+    for test in tests[:cap]:
+        keys |= fuzzer.fuzz(test).detected.static_keys()
+    return keys
+
+
+def test_ablation_prefix_fallback(benchmark):
+    narada, with_plans, with_tests = benchmark.pedantic(
+        lambda: build(allow_prefix_fallback=True), rounds=1, iterations=1
+    )
+    _, without_plans, without_tests = build(allow_prefix_fallback=False)
+
+    shared_with = sum(1 for p in with_plans if p.shared_slot is not None)
+    shared_without = sum(1 for p in without_plans if p.shared_slot is not None)
+    # The fallback is what gives C4's pairs any sharing at all.
+    assert shared_with > shared_without
+
+    with_races = detected_races(narada, with_tests)
+    without_races = detected_races(narada, without_tests)
+    assert len(with_races) >= len(without_races)
+    assert with_races, "fallback tests should expose at least one race"
+
+    report_table(
+        "ablation_prefix",
+        "\n".join(
+            [
+                "Ablation: prefix fallback for underivable contexts (C4)",
+                f"{'variant':<26}{'shared plans':>13}{'tests':>7}{'races':>7}",
+                "-" * 54,
+                f"{'with fallback (paper)':<26}{shared_with:>13}"
+                f"{len(with_tests):>7}{len(with_races):>7}",
+                f"{'without fallback':<26}{shared_without:>13}"
+                f"{len(without_tests):>7}{len(without_races):>7}",
+            ]
+        ),
+    )

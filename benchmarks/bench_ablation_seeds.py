@@ -1,0 +1,160 @@
+"""Ablation: seed-suite coverage drives pair discovery.
+
+The whole pipeline sees only what the sequential seed tests execute
+(§3.1 operates on traces).  This experiment compares each subject's
+default seed suite against an impoverished one-call suite and a
+state-rich suite, showing how the racing-pair count scales with seed
+coverage — the main reason our absolute Table-4 counts differ from the
+paper's (EXPERIMENTS.md).
+"""
+
+from conftest import report_table
+
+from repro.narada import Narada
+from repro.subjects import get_subject
+
+#: Replacement seed suites per subject: (minimal, rich).
+VARIANTS = {
+    "C1": (
+        """
+        test SeedMin {
+          WriteBehindQueues factory = new WriteBehindQueues();
+          WriteBehindQueue cwbq = factory.createCoalescedWriteBehindQueue();
+          WriteBehindQueue swbq = factory.createSafeWriteBehindQueue(cwbq);
+          swbq.removeFirst();
+        }
+        """,
+        """
+        test SeedRich {
+          WriteBehindQueues factory = new WriteBehindQueues();
+          WriteBehindQueue cwbq = factory.createCoalescedWriteBehindQueue();
+          WriteBehindQueue swbq = factory.createSafeWriteBehindQueue(cwbq);
+          DelayedEntry e1 = new DelayedEntry();
+          DelayedEntry e2 = new DelayedEntry();
+          swbq.addFirst(e1);
+          swbq.addLast(e2);
+          bool offered = swbq.offer(new DelayedEntry());
+          DelayedEntry first = swbq.getFirst();
+          DelayedEntry peeked = swbq.peek();
+          bool has = swbq.contains(e2);
+          int n = swbq.size();
+          bool empty = swbq.isEmpty();
+          DelayedEntry r1 = swbq.removeFirst();
+          DelayedEntry r2 = swbq.removeLast();
+          DelayedEntry polled = swbq.poll();
+          swbq.removeAll();
+          swbq.clear();
+        }
+        """,
+    ),
+    "C5": (
+        """
+        test SeedMin {
+          DoubleIntIndex idx = new DoubleIntIndex(8);
+          bool a1 = idx.addUnsorted(5, 50);
+          int n = idx.size();
+        }
+        """,
+        """
+        test SeedRich {
+          DoubleIntIndex idx = new DoubleIntIndex(8);
+          bool a1 = idx.addUnsorted(5, 50);
+          bool a2 = idx.addSorted(7, 70);
+          bool a3 = idx.addUnique(3, 30);
+          idx.fastQuickSort();
+          int f1 = idx.findFirstEqualKeyIndex(5);
+          int l1 = idx.lookup(5);
+          idx.swap(0, 1);
+          int sk = idx.sumKeys();
+          bool ck = idx.containsKey(3);
+          DoubleIntIndex target = new DoubleIntIndex(8);
+          idx.copyTo(target);
+          idx.removeRange(1, 2);
+          idx.remove(0);
+          idx.removeLast();
+          int k0 = idx.getKey(0);
+          idx.setKey(0, 9);
+          idx.setValue(0, 90);
+          idx.incrementValue(0);
+          int kl = idx.keyOfLast();
+          idx.markUnsorted();
+          bool srt = idx.isSorted();
+          idx.setSize(1);
+          idx.clear();
+        }
+        """,
+    ),
+}
+
+
+def _strip_tests(source: str) -> str:
+    """Remove the subject's own `test ... { ... }` blocks."""
+    out = []
+    depth = 0
+    in_test = False
+    i = 0
+    while i < len(source):
+        if not in_test and source.startswith("test ", i) and (
+            i == 0 or source[i - 1] in "\n\r\t "
+        ):
+            in_test = True
+            depth = 0
+        if in_test:
+            if source[i] == "{":
+                depth += 1
+            elif source[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    in_test = False
+            i += 1
+            continue
+        out.append(source[i])
+        i += 1
+    return "".join(out)
+
+
+def pairs_with_suite(key: str, suite: str) -> int:
+    subject = get_subject(key)
+    source = _strip_tests(subject.source) + suite
+    narada = Narada(source)
+    return narada.synthesize_for_class(subject.class_name).pair_count
+
+
+def test_seed_sensitivity(benchmark):
+    def measure():
+        rows = []
+        for key, (minimal, rich) in sorted(VARIANTS.items()):
+            subject = get_subject(key)
+            default = Narada(subject.load()).synthesize_for_class(
+                subject.class_name
+            ).pair_count
+            rows.append(
+                (
+                    key,
+                    pairs_with_suite(key, minimal),
+                    default,
+                    pairs_with_suite(key, rich),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for key, minimal, default, rich in rows:
+        # Pair discovery grows monotonically with seed coverage.
+        assert minimal <= default, (key, minimal, default)
+        assert minimal < rich, (key, minimal, rich)
+
+    report_table(
+        "ablation_seeds",
+        "\n".join(
+            [
+                "Ablation: racing pairs vs seed-suite coverage",
+                f"{'class':<8}{'minimal seed':>13}{'default':>9}{'rich seed':>11}",
+                "-" * 42,
+                *[
+                    f"{key:<8}{minimal:>13}{default:>9}{rich:>11}"
+                    for key, minimal, default, rich in rows
+                ],
+            ]
+        ),
+    )

@@ -1,0 +1,78 @@
+"""Ablation: strengthen sharing to "same receiver" (§3.3's non-choice).
+
+The paper argues that requiring the two racy invocations to share the
+*receiver* — instead of only the owner of the raced field — would mask
+races: synchronized methods serialize on the receiver's monitor.  This
+benchmark runs C1 both ways and shows the harmful-race count collapse.
+"""
+
+from conftest import report_table
+
+from repro.context import derive_plans
+from repro.fuzz import RaceFuzzer
+from repro.narada import Narada
+from repro.subjects import get_subject
+from repro.synth import TestSynthesizer
+
+
+def detect_races(narada, tests, cap=30):
+    fuzzer = RaceFuzzer(narada.table, random_runs=4)
+    detected = set()
+    harmful = 0
+    for test in tests[:cap]:
+        report = fuzzer.fuzz(test)
+        fresh = report.detected.static_keys() - detected
+        detected |= report.detected.static_keys()
+        harmful += sum(
+            1
+            for record in report.detected
+            if record.static_key() in fresh
+            and record.static_key() in report.reproduced
+            and not record.is_benign(report.constant_sites)
+        )
+    return len(detected), harmful
+
+
+def build_variant(receiver_sharing_only):
+    subject = get_subject("C1")
+    narada = Narada(subject.load())
+    report = narada.synthesize_for_class(subject.class_name)
+    plans = derive_plans(
+        report.pairs,
+        narada.analysis(),
+        narada.table,
+        receiver_sharing_only=receiver_sharing_only,
+    )
+    tests = TestSynthesizer(narada.table).synthesize(plans)
+    return narada, tests
+
+
+def test_ablation_receiver_sharing(benchmark):
+    narada, default_tests = build_variant(receiver_sharing_only=False)
+    _, ablated_tests = build_variant(receiver_sharing_only=True)
+
+    default_detected, default_harmful = benchmark.pedantic(
+        lambda: detect_races(narada, default_tests), rounds=1, iterations=1
+    )
+    ablated_detected, ablated_harmful = detect_races(narada, ablated_tests)
+
+    # Shared receivers serialize the wrapper methods: the directed
+    # context (distinct receivers, shared inner queue) finds strictly
+    # more harmful races.
+    assert default_harmful > ablated_harmful
+    assert default_detected > ablated_detected
+
+    report_table(
+        "ablation_sharing",
+        "\n".join(
+            [
+                "Ablation: owner sharing (paper) vs forced receiver sharing",
+                f"{'variant':<28}{'tests':>7}{'races':>7}{'harmful':>9}",
+                "-" * 52,
+                f"{'owner sharing (paper)':<28}{len(default_tests):>7}"
+                f"{default_detected:>7}{default_harmful:>9}",
+                f"{'receiver sharing (ablated)':<28}{len(ablated_tests):>7}"
+                f"{ablated_detected:>7}{ablated_harmful:>9}",
+            ]
+        ),
+    )

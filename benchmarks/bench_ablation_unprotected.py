@@ -1,0 +1,74 @@
+"""Ablation: the conservative unprotectedness definition (§1, §4).
+
+The paper treats an access as unprotected whenever the accessed object's
+own monitor is not held — even if the thread holds some other lock.  The
+ablated variant considers any held lock protective.  On the wrapper
+subjects (C1, C2) the inner-queue accesses always happen under the
+wrapper's lock, so the strict variant finds no racing pairs at all and
+misses every wrong-mutex bug.
+"""
+
+import pytest
+from conftest import report_table
+
+from repro.analysis.analyzer import SequentialTraceAnalyzer
+from repro.narada import Narada
+from repro.pairs import generate_pairs
+from repro.subjects import get_subject
+
+
+def pairs_with(key, strict):
+    subject = get_subject(key)
+    narada = Narada(subject.load())
+    analyzer = SequentialTraceAnalyzer(strict_unprotected=strict)
+    analysis = analyzer.analyze_all(narada.run_seed_suite())
+    return subject, generate_pairs(analysis, target_class=subject.class_name)
+
+
+@pytest.mark.parametrize("key", ["C1", "C2", "C5"])
+def test_ablation_unprotected(benchmark, key):
+    subject, conservative = benchmark.pedantic(
+        lambda: pairs_with(key, strict=False), rounds=1, iterations=1
+    )
+    _, strict = pairs_with(key, strict=True)
+
+    if key in ("C1", "C2"):
+        # Wrapper bugs: every inner access holds the (wrong) wrapper
+        # lock, so the strict definition sees nothing racy on the inner
+        # state at all.
+        inner = {
+            "C1": "CoalescedWriteBehindQueue",
+            "C2": "ArrayCollection",
+        }[key]
+        conservative_inner = [p for p in conservative if p.field[0] == inner]
+        strict_inner = [p for p in strict if p.field[0] == inner]
+        assert conservative_inner
+        assert not strict_inner
+    else:
+        # C5 holds no locks anywhere: the definitions agree.
+        assert {p.static_id() for p in strict} == {
+            p.static_id() for p in conservative
+        }
+
+
+def test_ablation_unprotected_table(benchmark):
+    rows = []
+    for key in ("C1", "C2", "C5"):
+        _, conservative = pairs_with(key, strict=False)
+        _, strict = pairs_with(key, strict=True)
+        rows.append((key, len(conservative), len(strict)))
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    report_table(
+        "ablation_unprotected",
+        "\n".join(
+            [
+                "Ablation: conservative vs strict unprotectedness (pairs)",
+                f"{'class':<8}{'conservative (paper)':>22}{'strict':>9}",
+                "-" * 40,
+                *[
+                    f"{key:<8}{conservative:>22}{strict:>9}"
+                    for key, conservative, strict in rows
+                ],
+            ]
+        ),
+    )

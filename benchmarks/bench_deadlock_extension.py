@@ -1,0 +1,99 @@
+"""Extension benchmark: deadlock-test synthesis on the subjects.
+
+Not a paper table (the racy-test paper defers deadlocks to its OOPSLA'14
+sibling, which we also implement).  This benchmark sweeps the C1–C9
+subjects plus the classic bank example through the deadlock pipeline and
+checks the expected split:
+
+* C3 and C4 contain genuine cross-receiver deadlock hazards their real
+  counterparts also have (CharArrayWriter.writeTo(other) mirrors the
+  JDK's cross-append deadlocks; colt documents DynamicBin1D.addAllOf as
+  deadlock-prone) — the pipeline synthesizes the crossed tests and the
+  fuzzer *manifests* both,
+* the remaining subjects have flat locking: no spurious deadlock tests,
+* the classic bank-transfer example confirms as well.
+"""
+
+from conftest import report_table
+
+from repro.deadlock import DeadlockPipeline
+from repro.subjects import all_subjects
+
+BANK = """
+class Account {
+  int balance;
+  Account other;
+  Account(int start) { this.balance = start; }
+  void setPartner(Account partner) { this.other = partner; }
+  synchronized void transferOut(int amount) {
+    this.balance = this.balance - amount;
+    this.other.deposit(amount);
+  }
+  synchronized void deposit(int amount) { this.balance = this.balance + amount; }
+}
+test Seed {
+  Account a = new Account(100);
+  Account b = new Account(100);
+  a.setPartner(b);
+  b.setPartner(a);
+  a.transferOut(10);
+  b.deposit(5);
+}
+"""
+
+
+def test_deadlock_extension(benchmark):
+    def measure():
+        rows = []
+        for subject in all_subjects():
+            pipeline = DeadlockPipeline(subject.load())
+            report = pipeline.synthesize(target_class=subject.class_name)
+            confirms = pipeline.confirm(report, random_runs=6)
+            rows.append(
+                (
+                    subject.key,
+                    len(report.pairs),
+                    len(report.tests),
+                    sum(1 for c in confirms if c.confirmed),
+                )
+            )
+        bank = DeadlockPipeline(BANK)
+        bank_report = bank.synthesize()
+        confirms = bank.confirm(bank_report, random_runs=6)
+        rows.append(
+            (
+                "bank",
+                len(bank_report.pairs),
+                len(bank_report.tests),
+                sum(1 for c in confirms if c.confirmed),
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    by_key = {key: (pairs, tests, confirmed) for key, pairs, tests, confirmed in rows}
+    # The genuine nested-locking hazards manifest...
+    for key in ("C3", "C4", "bank"):
+        pairs, tests, confirmed = by_key[key]
+        assert tests >= 1, key
+        assert confirmed >= 1, key
+    # ...and the flat-locking subjects synthesize nothing spurious.
+    for key in ("C1", "C2", "C5", "C6", "C7", "C8", "C9"):
+        assert by_key[key][1] == 0, (key, by_key[key])
+
+    report_table(
+        "deadlock_extension",
+        "\n".join(
+            [
+                "Extension: deadlock-test synthesis (OOPSLA'14 sibling)",
+                f"{'subject':<9}{'lock pairs':>11}{'tests':>7}{'confirmed':>11}",
+                "-" * 40,
+                *[
+                    f"{key:<9}{pairs:>11}{tests:>7}"
+                    f"{str(confirmed if confirmed is not None else '-'):>11}"
+                    for key, pairs, tests, confirmed in rows
+                ],
+            ]
+        ),
+    )

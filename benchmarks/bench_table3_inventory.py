@@ -1,0 +1,32 @@
+"""Table 3: benchmark information.
+
+Verifies the nine subjects load and renders the inventory table.  The
+benchmarked operation is the full load (lex + parse + class table +
+resolve) of all nine subject programs.
+"""
+
+from conftest import report_table
+
+from repro.report import format_table3
+from repro.subjects import all_subjects
+
+
+def load_all():
+    return [subject.load() for subject in all_subjects()]
+
+
+def test_table3_inventory(benchmark):
+    tables = benchmark(load_all)
+    subjects = all_subjects()
+    assert len(tables) == 9
+
+    # Shape assertions against the paper's Table 3.
+    by_key = {s.key: s for s in subjects}
+    assert by_key["C1"].benchmark == "hazelcast"
+    assert by_key["C2"].benchmark == by_key["C3"].benchmark == "openjdk"
+    assert by_key["C5"].benchmark == by_key["C6"].benchmark == "hsqldb"
+    for subject, table in zip(subjects, tables):
+        assert table.program.class_decl(subject.class_name) is not None
+        assert table.program.tests, subject.key
+
+    report_table("table3_inventory", format_table3(subjects))

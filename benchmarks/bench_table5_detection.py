@@ -1,0 +1,96 @@
+"""Table 5: analysis of the synthesized tests by the detector backend.
+
+Runs the RaceFuzzer analogue (random schedules + directed confirmation,
+FastTrack + Eraser attached) over every synthesized test of every class
+and renders the Table-5 comparison.
+
+Shape claims checked against the paper:
+
+* harmful races are found in **every** class (the paper's headline),
+* most detected races are reproduced (paper: 259 of 307),
+* C6's reproduced races are dominated by benign constant-reset races
+  (paper: 62 benign vs 15 harmful),
+* C1/C2 (the wrapper bugs) yield large harmful counts,
+* C4 detects far fewer races than it has pairs (uncontrollable context).
+"""
+
+import pytest
+from conftest import report_table
+
+from _pipeline_cache import all_keys, detection_for, synthesis_for
+from repro.report import format_table5
+
+
+@pytest.mark.parametrize("key", all_keys())
+def test_detection_per_class(benchmark, key):
+    subject, narada, report = synthesis_for(key)
+
+    # Benchmark detection on a bounded slice so per-class timings are
+    # comparable; the full detection result comes from the cache.
+    sample = report.tests[:3]
+
+    def run_detection():
+        from repro.fuzz import RaceFuzzer
+
+        fuzzer = RaceFuzzer(narada.table, random_runs=3)
+        return [fuzzer.fuzz(test) for test in sample]
+
+    reports = benchmark.pedantic(run_detection, rounds=1, iterations=1)
+    assert len(reports) == len(sample)
+
+    detection = detection_for(key)
+    assert detection.detected >= 1, key
+    assert detection.harmful >= 1, key
+    assert detection.reproduced <= detection.detected
+
+
+def test_table5_render(benchmark):
+    rows = []
+    for key in all_keys():
+        subject, _, _ = synthesis_for(key)
+        rows.append((subject, detection_for(key)))
+    benchmark.pedantic(lambda: format_table5(rows), rounds=5, iterations=1)
+
+    by_key = {subject.key: det for subject, det in rows}
+
+    # Most detected races are reproduced overall (paper: 259/307).
+    total_detected = sum(d.detected for d in by_key.values())
+    total_reproduced = sum(d.reproduced for d in by_key.values())
+    assert total_reproduced >= total_detected * 0.5
+
+    # C6: the constant-reset pattern makes it the benign-race champion
+    # (the paper's 62-of-72 benign cluster lives here; our broader test
+    # set adds many non-reset races, so benign does not dominate the
+    # class total, but it still concentrates in C6 — see EXPERIMENTS.md).
+    assert by_key["C6"].benign >= 10
+    assert by_key["C6"].benign == max(d.benign for d in by_key.values())
+
+    # The wrapper subjects carry large harmful counts.
+    assert by_key["C1"].harmful >= 10
+    assert by_key["C2"].harmful >= 10
+
+    # C4: far fewer races than racing pairs (uncontrollable context).
+    _, _, c4_synthesis = synthesis_for("C4")
+    assert by_key["C4"].detected < c4_synthesis.pair_count / 2
+
+    report_table("table5_detection", format_table5(rows))
+
+
+def test_results_json_export(benchmark):
+    """Write the full evaluation as benchmarks/out/results.json."""
+    import pathlib
+
+    from repro.report import evaluation_dict, write_evaluation_json
+
+    rows = []
+    for key in all_keys():
+        subject, _, synthesis = synthesis_for(key)
+        rows.append((subject, synthesis, detection_for(key)))
+    data = benchmark.pedantic(
+        lambda: evaluation_dict(rows), rounds=3, iterations=1
+    )
+    assert len(data["subjects"]) == 9
+    assert data["totals"]["harmful"] > 0
+    out = pathlib.Path(__file__).parent / "out" / "results.json"
+    out.parent.mkdir(exist_ok=True)
+    write_evaluation_json(str(out), data)

@@ -1,0 +1,118 @@
+"""VM micro-benchmarks: the cost model behind the pipeline timings.
+
+Not a paper table — engineering context for Table 4's synthesis times:
+how fast the substrate parses, executes, and how much the detectors add
+per event.
+"""
+
+from conftest import report_table
+
+from repro.detect import DjitDetector, EraserDetector, FastTrackDetector
+from repro.lang import load, parse
+from repro.runtime import Execution, RoundRobinScheduler, VM
+from repro.trace import Recorder
+
+HOT_LOOP = """
+class Worker {
+  int acc;
+  void spin(int n) {
+    int i = 0;
+    while (i < n) {
+      this.acc = this.acc + i;
+      i = i + 1;
+    }
+  }
+  synchronized void spinLocked(int n) {
+    int i = 0;
+    while (i < n) {
+      this.acc = this.acc + i;
+      i = i + 1;
+    }
+  }
+}
+test Seed { Worker w = new Worker(); }
+"""
+
+_table = load(HOT_LOOP)
+LOOP_N = 300
+
+
+def _run(listeners=(), threads=2, method="spin"):
+    vm = VM(_table)
+    _, env = vm.run_test("Seed")
+    worker = env["w"]
+    execution = Execution(vm, listeners=listeners)
+    for _ in range(threads):
+        execution.spawn(
+            lambda ctx: vm.interp.call_method(ctx, worker, method, [LOOP_N])
+        )
+    return execution.run(RoundRobinScheduler())
+
+
+def test_parse_throughput(benchmark):
+    source = "\n".join(HOT_LOOP for _ in range(5))
+    program = benchmark(lambda: parse(source))
+    assert len(program.classes) == 5
+
+
+def test_bare_execution(benchmark):
+    result = benchmark(_run)
+    assert result.completed
+
+
+def test_execution_with_recorder(benchmark):
+    result = benchmark(lambda: _run(listeners=(Recorder(),)))
+    assert result.completed
+
+
+def test_execution_with_fasttrack(benchmark):
+    result = benchmark(lambda: _run(listeners=(FastTrackDetector(),)))
+    assert result.completed
+
+
+def test_execution_with_all_detectors(benchmark):
+    result = benchmark(
+        lambda: _run(
+            listeners=(FastTrackDetector(), EraserDetector(), DjitDetector())
+        )
+    )
+    assert result.completed
+
+
+def test_throughput_table(benchmark):
+    import time
+
+    def measure(factory, label):
+        start = time.perf_counter()
+        result = _run(listeners=factory())
+        elapsed = time.perf_counter() - start
+        return label, result.steps, result.steps / elapsed
+
+    rows = benchmark.pedantic(
+        lambda: [
+            measure(tuple, "bare VM"),
+            measure(lambda: (Recorder(),), "+ recorder"),
+            measure(lambda: (FastTrackDetector(),), "+ FastTrack"),
+            measure(lambda: (DjitDetector(),), "+ Djit+"),
+            measure(
+                lambda: (FastTrackDetector(), EraserDetector(), DjitDetector()),
+                "+ all detectors",
+            ),
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    report_table(
+        "vm_throughput",
+        "\n".join(
+            [
+                "VM throughput (two threads, hot field-update loop)",
+                f"{'configuration':<18}{'events':>8}{'events/s':>12}",
+                "-" * 40,
+                *[
+                    f"{label:<18}{steps:>8}{rate:>12,.0f}"
+                    for label, steps, rate in rows
+                ],
+            ]
+        ),
+    )

@@ -1,0 +1,34 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Benchmarks register their rendered tables via :func:`report_table`; a
+``pytest_terminal_summary`` hook prints every registered table after the
+run (so they are visible even with output capture on) and writes each to
+``benchmarks/out/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_OUT_DIR = pathlib.Path(__file__).parent / "out"
+_TABLES: dict[str, str] = {}
+
+
+def report_table(name: str, text: str) -> None:
+    """Register a rendered table for the terminal summary and disk."""
+    _TABLES[name] = text
+    _OUT_DIR.mkdir(exist_ok=True)
+    (_OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for name in sorted(_TABLES):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(_TABLES[name])
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(tables also written to {_OUT_DIR}/<name>.txt)"
+    )

@@ -1,0 +1,72 @@
+"""Deadlock-test synthesis: the sibling technique, same machinery.
+
+The racy-test paper's authors previously applied the identical recipe to
+deadlocks (OOPSLA 2014, the paper's reference [22]).  This example runs
+our implementation of that pipeline on the classic bank-transfer bug:
+``transferOut`` locks the receiver, then the partner account — so two
+crossed transfers can deadlock, but only if the two accounts are
+partnered with *each other*, which is exactly the context the deriver
+synthesizes.
+
+Run:  python examples/deadlock_synthesis.py
+"""
+
+from repro.deadlock import DeadlockPipeline
+from repro.runtime import VM
+from repro.synth import materialize
+
+BANK = """
+class Account {
+  int balance;
+  Account other;
+  Account(int start) { this.balance = start; }
+  void setPartner(Account partner) { this.other = partner; }
+  synchronized void transferOut(int amount) {
+    this.balance = this.balance - amount;
+    this.other.deposit(amount);
+  }
+  synchronized void deposit(int amount) {
+    this.balance = this.balance + amount;
+  }
+  synchronized int read() { return this.balance; }
+}
+test Seed {
+  Account a = new Account(100);
+  Account b = new Account(100);
+  a.setPartner(b);
+  b.setPartner(a);
+  a.transferOut(10);
+  b.deposit(5);
+  int n = a.read();
+}
+"""
+
+
+def main() -> None:
+    pipeline = DeadlockPipeline(BANK)
+    report = pipeline.synthesize()
+
+    print("Lock-order edges found in the sequential seed run:")
+    for summary in report.lock_summaries:
+        for edge in summary.edges:
+            print(f"  {summary.class_name}.{summary.method}: {edge.describe()}")
+    print()
+
+    print(f"{len(report.pairs)} opposite-order pair(s) -> "
+          f"{len(report.tests)} synthesized test(s)\n")
+    for test in report.tests:
+        print(materialize(test, VM(pipeline.table)).render())
+        print()
+
+    for confirm in pipeline.confirm(report, random_runs=8):
+        print(confirm.describe())
+    print()
+    print(
+        "The synthesized context partners the two accounts with each\n"
+        "other — the one heap shape under which the crossed transfers\n"
+        "can deadlock — and the VM's deadlock detector confirms it."
+    )
+
+
+if __name__ == "__main__":
+    main()

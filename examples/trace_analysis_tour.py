@@ -1,0 +1,84 @@
+"""A guided tour of the sequential-trace analysis (§3.1-3.2).
+
+Re-creates the paper's worked example (Fig. 8 / Table 1 / §3.1.1):
+executes ``a.foo(y)`` sequentially, prints the recorded trace, and then
+shows the analyzer's ``A`` (writeable/unprotected projection) and ``D``
+(access summaries) — which match the values derived in the paper:
+
+    A : {4 -> (false,false), 5 -> (false,true), 6 -> (true,false)}
+    D : {4 -> {⊥ ↢ Ithis.x}, 5 -> {Ithis.x.o ↢ ⊥}, 6 -> {Ithis.y ↢ I1}}
+
+Run:  python examples/trace_analysis_tour.py
+"""
+
+from repro.analysis import analyze_traces
+from repro.lang import load
+from repro.runtime import VM
+from repro.trace import Recorder, format_trace
+
+FIG8 = """
+class X { Opaque o; }
+class Y { }
+class A {
+  X x;
+  Y y;
+  A() { this.x = new X(); }
+  void foo(Y y) {
+    synchronized (this) {
+      A b = this;
+      X t = b.x;
+      t.o = rand();
+      b.y = y;
+    }
+  }
+}
+test Seed {
+  A a = new A();
+  Y y = new Y();
+  a.foo(y);
+}
+"""
+
+
+def show(path) -> str:
+    return str(path) if path is not None else "⊥"
+
+
+def main() -> None:
+    table = load(FIG8)
+    vm = VM(table)
+    recorder = Recorder("Seed")
+    result, _ = vm.run_test("Seed", listeners=(recorder,))
+    assert result.clean
+
+    print("Sequential trace of the seed test (compare Fig. 8b):")
+    print(format_trace(recorder.trace))
+    print()
+
+    analysis = analyze_traces([recorder.trace])
+    foo = analysis.for_method("A", "foo")[0]
+
+    print("Access projection A (label -> (writeable, unprotected)):")
+    for label, bits in sorted(foo.access_projection.items()):
+        print(f"  {label} -> {bits}")
+    print()
+
+    print("Access summaries D (label -> {lhs ↢ rhs}):")
+    for label, entries in sorted(foo.summaries.items()):
+        rendered = ", ".join(f"{show(l)} ↢ {show(r)}" for l, r in entries)
+        print(f"  {label} -> {{{rendered}}}")
+    print()
+
+    print("Unprotected accesses usable for racy pairs:")
+    for access in foo.unprotected_accesses():
+        print(f"  {access.describe()}")
+    print()
+    print(
+        "The write t.o := rand() is unprotected (the lock held is the\n"
+        "receiver's, not t's) — the seed of the race the paper builds a\n"
+        "context for in §3.3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro: a full reproduction of "Synthesizing Racy Tests" (PLDI 2015).
+
+The package implements the Narada pipeline — sequential-trace analysis,
+racy-pair generation, context derivation, and multithreaded test
+synthesis — together with every substrate it needs: the MiniJ language
+and VM, dynamic race detectors (Eraser, Djit+, FastTrack), a
+RaceFuzzer-style confirming scheduler, the ConTeGe random baseline, and
+the nine subject libraries of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Narada
+    from repro.subjects import get_subject
+
+    subject = get_subject("C1")          # hazelcast WriteBehindQueue
+    narada = Narada(subject.load())
+    report = narada.synthesize_for_class(subject.class_name)
+    detection = narada.detect(report)
+    print(detection.detected, "races,", detection.harmful, "harmful")
+"""
+
+from repro.narada import DetectionReport, Narada, SynthesisReport
+
+__all__ = ["DetectionReport", "Narada", "SynthesisReport"]
+__version__ = "1.0.0"

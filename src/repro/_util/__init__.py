@@ -1,0 +1,25 @@
+"""Internal utilities shared by the repro packages."""
+
+from repro._util.errors import (
+    AnalysisError,
+    DeadlockError,
+    LexError,
+    MiniJRuntimeError,
+    ParseError,
+    ReproError,
+    SourceError,
+    SynthesisError,
+    TypeError_,
+)
+
+__all__ = [
+    "AnalysisError",
+    "DeadlockError",
+    "LexError",
+    "MiniJRuntimeError",
+    "ParseError",
+    "ReproError",
+    "SourceError",
+    "SynthesisError",
+    "TypeError_",
+]

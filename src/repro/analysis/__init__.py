@@ -1,0 +1,32 @@
+"""Stage 1 of Narada: analysis of sequential execution traces (§3.1-3.2)."""
+
+from repro.analysis.analyzer import SequentialTraceAnalyzer, analyze_traces
+from repro.analysis.model import (
+    AccessRecord,
+    AnalysisResult,
+    MethodSummary,
+    WriteableEntry,
+)
+from repro.analysis.paths import (
+    RECEIVER,
+    RETURN,
+    AccessPath,
+    param_path,
+    receiver_path,
+    return_path,
+)
+
+__all__ = [
+    "RECEIVER",
+    "RETURN",
+    "AccessPath",
+    "AccessRecord",
+    "AnalysisResult",
+    "MethodSummary",
+    "SequentialTraceAnalyzer",
+    "WriteableEntry",
+    "analyze_traces",
+    "param_path",
+    "receiver_path",
+    "return_path",
+]

@@ -1,0 +1,362 @@
+"""The Access Analyzer: Fig. 7 + Fig. 9 of the paper over concrete traces.
+
+The paper evaluates its inference rules over a three-address trace with a
+*symbolic* heap ``H`` because the rules are stated statically.  Our traces
+carry concrete object references, which lets us realize the same
+abstraction directly (and exactly as the paper's implementation does —
+§4 describes the same lazy bootstrapping):
+
+* **R bootstrapping / controllability** — at each client invocation the
+  receiver and reference arguments become controllable (C); an object
+  first seen as the value of a field *read from a controllable owner*
+  lazily inherits C ("for an unseen variable, we assign the flags based
+  on its owner state", §4); objects allocated inside library code during
+  the invocation are not controllable (NC), which includes everything
+  ``rand()`` produces.
+* **aliasing / bind** — two paths alias iff they reach the same concrete
+  reference; field writes update a shadow field graph so later ``src``
+  queries see current aliasing, exactly like the paper's deep ``bind``.
+* **src** — breadth-first search from the invocation's ``I`` roots
+  (receiver, parameters) through the shadow field graph to the queried
+  object; ties prefer the receiver and then lower parameter indices.
+* **A / unprotected / writeable** — per Fig. 7: a read is unprotected
+  iff its owner is controllable and the accessing thread does not hold
+  the owner's monitor; a write additionally is *writeable* iff both the
+  owner and the written value are controllable references.
+* **D / return rule** — per Fig. 9: writes record ``src(owner)⊕f ↢
+  src(value)``; returns record ``Iret.p ↢ src(content)`` for every
+  controllable field path of the returned object.
+
+Each client invocation is summarized independently (the *invoke* rule
+starts from an empty abstraction), so controllability never leaks
+between invocations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.model import (
+    AccessRecord,
+    AnalysisResult,
+    MethodSummary,
+    WriteableEntry,
+)
+from repro.analysis.paths import RETURN, AccessPath, RECEIVER
+from repro.runtime.values import ObjRef, Value
+from repro.trace.events import (
+    AllocEvent,
+    Event,
+    FaultEvent,
+    InvokeEvent,
+    ReadEvent,
+    ReturnEvent,
+    Trace,
+    WriteEvent,
+)
+
+#: Bound on the BFS depth of ``src`` queries and on the field paths
+#: enumerated by the return rule.
+MAX_PATH_DEPTH = 8
+RETURN_RULE_DEPTH = 3
+
+
+@dataclass
+class _Segment:
+    """Open state while scanning the events of one client invocation."""
+
+    summary: MethodSummary
+    call_index: int
+    #: I-variable roots: root index -> concrete heap ref.
+    roots: dict[int, int] = field(default_factory=dict)
+    #: Runtime class of each I root (for owner-class chains).
+    root_classes: dict[int, str] = field(default_factory=dict)
+    #: Controllability flags per heap ref (True = C).  Lazily grown.
+    controllable: dict[int, bool] = field(default_factory=dict)
+    #: Shadow field graph: owner ref -> {field name -> value}.
+    fields: dict[int, dict[str, Value]] = field(default_factory=dict)
+
+    def flag(self, ref: int) -> bool:
+        """Controllability of a ref; unseen objects default to NC."""
+        return self.controllable.get(ref, False)
+
+    def set_field(self, owner: int, field_name: str, value: Value) -> None:
+        self.fields.setdefault(owner, {})[field_name] = value
+
+    def src(self, target: int) -> AccessPath | None:
+        """Shortest I-rooted path reaching ``target`` (the paper's src).
+
+        Returns None (the paper's ⊥) when the object is not reachable
+        from the invocation's receiver or parameters.
+        """
+        found = self.src_with_classes(target)
+        return found[0] if found else None
+
+    def src_with_classes(
+        self, target: int
+    ) -> tuple[AccessPath, tuple[str, ...]] | None:
+        """Like :meth:`src`, also returning the runtime classes of the
+        objects along the path (root object first, target last)."""
+        starts: list[tuple[int, AccessPath]] = []
+        if RECEIVER in self.roots:
+            starts.append((self.roots[RECEIVER], AccessPath(RECEIVER)))
+        for index in sorted(k for k in self.roots if k > 0):
+            starts.append((self.roots[index], AccessPath(index)))
+
+        queue: deque[tuple[int, AccessPath, tuple[str, ...]]] = deque()
+        seen: set[int] = set()
+        for ref, path in starts:
+            classes = (self.root_classes.get(path.root, "?"),)
+            if ref == target:
+                return path, classes
+            if ref not in seen:
+                seen.add(ref)
+                queue.append((ref, path, classes))
+        while queue:
+            ref, path, classes = queue.popleft()
+            if path.depth >= MAX_PATH_DEPTH:
+                continue
+            for field_name, value in self.fields.get(ref, {}).items():
+                if not isinstance(value, ObjRef):
+                    continue
+                extended = classes + (value.class_name,)
+                if value.ref == target:
+                    return path.dot(field_name), extended
+                if value.ref not in seen:
+                    seen.add(value.ref)
+                    queue.append((value.ref, path.dot(field_name), extended))
+        return None
+
+
+class SequentialTraceAnalyzer:
+    """Turns sequential seed traces into per-invocation method summaries."""
+
+    def __init__(self, strict_unprotected: bool = False) -> None:
+        """
+        Args:
+            strict_unprotected: ablation switch.  The paper deliberately
+                treats an access as unprotected whenever the *owner's*
+                monitor is not held, even if some other lock is (§1, §4:
+                "even if a lock is held ... our definition identifies the
+                potential for a race when the lock objects differ").
+                With strict_unprotected=True, holding *any* lock
+                protects an access — which blinds the analysis to the
+                wrong-mutex bugs of C1/C2.
+        """
+        self._result = AnalysisResult()
+        self._strict_unprotected = strict_unprotected
+
+    def _is_unprotected(self, owner_controllable: bool, obj: int,
+                        locks_held: frozenset[int]) -> bool:
+        if not owner_controllable:
+            return False
+        if self._strict_unprotected:
+            return not locks_held
+        return obj not in locks_held
+
+    def analyze(self, trace: Trace) -> AnalysisResult:
+        """Analyze one sequential trace; may be called repeatedly."""
+        segment: _Segment | None = None
+        ordinal = 0
+        for event in trace:
+            if isinstance(event, InvokeEvent) and event.from_client:
+                if segment is None:
+                    segment = self._open_segment(event, trace.test_name, ordinal)
+                    ordinal += 1
+                continue
+            if segment is None:
+                continue
+            if isinstance(event, AllocEvent):
+                # Fig. 7 alloc rule: library-allocated objects are NC.
+                segment.controllable.setdefault(event.ref, not event.in_library)
+            elif isinstance(event, ReadEvent):
+                self._apply_read(segment, event)
+            elif isinstance(event, WriteEvent):
+                self._apply_write(segment, event)
+            elif isinstance(event, ReturnEvent):
+                if event.to_client and event.returning_call_index == segment.call_index:
+                    self._apply_return(segment, event)
+                    self._result.summaries.append(segment.summary)
+                    segment = None
+            elif isinstance(event, FaultEvent):
+                segment.summary.faulted = True
+                self._result.summaries.append(segment.summary)
+                segment = None
+        if segment is not None:
+            # Trace ended mid-invocation (timeout); keep what we learned.
+            segment.summary.faulted = True
+            self._result.summaries.append(segment.summary)
+        return self._result
+
+    def analyze_all(self, traces: list[Trace]) -> AnalysisResult:
+        for trace in traces:
+            self.analyze(trace)
+        return self._result
+
+    @property
+    def result(self) -> AnalysisResult:
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Rules.
+
+    def _open_segment(
+        self, event: InvokeEvent, test_name: str, ordinal: int
+    ) -> _Segment:
+        arg_refs = tuple(
+            a.ref if isinstance(a, ObjRef) else None for a in event.args
+        )
+        summary = MethodSummary(
+            test_name=test_name,
+            ordinal=ordinal,
+            class_name=event.class_name,
+            method=event.method,
+            is_constructor=event.is_constructor,
+            receiver_ref=event.receiver,
+            arg_refs=arg_refs,
+            arg_classes=tuple(
+                a.class_name if isinstance(a, ObjRef) else None for a in event.args
+            ),
+            invoke_label=event.label,
+        )
+        segment = _Segment(summary=summary, call_index=event.new_call_index)
+        # R bootstrapping: receiver and reference arguments are C.
+        segment.roots[RECEIVER] = event.receiver
+        segment.root_classes[RECEIVER] = event.class_name
+        segment.controllable[event.receiver] = True
+        for index, (ref, cls) in enumerate(
+            zip(arg_refs, summary.arg_classes), start=1
+        ):
+            if ref is not None:
+                segment.roots[index] = ref
+                segment.root_classes[index] = cls or "?"
+                segment.controllable[ref] = True
+        return segment
+
+    def _apply_read(self, segment: _Segment, event: ReadEvent) -> None:
+        owner_c = segment.flag(event.obj)
+        # Lazy R: the value of a field read from a controllable owner
+        # inherits controllability.
+        if isinstance(event.value, ObjRef):
+            segment.controllable.setdefault(event.value.ref, owner_c)
+        found = segment.src_with_classes(event.obj)
+        owner_path, owner_classes = found if found else (None, None)
+        access_path = owner_path.dot(event.field_name) if owner_path else None
+        unprotected = self._is_unprotected(owner_c, event.obj, event.locks_held)
+        segment.set_field(event.obj, event.field_name, event.value)
+
+        summary = segment.summary
+        summary.access_projection[event.label] = (False, unprotected)
+        summary.summaries[event.label] = {(None, access_path)}
+        summary.accesses.append(
+            AccessRecord(
+                label=event.label,
+                node_id=event.node_id,
+                kind="R",
+                class_name=event.class_name,
+                field_name=event.field_name,
+                access_path=access_path,
+                owner_classes=owner_classes,
+                unprotected=unprotected,
+                writeable=False,
+                in_constructor=event.in_constructor,
+                value_is_ref=isinstance(event.value, ObjRef),
+            )
+        )
+
+    def _apply_write(self, segment: _Segment, event: WriteEvent) -> None:
+        owner_c = segment.flag(event.obj)
+        value_c = isinstance(event.value, ObjRef) and segment.flag(event.value.ref)
+        # src is evaluated on the pre-write heap (the paper computes D
+        # before bind re-establishes aliasing).
+        found = segment.src_with_classes(event.obj)
+        owner_path, owner_classes = found if found else (None, None)
+        value_path = (
+            segment.src(event.value.ref) if isinstance(event.value, ObjRef) else None
+        )
+        access_path = owner_path.dot(event.field_name) if owner_path else None
+        segment.set_field(event.obj, event.field_name, event.value)
+
+        writeable = owner_c and value_c
+        unprotected = self._is_unprotected(owner_c, event.obj, event.locks_held)
+        summary = segment.summary
+        summary.access_projection[event.label] = (writeable, unprotected)
+        summary.summaries[event.label] = {(access_path, value_path)}
+        summary.accesses.append(
+            AccessRecord(
+                label=event.label,
+                node_id=event.node_id,
+                kind="W",
+                class_name=event.class_name,
+                field_name=event.field_name,
+                access_path=access_path,
+                owner_classes=owner_classes,
+                unprotected=unprotected,
+                writeable=writeable,
+                in_constructor=event.in_constructor,
+                value_is_ref=isinstance(event.value, ObjRef),
+            )
+        )
+        if writeable and access_path is not None and value_path is not None:
+            summary.writeables.append(
+                WriteableEntry(
+                    lhs=access_path, rhs=value_path, label=event.label, via="write"
+                )
+            )
+
+    def _apply_return(self, segment: _Segment, event: ReturnEvent) -> None:
+        """Fig. 9 return rule: expose controllable state of the result."""
+        if not isinstance(event.value, ObjRef):
+            return
+        summary = segment.summary
+        summary.return_class = event.value.class_name
+        entries: set[tuple[AccessPath | None, AccessPath | None]] = set()
+
+        # Degenerate case: the returned object itself is client-known.
+        self_src = segment.src(event.value.ref)
+        if self_src is not None:
+            entries.add((AccessPath(RETURN), self_src))
+
+        for path, content_ref in self._reachable_paths(segment, event.value.ref):
+            if not segment.flag(content_ref):
+                continue
+            content_src = segment.src(content_ref)
+            if content_src is None:
+                continue
+            ret_path = AccessPath(RETURN, path)
+            entries.add((ret_path, content_src))
+            summary.writeables.append(
+                WriteableEntry(
+                    lhs=ret_path, rhs=content_src, label=event.label, via="return"
+                )
+            )
+        if entries:
+            summary.access_projection[event.label] = (True, False)
+            summary.summaries[event.label] = entries
+
+    @staticmethod
+    def _reachable_paths(segment: _Segment, root: int):
+        """Field paths (depth-limited, cycle-safe) from ``root`` through
+        the shadow field graph, yielding (path, content ref)."""
+        results: list[tuple[tuple[str, ...], int]] = []
+        stack: list[tuple[int, tuple[str, ...]]] = [(root, ())]
+        visited: set[int] = {root}
+        while stack:
+            ref, path = stack.pop()
+            if len(path) >= RETURN_RULE_DEPTH:
+                continue
+            for field_name, value in segment.fields.get(ref, {}).items():
+                if not isinstance(value, ObjRef):
+                    continue
+                new_path = path + (field_name,)
+                results.append((new_path, value.ref))
+                if value.ref not in visited:
+                    visited.add(value.ref)
+                    stack.append((value.ref, new_path))
+        return results
+
+
+def analyze_traces(traces: list[Trace]) -> AnalysisResult:
+    """Analyze sequential seed traces into method summaries."""
+    return SequentialTraceAnalyzer().analyze_all(traces)

@@ -1,0 +1,5 @@
+"""Baseline comparators: ConTeGe-style random concurrent test generation."""
+
+from repro.baseline.contege import ConTeGe, ConTeGeResult, GeneratedTest, Violation
+
+__all__ = ["ConTeGe", "ConTeGeResult", "GeneratedTest", "Violation"]

@@ -1,0 +1,309 @@
+"""ConTeGe baseline (Pradel & Gross, PLDI 2012), the paper's §5 comparator.
+
+ConTeGe detects thread-safety violations by *random* search: generate a
+sequential prefix that constructs the class under test, two random call
+suffixes, run the suffixes from two threads, and report a violation when
+the concurrent execution crashes or deadlocks while **every**
+linearization of the suffix calls runs fine.
+
+Two structural properties make it weak exactly where Narada is strong
+(and the paper's comparison shows it): the suffixes always target *one*
+shared instance, so wrapper classes like C1/C2 serialize on their own
+monitor and never expose the inner-state races; and object sharing
+beyond the CUT instance arises only by accident.  It does find the
+classes that crash outright under concurrent use (C5, C6).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro._util.errors import ParseError
+from repro.lang import ast, parse
+from repro.lang.classtable import OBJECT, ClassTable
+from repro.lang.types import Type
+from repro.runtime.scheduler import RandomScheduler, SequentialScheduler
+from repro.runtime.vm import VM, Execution
+
+#: Bounds keeping generated tests small enough to enumerate all
+#: linearizations of the two suffixes exactly.
+MAX_SUFFIX_CALLS = 3
+MAX_CONSTRUCT_DEPTH = 3
+RUN_MAX_STEPS = 60_000
+
+
+@dataclass
+class GeneratedTest:
+    """One random concurrent test: prefix + two suffixes (source text)."""
+
+    index: int
+    prefix: str
+    suffix_a: str
+    suffix_b: str
+
+    def render(self) -> str:
+        return (
+            f"// ConTeGe test #{self.index}\n{self.prefix}\n"
+            f"// thread 1:\n{self.suffix_a}\n// thread 2:\n{self.suffix_b}"
+        )
+
+
+@dataclass
+class Violation:
+    """A confirmed thread-safety violation."""
+
+    test: GeneratedTest
+    fault_kind: str
+    schedule_seed: int
+
+
+@dataclass
+class ConTeGeResult:
+    class_name: str
+    tests_generated: int = 0
+    executions: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+
+class ConTeGe:
+    """Random concurrent test generator with a linearization oracle."""
+
+    def __init__(
+        self,
+        table: ClassTable,
+        class_name: str,
+        seed: int = 0,
+        schedules_per_test: int = 3,
+        stop_at_first: bool = False,
+    ) -> None:
+        self._table = table
+        self._class_name = class_name
+        self._rng = random.Random(seed)
+        self._schedules = schedules_per_test
+        self._stop_at_first = stop_at_first
+        self._decl = table.program.class_decl(class_name)
+        if self._decl is None:
+            raise ValueError(f"unknown class under test {class_name}")
+
+    # ------------------------------------------------------------------
+    # Entry point.
+
+    def run(self, max_tests: int) -> ConTeGeResult:
+        result = ConTeGeResult(class_name=self._class_name)
+        start = time.perf_counter()
+        for index in range(max_tests):
+            test = self._generate_test(index)
+            if test is None:
+                continue
+            result.tests_generated += 1
+            violation = self._execute_test(test, result)
+            if violation is not None:
+                result.violations.append(violation)
+                if self._stop_at_first:
+                    break
+        result.seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+    # Test generation.
+
+    def _generate_test(self, index: int) -> GeneratedTest | None:
+        self._temp = 0
+        prefix_lines: list[str] = []
+        cut_expr = self._construct_expr(self._class_name, 0, prefix_lines)
+        if cut_expr is None:
+            return None
+        prefix_lines.append(f"{self._class_name} cut = {cut_expr};")
+        # A couple of state-building warm-up calls.
+        for _ in range(self._rng.randrange(3)):
+            call = self._random_call("cut", prefix_lines)
+            if call is not None:
+                prefix_lines.append(call)
+        suffix_a = self._suffix(prefix_lines)
+        suffix_b = self._suffix(prefix_lines)
+        test = GeneratedTest(
+            index=index,
+            prefix="\n".join(prefix_lines),
+            suffix_a="\n".join(suffix_a),
+            suffix_b="\n".join(suffix_b),
+        )
+        return test
+
+    def _suffix(self, prefix_lines: list[str]) -> list[str]:
+        lines: list[str] = []
+        for _ in range(1 + self._rng.randrange(MAX_SUFFIX_CALLS)):
+            call = self._random_call("cut", prefix_lines)
+            if call is not None:
+                lines.append(call)
+        return lines
+
+    def _random_call(self, receiver: str, prefix_lines: list[str]) -> str | None:
+        methods = [m for m in self._decl.methods if not m.is_constructor]
+        if not methods:
+            return None
+        method = self._rng.choice(methods)
+        args = []
+        for param in method.params:
+            arg = self._arg_expr(param.param_type, prefix_lines)
+            if arg is None:
+                return None
+            args.append(arg)
+        return f"{receiver}.{method.name}({', '.join(args)});"
+
+    def _arg_expr(self, param_type: Type, prefix_lines: list[str]) -> str | None:
+        if param_type.kind == "int":
+            return str(self._rng.randrange(8))
+        if param_type.kind == "bool":
+            return "true" if self._rng.random() < 0.5 else "false"
+        if not param_type.is_reference():
+            return None
+        expr = self._construct_expr_for_type(param_type, 1, prefix_lines)
+        return expr if expr is not None else "null"
+
+    def _construct_expr_for_type(
+        self, declared: Type, depth: int, prefix_lines: list[str]
+    ) -> str | None:
+        if declared.name == OBJECT.name:
+            candidates = [
+                name
+                for name in self._table.class_names()
+                if not self._table.constructor(name)
+                or len(self._table.constructor(name).params) == 0
+            ]
+            if not candidates:
+                return None
+            return self._construct_expr(self._rng.choice(candidates), depth, prefix_lines)
+        candidates = self._table.concrete_classes_for(declared)
+        if not candidates:
+            return None
+        return self._construct_expr(self._rng.choice(candidates), depth, prefix_lines)
+
+    def _construct_expr(
+        self, class_name: str, depth: int, prefix_lines: list[str]
+    ) -> str | None:
+        if depth > MAX_CONSTRUCT_DEPTH:
+            return None
+        ctor = self._table.constructor(class_name)
+        args: list[str] = []
+        if ctor is not None:
+            for param in ctor.params:
+                if param.param_type.kind == "int":
+                    args.append(str(1 + self._rng.randrange(4)))
+                elif param.param_type.kind == "bool":
+                    args.append("true" if self._rng.random() < 0.5 else "false")
+                elif param.param_type.name in ("IntArray", "RefArray"):
+                    args.append(f"new {param.param_type.name}(8)")
+                else:
+                    inner = self._construct_expr_for_type(
+                        param.param_type, depth + 1, prefix_lines
+                    )
+                    if inner is None:
+                        return None
+                    args.append(inner)
+        return f"new {class_name}({', '.join(args)})"
+
+    # ------------------------------------------------------------------
+    # Execution + oracle.
+
+    def _parse_stmts(self, body: str) -> list[ast.Stmt] | None:
+        try:
+            program = parse("test G {\n" + body + "\n}")
+        except ParseError:
+            return None
+        return program.tests[0].body.stmts
+
+    def _execute_test(
+        self, test: GeneratedTest, result: ConTeGeResult
+    ) -> Violation | None:
+        prefix = self._parse_stmts(test.prefix)
+        suffix_a = self._parse_stmts(test.suffix_a)
+        suffix_b = self._parse_stmts(test.suffix_b)
+        if prefix is None or suffix_a is None or suffix_b is None:
+            return None
+
+        for schedule in range(self._schedules):
+            result.executions += 1
+            fault = self._concurrent_fault(prefix, suffix_a, suffix_b, schedule)
+            if fault is None:
+                continue
+            if self._all_linearizations_clean(prefix, suffix_a, suffix_b):
+                return Violation(
+                    test=test, fault_kind=fault, schedule_seed=schedule
+                )
+            return None  # The crash has a sequential explanation.
+        return None
+
+    def _concurrent_fault(
+        self,
+        prefix: list[ast.Stmt],
+        suffix_a: list[ast.Stmt],
+        suffix_b: list[ast.Stmt],
+        schedule_seed: int,
+    ) -> str | None:
+        vm = VM(self._table, seed=0)
+        env: dict = {}
+        setup = Execution(vm)
+        main = setup.spawn(
+            lambda ctx: vm.interp.run_client_stmts(prefix, ctx, env), name="prefix"
+        )
+        setup_result = setup.run(SequentialScheduler(), max_steps=RUN_MAX_STEPS)
+        if not setup_result.clean:
+            return None  # Broken prefix: not a concurrency problem.
+        concurrent = Execution(vm)
+        for stmts in (suffix_a, suffix_b):
+            concurrent.spawn(
+                lambda ctx, stmts=stmts: vm.interp.run_client_stmts(
+                    stmts, ctx, dict(env)
+                ),
+                parent=main,
+            )
+        outcome = concurrent.run(
+            RandomScheduler(seed=schedule_seed * 65_537 + 13),
+            max_steps=RUN_MAX_STEPS,
+        )
+        if outcome.deadlocked:
+            return "deadlock"
+        if outcome.faults:
+            return outcome.faults[0][1].kind
+        return None
+
+    def _all_linearizations_clean(
+        self,
+        prefix: list[ast.Stmt],
+        suffix_a: list[ast.Stmt],
+        suffix_b: list[ast.Stmt],
+    ) -> bool:
+        for merged in _interleavings(suffix_a, suffix_b):
+            vm = VM(self._table, seed=0)
+            env: dict = {}
+            execution = Execution(vm)
+            execution.spawn(
+                lambda ctx, stmts=prefix + merged: vm.interp.run_client_stmts(
+                    stmts, ctx, env
+                )
+            )
+            outcome = execution.run(SequentialScheduler(), max_steps=RUN_MAX_STEPS)
+            if outcome.faults or outcome.deadlocked:
+                return False
+        return True
+
+
+def _interleavings(left: list, right: list):
+    """All call-level interleavings of two statement lists."""
+    total = len(left) + len(right)
+    for positions in itertools.combinations(range(total), len(left)):
+        merged: list = []
+        li = iter(left)
+        ri = iter(right)
+        position_set = set(positions)
+        for slot in range(total):
+            merged.append(next(li) if slot in position_set else next(ri))
+        yield merged

@@ -1,0 +1,455 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the pipeline stages so the tool is usable without
+writing Python:
+
+* ``subjects``                      — list the nine paper subjects
+* ``analyze  (--subject K | FILE)`` — print method summaries (A/D view)
+* ``pairs    (--subject K | FILE)`` — print racy pairs
+* ``synth    (--subject K | FILE)`` — synthesize tests; print one/all
+* ``fuzz     (--subject K | FILE)`` — synthesize + fuzz; print races
+* ``chess    (--subject K | FILE)`` — bounded systematic exploration
+* ``emit     (--subject K | FILE)`` — standalone racy tests (``fork {}``)
+* ``run      FILE``                 — execute a MiniJ file's tests with
+  detectors attached (nonzero exit when races/crashes are found)
+* ``deadlock (--subject K | FILE)`` — the OOPSLA'14 sibling pipeline
+* ``contege  (--subject K | FILE)`` — run the random baseline
+* ``tables``                        — regenerate the evaluation tables
+
+``FILE`` is a MiniJ source file containing the library classes and its
+sequential seed tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.baseline import ConTeGe
+from repro.fuzz import explore_test
+from repro.lang import ClassTable, load
+from repro.narada import Narada
+from repro.runtime import VM
+from repro.subjects import all_subjects, get_subject
+from repro.synth import materialize
+
+
+def _load_target(args) -> tuple[ClassTable, str]:
+    """Resolve --subject/FILE into a class table and target class."""
+    if args.subject:
+        subject = get_subject(args.subject)
+        return subject.load(), subject.class_name
+    if not args.file:
+        raise SystemExit("error: provide --subject C1..C9 or a MiniJ file")
+    with open(args.file) as handle:
+        table = load(handle.read())
+    target = args.target_class
+    if target is None:
+        candidates = table.class_names()
+        if len(candidates) != 1:
+            raise SystemExit(
+                f"error: --class needed, file defines {', '.join(candidates)}"
+            )
+        target = candidates[0]
+    return table, target
+
+
+def _add_target_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", nargs="?", help="MiniJ source file")
+    parser.add_argument(
+        "--subject", choices=[s.key for s in all_subjects()],
+        help="use a built-in paper subject instead of a file",
+    )
+    parser.add_argument(
+        "--class", dest="target_class", help="class under analysis"
+    )
+    parser.add_argument("--json", action="store_true", help="JSON output")
+
+
+def cmd_subjects(args) -> int:
+    rows = []
+    for subject in all_subjects():
+        rows.append(
+            {
+                "key": subject.key,
+                "benchmark": subject.benchmark,
+                "version": subject.version,
+                "class": subject.class_name,
+                "description": subject.description,
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        for row in rows:
+            print(f"{row['key']}: {row['class']} "
+                  f"({row['benchmark']} {row['version']})")
+            print(f"    {row['description']}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    table, target = _load_target(args)
+    narada = Narada(table)
+    analysis = narada.analysis()
+    summaries = analysis.for_class(target)
+    if args.json:
+        print(json.dumps([_summary_json(s) for s in summaries], indent=2))
+        return 0
+    for summary in summaries:
+        print(summary.describe())
+        print()
+    return 0
+
+
+def cmd_pairs(args) -> int:
+    table, target = _load_target(args)
+    narada = Narada(table)
+    report = narada.synthesize_for_class(target)
+    if args.json:
+        print(json.dumps([_pair_json(p) for p in report.pairs], indent=2))
+        return 0
+    for pair in report.pairs:
+        print(pair.describe())
+    print(f"\n{report.pair_count} racing pair(s)")
+    return 0
+
+
+def cmd_synth(args) -> int:
+    table, target = _load_target(args)
+    narada = Narada(table)
+    report = narada.synthesize_for_class(target)
+    tests = report.tests if args.all else report.tests[: args.show]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "class": target,
+                    "pairs": report.pair_count,
+                    "tests": report.test_count,
+                    "seconds": report.seconds,
+                    "rendered": [
+                        materialize(t, VM(table)).render() for t in tests
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{report.pair_count} pairs -> {report.test_count} tests "
+        f"in {report.seconds:.2f}s\n"
+    )
+    for test in tests:
+        print(f"--- {test.name} ({len(test.covered_pairs)} pair(s)) ---")
+        print(materialize(test, VM(table)).render())
+        print()
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    table, target = _load_target(args)
+    narada = Narada(table)
+    report = narada.synthesize_for_class(target)
+    detection = narada.detect(
+        report, random_runs=args.runs, directed=not args.no_directed
+    )
+    if args.json:
+        print(json.dumps(_detection_json(target, report, detection), indent=2))
+        return 0
+    print(
+        f"{target}: {detection.detected} race(s) detected, "
+        f"{detection.reproduced} reproduced "
+        f"({detection.harmful} harmful, {detection.benign} benign), "
+        f"manual TP/FP {detection.manual_tp}/{detection.manual_fp}"
+    )
+    for fuzz in detection.fuzz_reports:
+        if fuzz.detected:
+            print()
+            print(fuzz.describe())
+    return int(detection.detected == 0)
+
+
+def cmd_chess(args) -> int:
+    table, target = _load_target(args)
+    narada = Narada(table)
+    report = narada.synthesize_for_class(target)
+    tests = report.tests[: args.tests]
+    total_races = 0
+    for test in tests:
+        result = explore_test(
+            table, test, preemption_bound=args.bound,
+            max_schedules=args.max_schedules,
+        )
+        total_races += result.race_count
+        status = "exhausted" if result.exhausted else "capped"
+        print(
+            f"{test.name}: {result.schedules_run} schedule(s) [{status}], "
+            f"{result.race_count} race(s)"
+        )
+        for key, schedule in result.race_schedules.items():
+            print(f"    {key[0]}.{key[1]} sites={key[2]} "
+                  f"certificate={schedule}")
+    return int(total_races == 0)
+
+
+def cmd_emit(args) -> int:
+    from repro.synth.emit import emit_standalone_program
+
+    table, target = _load_target(args)
+    narada = Narada(table)
+    report = narada.synthesize_for_class(target)
+    tests = report.tests if args.all else report.tests[: args.count]
+    source = emit_standalone_program(table, tests)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(source)
+        print(f"wrote {len(tests)} standalone test(s) to {args.output}")
+    else:
+        print(source)
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.detect import EraserDetector, FastTrackDetector
+    from repro.runtime import Execution, RandomScheduler
+
+    with open(args.file) as handle:
+        table = load(handle.read())
+    test_names = (
+        [args.test] if args.test else [t.name for t in table.program.tests]
+    )
+    exit_code = 0
+    for name in test_names:
+        test = table.program.test_decl(name)
+        if test is None:
+            raise SystemExit(f"error: no test {name} in {args.file}")
+        races = set()
+        failures = 0
+        for seed in range(args.runs):
+            vm = VM(table)
+            fasttrack = FastTrackDetector()
+            eraser = EraserDetector()
+            execution = Execution(vm, listeners=(fasttrack, eraser))
+            execution.spawn(
+                lambda ctx, body=test.body.stmts: vm.interp.run_client_stmts(
+                    body, ctx, {}
+                )
+            )
+            result = execution.run(RandomScheduler(seed * 7919 + 3))
+            if result.deadlocked or result.faults:
+                failures += 1
+            races |= fasttrack.races.static_keys()
+            races |= eraser.races.static_keys()
+        verdict = f"{len(races)} race(s)"
+        if failures:
+            verdict += f", {failures}/{args.runs} runs crashed or deadlocked"
+        print(f"{name}: {verdict}")
+        for key in sorted(races):
+            print(f"    race on {key[0]}.{key[1]} between sites {key[2]}")
+        if races or failures:
+            exit_code = 1
+    return exit_code
+
+
+def cmd_deadlock(args) -> int:
+    from repro.deadlock import DeadlockPipeline
+    from repro.runtime import VM as _VM
+    from repro.synth import materialize as _materialize
+
+    table, target = _load_target(args)
+    pipeline = DeadlockPipeline(table)
+    report = pipeline.synthesize(target_class=None if args.all_classes else target)
+    print(
+        f"{len(report.lock_summaries)} invocation(s) analyzed, "
+        f"{len(report.pairs)} opposite-order pair(s), "
+        f"{len(report.tests)} synthesized test(s)"
+    )
+    confirmed = 0
+    for test, confirm in zip(report.tests, pipeline.confirm(report, args.runs)):
+        print()
+        print(_materialize(test, _VM(table)).render())
+        print(confirm.describe())
+        confirmed += int(confirm.confirmed)
+    return int(report.tests != [] and confirmed == 0)
+
+
+def cmd_contege(args) -> int:
+    table, target = _load_target(args)
+    contege = ConTeGe(table, target, seed=args.seed)
+    result = contege.run(max_tests=args.budget)
+    print(
+        f"{target}: {result.tests_generated} random tests, "
+        f"{result.violation_count} violation(s) in {result.seconds:.1f}s"
+    )
+    for violation in result.violations:
+        print(f"  {violation.fault_kind} (schedule seed "
+              f"{violation.schedule_seed})")
+        print("  " + violation.test.render().replace("\n", "\n  "))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.report import format_table3, format_table4, format_table5
+
+    subjects = all_subjects()
+    print(format_table3(subjects))
+    print()
+    rows = []
+    for subject in subjects:
+        narada = Narada(subject.load())
+        rows.append((subject, narada.synthesize_for_class(subject.class_name)))
+    print(format_table4(rows))
+    if args.detect:
+        detections = []
+        for subject, report in rows:
+            narada = Narada(subject.load())
+            fresh = narada.synthesize_for_class(subject.class_name)
+            detections.append((subject, narada.detect(fresh, random_runs=args.runs)))
+        print()
+        print(format_table5(detections))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# JSON helpers.
+
+
+def _summary_json(summary) -> dict:
+    return {
+        "class": summary.class_name,
+        "method": summary.method,
+        "test": summary.test_name,
+        "ordinal": summary.ordinal,
+        "accesses": [
+            {
+                "kind": a.kind,
+                "field": f"{a.class_name}.{a.field_name}",
+                "path": str(a.access_path) if a.access_path else None,
+                "unprotected": a.unprotected,
+                "writeable": a.writeable,
+            }
+            for a in summary.accesses
+        ],
+        "writeables": [
+            {"lhs": str(w.lhs), "rhs": str(w.rhs), "via": w.via}
+            for w in summary.writeables
+        ],
+    }
+
+
+def _pair_json(pair) -> dict:
+    return {
+        "field": f"{pair.field[0]}.{pair.field[1]}",
+        "first": list(pair.first.method_id()),
+        "second": list(pair.second.method_id()),
+        "same_site": pair.same_site,
+        "site_pairs": sorted(pair.site_pairs),
+    }
+
+
+def _detection_json(target, report, detection) -> dict:
+    return {
+        "class": target,
+        "pairs": report.pair_count,
+        "tests": report.test_count,
+        "detected": detection.detected,
+        "reproduced": detection.reproduced,
+        "harmful": detection.harmful,
+        "benign": detection.benign,
+        "manual_tp": detection.manual_tp,
+        "manual_fp": detection.manual_fp,
+        "races_per_test": detection.races_per_test(),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Narada (PLDI 2015 'Synthesizing Racy Tests') reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("subjects", help="list the paper subjects")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_subjects)
+
+    p = sub.add_parser("analyze", help="print sequential-trace summaries")
+    _add_target_args(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("pairs", help="print potential racy pairs")
+    _add_target_args(p)
+    p.set_defaults(func=cmd_pairs)
+
+    p = sub.add_parser("synth", help="synthesize racy tests")
+    _add_target_args(p)
+    p.add_argument("--show", type=int, default=3, help="tests to render")
+    p.add_argument("--all", action="store_true", help="render all tests")
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser("fuzz", help="synthesize + run the detector backend")
+    _add_target_args(p)
+    p.add_argument("--runs", type=int, default=6, help="random schedules/test")
+    p.add_argument("--no-directed", action="store_true")
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("chess", help="bounded systematic exploration")
+    _add_target_args(p)
+    p.add_argument("--bound", type=int, default=2, help="preemption bound")
+    p.add_argument("--tests", type=int, default=3, help="tests to explore")
+    p.add_argument("--max-schedules", type=int, default=2000)
+    p.set_defaults(func=cmd_chess)
+
+    p = sub.add_parser(
+        "emit", help="emit synthesized tests as standalone MiniJ source"
+    )
+    _add_target_args(p)
+    p.add_argument("--count", type=int, default=3, help="tests to emit")
+    p.add_argument("--all", action="store_true")
+    p.add_argument("-o", "--output", help="write to a file instead of stdout")
+    p.set_defaults(func=cmd_emit)
+
+    p = sub.add_parser(
+        "run", help="run a MiniJ file's tests under random schedules + detectors"
+    )
+    p.add_argument("file", help="MiniJ source file")
+    p.add_argument("--test", help="run only this test")
+    p.add_argument("--runs", type=int, default=6)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("deadlock", help="synthesize + confirm deadlock tests")
+    _add_target_args(p)
+    p.add_argument("--runs", type=int, default=6, help="random schedules/test")
+    p.add_argument(
+        "--all-classes", action="store_true",
+        help="pair lock edges across every class, not just the target",
+    )
+    p.set_defaults(func=cmd_deadlock)
+
+    p = sub.add_parser("contege", help="run the random baseline")
+    _add_target_args(p)
+    p.add_argument("--budget", type=int, default=500, help="max random tests")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_contege)
+
+    p = sub.add_parser("tables", help="regenerate evaluation tables")
+    p.add_argument("--detect", action="store_true", help="include Table 5")
+    p.add_argument("--runs", type=int, default=4)
+    p.set_defaults(func=cmd_tables)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro synth | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Stage 2b of Narada: context derivation (§3.3, Fig. 10)."""
+
+from repro.context.deriver import ContextDeriver, SetterDatabase, derive_plans
+from repro.context.plan import (
+    ObjectSlot,
+    PlannedCall,
+    SeedArg,
+    SidePlan,
+    SlotArg,
+    TestPlan,
+)
+
+__all__ = [
+    "ContextDeriver",
+    "ObjectSlot",
+    "PlannedCall",
+    "SeedArg",
+    "SetterDatabase",
+    "SidePlan",
+    "SlotArg",
+    "TestPlan",
+    "derive_plans",
+]

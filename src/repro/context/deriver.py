@@ -1,0 +1,485 @@
+"""Stage 2b of Narada: the Context Deriver (§3.3, Fig. 10).
+
+Given a racy pair, derive — from the writeable ``D`` entries collected
+during seed execution — a sequence of setter-method invocations that
+drives the two racy invocations' object graphs into a state where the
+owner of the raced field is the *same instance* on both sides, while the
+receivers stay distinct (sharing the receivers would serialize on its
+monitor and mask the race, §3.3).
+
+The query operator ``Q`` of Fig. 10 appears here as :meth:`_solve_path`:
+
+* *set* / *deep-set* — a method whose ``D`` contains ``(Ithis.f1..fk ↢
+  Ij[...])`` assigns the goal path directly; constructors qualify too
+  (§4 "we treat constructor as any other method to help set the
+  context"), as do factory methods via the *return* rule entries
+  (``Iret.f ↢ Ij``) and methods that assign through a parameter
+  (``Ii.f ↢ Ij``).
+* *concat* — otherwise, split the goal path: first build an object
+  ``M`` satisfying the tail, then set the head field to ``M``.
+* when the right-hand side of an entry is itself a field of a parameter
+  (``Ithis.x ↢ Iz.w``, the paper's ``bar``), the rules recurse on the
+  parameter's field — producing exactly the ``z.baz(x); a.bar(z)``
+  sequence of the worked example.
+
+When no derivation reaches the exact owner, progressively shorter
+prefixes of the owner chain are shared instead (§4: "we attempt to
+assign the prefixes of the dereference so that the objects at some point
+of the hierarchy are shared"), and as a last resort a no-sharing plan is
+emitted — such tests typically expose no race, which is how the paper's
+Figure 14 gets its zero-race buckets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.analysis.model import AnalysisResult, MethodSummary, WriteableEntry
+from repro.analysis.paths import RECEIVER, RETURN
+from repro.context.plan import (
+    ObjectSlot,
+    PlannedCall,
+    SeedArg,
+    SidePlan,
+    SlotArg,
+    TestPlan,
+)
+from repro.lang.classtable import OBJECT, ClassTable
+from repro.pairs.generator import PairSide, RacyPair
+
+#: Bound on recursive setter derivation.
+MAX_DERIVE_DEPTH = 6
+
+
+@dataclass(frozen=True)
+class _Setter:
+    """One indexed writeable entry."""
+
+    summary: MethodSummary
+    entry: WriteableEntry
+    target_param: int | None = None
+    """For param-rooted entries: which parameter is the written object."""
+
+
+class SetterDatabase:
+    """Indexes writeable ``D`` entries by (owner class, field path)."""
+
+    def __init__(self, analysis: AnalysisResult) -> None:
+        self.receiver_writes: dict[tuple, list[_Setter]] = {}
+        self.param_writes: dict[tuple, list[_Setter]] = {}
+        self.returns: dict[tuple, list[_Setter]] = {}
+        seen: set[tuple] = set()
+        for summary in analysis:
+            for entry in summary.writeables:
+                key = (summary.method_id(), entry.lhs, entry.rhs, entry.via)
+                if key in seen:
+                    continue
+                seen.add(key)
+                self._add(summary, entry)
+
+    def _add(self, summary: MethodSummary, entry: WriteableEntry) -> None:
+        lhs = entry.lhs
+        if entry.via == "return":
+            if lhs.root == RETURN and lhs.fields and summary.return_class:
+                index_key = (summary.return_class, lhs.fields)
+                self.returns.setdefault(index_key, []).append(_Setter(summary, entry))
+            return
+        if lhs.root == RECEIVER and lhs.fields:
+            index_key = (summary.class_name, lhs.fields)
+            self.receiver_writes.setdefault(index_key, []).append(
+                _Setter(summary, entry)
+            )
+        elif lhs.root > 0 and lhs.fields:
+            target_class = (
+                summary.arg_classes[lhs.root - 1]
+                if lhs.root - 1 < len(summary.arg_classes)
+                else None
+            )
+            if target_class is not None:
+                index_key = (target_class, lhs.fields)
+                self.param_writes.setdefault(index_key, []).append(
+                    _Setter(summary, entry, target_param=lhs.root)
+                )
+
+
+class ContextDeriver:
+    """Derives :class:`TestPlan` objects for racy pairs."""
+
+    def __init__(
+        self,
+        analysis: AnalysisResult,
+        table: ClassTable,
+        rng: random.Random | None = None,
+        allow_prefix_fallback: bool = True,
+        receiver_sharing_only: bool = False,
+    ) -> None:
+        """
+        Args:
+            analysis: seed-trace summaries (the setter database source).
+            table: the resolved program.
+            rng: when given, randomizes the choice among equally
+                applicable setters (the paper picks randomly, §4).
+            allow_prefix_fallback: ablation switch — when False, only
+                exact-owner sharing is attempted (§4's prefix fallback
+                disabled); underivable pairs get bare no-sharing plans.
+            receiver_sharing_only: ablation switch — strengthen the
+                sharing constraint to "the receivers are the same
+                object" (the strengthening §3.3 argues against: it
+                serializes synchronized methods on the receiver monitor
+                and masks races).
+        """
+        self._db = SetterDatabase(analysis)
+        self._table = table
+        self._rng = rng
+        self._allow_prefix_fallback = allow_prefix_fallback
+        self._receiver_sharing_only = receiver_sharing_only
+
+    # ------------------------------------------------------------------
+    # Entry point.
+
+    def derive(self, pair: RacyPair) -> TestPlan:
+        """Derive the best achievable plan for a racy pair.
+
+        Never returns None: when no sharing can be established the plan
+        degenerates to two independent invocations (such tests exist in
+        the paper's evaluation and expose no race).
+        """
+        left_info = self._owner_chain(pair.first)
+        right_info = self._owner_chain(pair.second)
+
+        if left_info is not None and right_info is not None:
+            (fields1, classes1) = left_info
+            (fields2, classes2) = right_info
+            max_strip = self._common_suffix(fields1, classes1, fields2, classes2)
+            if self._receiver_sharing_only:
+                # Ablation: share the roots themselves, nothing deeper.
+                strips = (
+                    [max_strip]
+                    if max_strip == len(fields1) == len(fields2)
+                    else []
+                )
+            elif not self._allow_prefix_fallback:
+                strips = [0]
+            else:
+                strips = list(range(0, max_strip + 1))
+            for strip in strips:
+                share_class = classes1[len(fields1) - strip]
+                shared = ObjectSlot(share_class, note="shared")
+                left = self._solve_side(pair.first, fields1[: len(fields1) - strip],
+                                        classes1, shared, strip == 0)
+                if left is None:
+                    continue
+                right = self._solve_side(pair.second, fields2[: len(fields2) - strip],
+                                         classes2, shared, strip == 0)
+                if right is None:
+                    continue
+                receivers_shared = (
+                    left.racy_call.receiver is shared
+                    and right.racy_call.receiver is shared
+                )
+                return TestPlan(
+                    pair=pair,
+                    left=left,
+                    right=right,
+                    shared_slot=shared,
+                    receivers_shared=receivers_shared,
+                )
+        return self._fallback_plan(pair)
+
+    # ------------------------------------------------------------------
+    # Per-side derivation.
+
+    def _owner_chain(
+        self, side: PairSide
+    ) -> tuple[tuple[str, ...], tuple[str, ...]] | None:
+        """(owner chain fields, classes along the chain) for a side."""
+        access = side.access
+        if access.access_path is None or access.owner_classes is None:
+            return None
+        return (access.access_path.owner().fields, access.owner_classes)
+
+    @staticmethod
+    def _common_suffix(fields1, classes1, fields2, classes2) -> int:
+        """How many trailing fields can be stripped while both chains
+        stay structurally identical (needed for ancestor sharing)."""
+        strip = 0
+        while (
+            strip < len(fields1)
+            and strip < len(fields2)
+            and fields1[len(fields1) - 1 - strip] == fields2[len(fields2) - 1 - strip]
+            and classes1[len(fields1) - 1 - strip] == classes2[len(fields2) - 1 - strip]
+        ):
+            strip += 1
+        return strip
+
+    def _solve_side(
+        self,
+        side: PairSide,
+        fields_to_set: tuple[str, ...],
+        classes: tuple[str, ...],
+        shared: ObjectSlot,
+        full_context: bool,
+    ) -> SidePlan | None:
+        summary = side.summary
+        root = side.access.access_path.root
+        chain_classes = classes[: len(fields_to_set) + 1]
+        solved = self._solve_path(chain_classes, fields_to_set, shared, 0)
+        if solved is None:
+            return None
+        root_slot, setter_calls = solved
+
+        racy_args: list = [SeedArg(i) for i in range(len(summary.arg_refs))]
+        if root == RECEIVER:
+            receiver = root_slot
+        else:
+            receiver = ObjectSlot(summary.class_name, note="racy-recv")
+            racy_args[root - 1] = SlotArg(root_slot)
+        racy_call = PlannedCall(summary=summary, receiver=receiver, args=racy_args)
+        return SidePlan(
+            side=side,
+            setter_calls=setter_calls,
+            racy_call=racy_call,
+            shared_depth=len(fields_to_set),
+            full_context=full_context,
+        )
+
+    def _fallback_plan(self, pair: RacyPair) -> TestPlan:
+        def bare_side(side: PairSide) -> SidePlan:
+            summary = side.summary
+            receiver = ObjectSlot(summary.class_name, note="racy-recv")
+            call = PlannedCall(
+                summary=summary,
+                receiver=receiver,
+                args=[SeedArg(i) for i in range(len(summary.arg_refs))],
+            )
+            return SidePlan(
+                side=side,
+                setter_calls=[],
+                racy_call=call,
+                shared_depth=-1,
+                full_context=False,
+            )
+
+        return TestPlan(
+            pair=pair,
+            left=bare_side(pair.first),
+            right=bare_side(pair.second),
+            shared_slot=None,
+            receivers_shared=False,
+        )
+
+    # ------------------------------------------------------------------
+    # The Q query (Fig. 10).
+
+    def _solve_path(
+        self,
+        chain_classes: tuple[str, ...],
+        fields: tuple[str, ...],
+        payload: ObjectSlot,
+        depth: int,
+    ) -> tuple[ObjectSlot, list[PlannedCall]] | None:
+        """Produce a slot X of class ``chain_classes[0]`` plus calls such
+        that afterwards ``X.fields`` is the object in ``payload``."""
+        if depth > MAX_DERIVE_DEPTH:
+            return None
+        owner_class = chain_classes[0]
+        if not fields:
+            if self._classes_agree(payload.class_name, owner_class):
+                return payload, []
+            return None
+
+        for setter in self._candidates(owner_class, fields):
+            solved = self._apply_setter(setter, owner_class, payload, depth)
+            if solved is not None:
+                return solved
+
+        # concat: build the tail object first, then set the head field.
+        if len(fields) >= 2:
+            tail = self._solve_path(chain_classes[1:], fields[1:], payload, depth + 1)
+            if tail is not None:
+                mid_slot, tail_calls = tail
+                head = self._solve_path(chain_classes[:2], fields[:1], mid_slot, depth + 1)
+                if head is not None:
+                    head_slot, head_calls = head
+                    return head_slot, tail_calls + head_calls
+        return None
+
+    def _candidates(self, owner_class: str, fields: tuple[str, ...]) -> list[_Setter]:
+        found: list[_Setter] = []
+        found.extend(self._db.receiver_writes.get((owner_class, fields), ()))
+        found.extend(self._db.returns.get((owner_class, fields), ()))
+        found.extend(self._db.param_writes.get((owner_class, fields), ()))
+        if self._rng is not None:
+            self._rng.shuffle(found)
+        return found
+
+    def _apply_setter(
+        self, setter: _Setter, owner_class: str, payload: ObjectSlot, depth: int
+    ) -> tuple[ObjectSlot, list[PlannedCall]] | None:
+        summary = setter.summary
+        rhs = setter.entry.rhs
+
+        # Resolve where the payload enters the setter invocation.
+        if rhs.root > 0:
+            param_index = rhs.root
+            if rhs.fields:
+                rhs_chain = self._declared_chain(
+                    summary.arg_classes[param_index - 1], rhs.fields, payload.class_name
+                )
+                if rhs_chain is None:
+                    return None
+                carrier = self._solve_path(rhs_chain, rhs.fields, payload, depth + 1)
+                if carrier is None:
+                    return None
+                carrier_slot, pre_calls = carrier
+            else:
+                carrier_slot, pre_calls = payload, []
+        elif rhs.root == RECEIVER and rhs.fields:
+            # Value copied out of the setter receiver's own state: the
+            # receiver must already hold the payload at rhs.fields.
+            carrier_slot, pre_calls = None, []
+        else:
+            return None
+
+        if setter.entry.via == "return":
+            return self._apply_factory(setter, payload, carrier_slot, pre_calls, depth)
+
+        if setter.target_param is not None:
+            return self._apply_param_setter(
+                setter, owner_class, carrier_slot, pre_calls
+            )
+
+        # Receiver-rooted write entry.
+        if rhs.root == RECEIVER:
+            rhs_chain = self._declared_chain(
+                summary.class_name, rhs.fields, payload.class_name
+            )
+            if rhs_chain is None:
+                return None
+            sub = self._solve_path(rhs_chain, rhs.fields, payload, depth + 1)
+            if sub is None:
+                return None
+            target_slot, pre_calls = sub
+        elif summary.is_constructor:
+            target_slot = ObjectSlot(summary.class_name, origin="produced")
+        else:
+            target_slot = ObjectSlot(summary.class_name)
+
+        args: list = [SeedArg(i) for i in range(len(summary.arg_refs))]
+        if rhs.root > 0:
+            args[rhs.root - 1] = SlotArg(carrier_slot)
+        call = PlannedCall(
+            summary=summary,
+            receiver=None if summary.is_constructor else target_slot,
+            args=args,
+            produces=target_slot if summary.is_constructor else None,
+        )
+        return target_slot, pre_calls + [call]
+
+    def _apply_factory(
+        self,
+        setter: _Setter,
+        payload: ObjectSlot,
+        carrier_slot: ObjectSlot | None,
+        pre_calls: list[PlannedCall],
+        depth: int,
+    ) -> tuple[ObjectSlot, list[PlannedCall]] | None:
+        summary = setter.summary
+        rhs = setter.entry.rhs
+        produced = ObjectSlot(summary.return_class or "?", origin="produced")
+        if rhs.root == RECEIVER:
+            rhs_chain = self._declared_chain(
+                summary.class_name, rhs.fields, payload.class_name
+            )
+            if rhs_chain is None:
+                return None
+            sub = self._solve_path(rhs_chain, rhs.fields, payload, depth + 1)
+            if sub is None:
+                return None
+            factory_recv, pre_calls = sub
+        else:
+            factory_recv = ObjectSlot(summary.class_name, note="factory")
+        args: list = [SeedArg(i) for i in range(len(summary.arg_refs))]
+        if rhs.root > 0 and carrier_slot is not None:
+            args[rhs.root - 1] = SlotArg(carrier_slot)
+        if summary.is_constructor:
+            call = PlannedCall(
+                summary=summary, receiver=None, args=args, produces=produced
+            )
+        else:
+            call = PlannedCall(
+                summary=summary, receiver=factory_recv, args=args, produces=produced
+            )
+        return produced, pre_calls + [call]
+
+    def _apply_param_setter(
+        self,
+        setter: _Setter,
+        owner_class: str,
+        carrier_slot: ObjectSlot | None,
+        pre_calls: list[PlannedCall],
+    ) -> tuple[ObjectSlot, list[PlannedCall]] | None:
+        if carrier_slot is None:
+            return None
+        summary = setter.summary
+        rhs = setter.entry.rhs
+        target_slot = ObjectSlot(owner_class)
+        receiver = ObjectSlot(summary.class_name, note="setter-recv")
+        args: list = [SeedArg(i) for i in range(len(summary.arg_refs))]
+        args[setter.target_param - 1] = SlotArg(target_slot)
+        if rhs.root > 0:
+            args[rhs.root - 1] = SlotArg(carrier_slot)
+        call = PlannedCall(summary=summary, receiver=receiver, args=args)
+        return target_slot, pre_calls + [call]
+
+    # ------------------------------------------------------------------
+    # Class bookkeeping.
+
+    def _classes_agree(self, actual: str, expected: str) -> bool:
+        if expected in ("?", OBJECT.name) or actual in ("?", OBJECT.name):
+            return True
+        if actual == expected:
+            return True
+        return expected in self._table.implements(actual)
+
+    def _declared_chain(
+        self, start_class: str | None, fields: tuple[str, ...], final_class: str
+    ) -> tuple[str, ...] | None:
+        """Classes along ``start_class.fields`` from declared field types,
+        forcing the final position to the payload's concrete class."""
+        if start_class is None:
+            return None
+        chain = [start_class]
+        current = start_class
+        for position, field_name in enumerate(fields):
+            declared = self._table.field_type(current, field_name)
+            if declared is None or not declared.is_reference():
+                return None
+            if position == len(fields) - 1:
+                chain.append(final_class)
+            elif self._table.is_interface(declared.name):
+                return None
+            else:
+                chain.append(declared.name)
+                current = declared.name
+        return tuple(chain)
+
+
+def derive_plans(
+    pairs: list[RacyPair],
+    analysis: AnalysisResult,
+    table: ClassTable,
+    rng: random.Random | None = None,
+    allow_prefix_fallback: bool = True,
+    receiver_sharing_only: bool = False,
+) -> list[TestPlan]:
+    """Derive a plan for every racy pair."""
+    deriver = ContextDeriver(
+        analysis,
+        table,
+        rng=rng,
+        allow_prefix_fallback=allow_prefix_fallback,
+        receiver_sharing_only=receiver_sharing_only,
+    )
+    return [deriver.derive(pair) for pair in pairs]

@@ -1,0 +1,179 @@
+"""Plan representation for synthesized racy tests.
+
+A :class:`TestPlan` is the symbolic output of the Context Deriver: it
+says *which* methods to invoke, on *which* objects, with *which*
+arguments, and which objects must be the *same instance* across the two
+sides — without yet naming concrete heap objects.  The Test Synthesizer
+(Algorithm 1) later materializes every :class:`ObjectSlot` by collecting
+references from seed-test executions and then runs the plan.
+
+The slot/argument vocabulary mirrors the paper's Table 2:
+
+* ``ObjectSlot`` — a placeholder for one object; slots that must refer
+  to the same instance are literally the same slot object (that is
+  ``shareObjects``' re-arrangement, expressed structurally).
+* ``SeedArg(i)`` — "use whatever the seed test passed at position i of
+  this invocation" (the objects ``collectObjects`` captures).
+* ``SlotArg(slot)`` — "pass the object bound to this slot".
+* A ``PlannedCall`` with ``produces`` set is a constructor or factory
+  call whose result is bound to a slot.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.analysis.model import MethodSummary
+from repro.pairs.generator import PairSide, RacyPair
+
+_slot_counter = itertools.count(1)
+
+
+@dataclass(eq=False)
+class ObjectSlot:
+    """A placeholder for one heap object in a plan.
+
+    Identity matters: two occurrences of the same ``ObjectSlot`` must be
+    materialized by the same heap object (the sharing constraint).
+    """
+
+    class_name: str
+    origin: str = "collected"  # "collected" | "produced"
+    note: str = ""
+    slot_id: int = field(default_factory=lambda: next(_slot_counter))
+
+    def __str__(self) -> str:
+        return f"<{self.class_name} s{self.slot_id}{' *' + self.note if self.note else ''}>"
+
+
+@dataclass(frozen=True)
+class SeedArg:
+    """Use the object/value the seed test passed at this position."""
+
+    index: int  # 0-based argument position
+
+
+@dataclass(frozen=True)
+class SlotArg:
+    """Pass the object bound to ``slot``."""
+
+    slot: ObjectSlot
+
+
+ArgSpec = SeedArg | SlotArg
+
+
+@dataclass
+class PlannedCall:
+    """One invocation in a synthesized test.
+
+    Attributes:
+        summary: the seed-trace occurrence of this method; the
+            synthesizer re-runs that seed test and suspends before this
+            occurrence to collect receiver/arguments (Algorithm 1,
+            ``collectObjects``).
+        receiver: slot the call is made on; None for constructors.
+        args: one ArgSpec per parameter.
+        produces: slot bound to the constructed/returned object.
+    """
+
+    summary: MethodSummary
+    receiver: ObjectSlot | None
+    args: list[ArgSpec]
+    produces: ObjectSlot | None = None
+
+    @property
+    def class_name(self) -> str:
+        return self.summary.class_name
+
+    @property
+    def method(self) -> str:
+        return self.summary.method
+
+    @property
+    def is_constructor(self) -> bool:
+        return self.summary.is_constructor
+
+    def slots(self) -> list[ObjectSlot]:
+        found = []
+        if self.receiver is not None:
+            found.append(self.receiver)
+        for arg in self.args:
+            if isinstance(arg, SlotArg):
+                found.append(arg.slot)
+        if self.produces is not None:
+            found.append(self.produces)
+        return found
+
+    def describe(self) -> str:
+        args = ", ".join(
+            str(a.slot) if isinstance(a, SlotArg) else f"seed#{a.index}"
+            for a in self.args
+        )
+        if self.is_constructor:
+            return f"{self.produces} = new {self.class_name}({args})"
+        call = f"{self.receiver}.{self.method}({args})"
+        if self.produces is not None:
+            return f"{self.produces} = {call}"
+        return call
+
+
+@dataclass
+class SidePlan:
+    """Context and racy invocation for one thread of the test."""
+
+    side: PairSide
+    setter_calls: list[PlannedCall]
+    racy_call: PlannedCall
+    shared_depth: int
+    """How many fields of the owner chain are shared (full = owner)."""
+    full_context: bool
+    """True when sharing was achieved at the exact owner of the field."""
+
+    def all_calls(self) -> list[PlannedCall]:
+        return [*self.setter_calls, self.racy_call]
+
+    def describe(self) -> str:
+        lines = [f"  setter: {c.describe()}" for c in self.setter_calls]
+        lines.append(f"  racy:   {self.racy_call.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class TestPlan:
+    """The full symbolic plan for one synthesized multithreaded test."""
+
+    pair: RacyPair
+    left: SidePlan
+    right: SidePlan
+    shared_slot: ObjectSlot | None
+    receivers_shared: bool
+
+    def slots(self) -> list[ObjectSlot]:
+        """All distinct slots, in first-use order."""
+        seen: dict[int, ObjectSlot] = {}
+        for call in [*self.left.all_calls(), *self.right.all_calls()]:
+            for slot in call.slots():
+                seen.setdefault(slot.slot_id, slot)
+        return list(seen.values())
+
+    @property
+    def full_context(self) -> bool:
+        return self.left.full_context and self.right.full_context
+
+    def describe(self) -> str:
+        header = f"TestPlan for {self.pair.describe()}"
+        shared = f"shared object: {self.shared_slot}" if self.shared_slot else (
+            "shared receiver" if self.receivers_shared else "no sharing derived"
+        )
+        return "\n".join(
+            [
+                header,
+                shared,
+                "thread 1:",
+                self.left.describe(),
+                "thread 2:",
+                self.right.describe(),
+            ]
+        )

@@ -1,0 +1,36 @@
+"""Deadlock-test synthesis: the authors' cited sibling technique.
+
+Samak & Ramanathan, *Multithreaded test synthesis for deadlock
+detection* (OOPSLA 2014) — reference [22] of the racy-test paper —
+applies the same trace-analysis + context-derivation recipe to
+deadlocks.  This package reuses the race pipeline's machinery end to
+end: lock-order analysis over seed traces, opposite-order pair
+generation, crossed-context synthesis, and a GoodLock-equipped fuzzer
+whose confirmation signal is the VM's own deadlock detection.
+"""
+
+from repro.deadlock.analysis import LockEdge, LockOrderAnalyzer, LockOrderSummary
+from repro.deadlock.fuzzer import DeadlockFuzzer, DeadlockFuzzReport
+from repro.deadlock.goodlock import GoodLockDetector, PotentialDeadlock
+from repro.deadlock.pipeline import DeadlockPipeline
+from repro.deadlock.synth import (
+    DeadlockContextDeriver,
+    DeadlockPair,
+    DeadlockSide,
+    generate_deadlock_pairs,
+)
+
+__all__ = [
+    "DeadlockContextDeriver",
+    "DeadlockFuzzReport",
+    "DeadlockFuzzer",
+    "DeadlockPair",
+    "DeadlockPipeline",
+    "DeadlockSide",
+    "GoodLockDetector",
+    "LockEdge",
+    "LockOrderAnalyzer",
+    "LockOrderSummary",
+    "PotentialDeadlock",
+    "generate_deadlock_pairs",
+]

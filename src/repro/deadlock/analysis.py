@@ -1,0 +1,210 @@
+"""Lock-order analysis of sequential traces (deadlock-test synthesis).
+
+The paper's authors' companion work — *Multithreaded test synthesis for
+deadlock detection* (Samak & Ramanathan, OOPSLA 2014), cited as [22] —
+applies the same recipe as Narada to deadlocks: analyze sequential
+traces, find *nested lock acquisitions*, and synthesize tests whose two
+threads acquire the same two objects' monitors in opposite orders.
+
+This module extracts the per-invocation lock-order facts: for every
+monitor acquisition performed while other monitors are held, a
+:class:`LockEdge` recording the held and acquired locks as
+client-relative access paths (the same ``I``-rooted paths the race
+pipeline uses), plus their runtime classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.analyzer import _Segment
+from repro.analysis.model import MethodSummary
+from repro.analysis.paths import AccessPath, RECEIVER
+from repro.runtime.values import ObjRef
+from repro.trace.events import (
+    AllocEvent,
+    FaultEvent,
+    InvokeEvent,
+    LockEvent,
+    ReadEvent,
+    ReturnEvent,
+    Trace,
+    UnlockEvent,
+    WriteEvent,
+)
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """One nested acquisition: ``acquired`` taken while ``held``.
+
+    ``*_chain`` carries the runtime classes along each path (root object
+    first, lock object last) for the context deriver.
+    """
+
+    held_path: AccessPath | None
+    held_class: str
+    acquired_path: AccessPath | None
+    acquired_class: str
+    held_site: int
+    acquired_site: int
+    held_chain: tuple[str, ...] | None = None
+    acquired_chain: tuple[str, ...] | None = None
+
+    def class_pair(self) -> tuple[str, str]:
+        return (self.held_class, self.acquired_class)
+
+    def describe(self) -> str:
+        held = str(self.held_path) if self.held_path else "?"
+        acquired = str(self.acquired_path) if self.acquired_path else "?"
+        return (
+            f"hold {self.held_class}({held}) -> "
+            f"acquire {self.acquired_class}({acquired})"
+        )
+
+
+@dataclass
+class LockOrderSummary:
+    """Lock-order facts for one client invocation."""
+
+    class_name: str
+    method: str
+    test_name: str
+    ordinal: int
+    is_constructor: bool
+    arg_count: int = 0
+    edges: list[LockEdge] = field(default_factory=list)
+
+    def method_id(self) -> tuple[str, str]:
+        return (self.class_name, self.method)
+
+
+class LockOrderAnalyzer:
+    """Extracts :class:`LockOrderSummary` objects from seed traces.
+
+    Reuses the race pipeline's segment machinery (shadow field graph +
+    ``src`` path resolution) so lock objects are named by the same
+    client-relative paths the context deriver can set.
+    """
+
+    def __init__(self) -> None:
+        self.summaries: list[LockOrderSummary] = []
+
+    def analyze(self, trace: Trace) -> list[LockOrderSummary]:
+        segment: _Segment | None = None
+        summary: LockOrderSummary | None = None
+        classes: dict[int, str] = {}
+        held: list[tuple[int, int]] = []  # (obj ref, acquire site)
+        ordinal = 0
+
+        def class_of(ref: int) -> str:
+            return classes.get(ref, "?")
+
+        for event in trace:
+            if isinstance(event, InvokeEvent):
+                classes[event.receiver] = event.class_name
+                for arg in event.args:
+                    if isinstance(arg, ObjRef):
+                        classes[arg.ref] = arg.class_name
+                if event.from_client and segment is None:
+                    summary = LockOrderSummary(
+                        class_name=event.class_name,
+                        method=event.method,
+                        test_name=trace.test_name,
+                        ordinal=ordinal,
+                        is_constructor=event.is_constructor,
+                        arg_count=len(event.args),
+                    )
+                    ordinal += 1
+                    segment = self._open_segment(event)
+                    held = []
+                continue
+            if segment is None or summary is None:
+                continue
+            if isinstance(event, AllocEvent):
+                classes[event.ref] = event.class_name
+                segment.controllable.setdefault(event.ref, not event.in_library)
+            elif isinstance(event, (ReadEvent, WriteEvent)):
+                classes[event.obj] = event.class_name
+                if isinstance(event.value, ObjRef):
+                    classes[event.value.ref] = event.value.class_name
+                    segment.controllable.setdefault(
+                        event.value.ref, segment.flag(event.obj)
+                    )
+                segment.set_field(event.obj, event.field_name, event.value)
+            elif isinstance(event, LockEvent):
+                if event.reentrancy == 1:  # fresh acquisition only
+                    acquired_found = segment.src_with_classes(event.obj)
+                    for held_ref, held_site in held:
+                        if held_ref == event.obj:
+                            continue
+                        held_found = segment.src_with_classes(held_ref)
+                        summary.edges.append(
+                            LockEdge(
+                                held_path=held_found[0] if held_found else None,
+                                held_class=class_of(held_ref),
+                                acquired_path=(
+                                    acquired_found[0] if acquired_found else None
+                                ),
+                                acquired_class=class_of(event.obj),
+                                held_site=held_site,
+                                acquired_site=event.node_id,
+                                held_chain=held_found[1] if held_found else None,
+                                acquired_chain=(
+                                    acquired_found[1] if acquired_found else None
+                                ),
+                            )
+                        )
+                    held.append((event.obj, event.node_id))
+            elif isinstance(event, UnlockEvent):
+                if event.reentrancy == 0:
+                    held = [(ref, site) for ref, site in held if ref != event.obj]
+            elif isinstance(event, ReturnEvent):
+                if event.to_client and event.returning_call_index == segment.call_index:
+                    self.summaries.append(summary)
+                    segment = None
+                    summary = None
+            elif isinstance(event, FaultEvent):
+                self.summaries.append(summary)
+                segment = None
+                summary = None
+        if summary is not None:
+            self.summaries.append(summary)
+        return self.summaries
+
+    def analyze_all(self, traces: list[Trace]) -> list[LockOrderSummary]:
+        for trace in traces:
+            self.analyze(trace)
+        return self.summaries
+
+    @staticmethod
+    def _open_segment(event: InvokeEvent) -> _Segment:
+        from repro.analysis.model import MethodSummary as _MS
+
+        # A throwaway MethodSummary satisfies _Segment's interface; only
+        # the shadow heap and src machinery are used here.
+        dummy = _MS(
+            test_name="",
+            ordinal=0,
+            class_name=event.class_name,
+            method=event.method,
+            is_constructor=event.is_constructor,
+            receiver_ref=event.receiver,
+            arg_refs=tuple(
+                a.ref if isinstance(a, ObjRef) else None for a in event.args
+            ),
+        )
+        segment = _Segment(summary=dummy, call_index=event.new_call_index)
+        segment.roots[RECEIVER] = event.receiver
+        segment.root_classes[RECEIVER] = event.class_name
+        segment.controllable[event.receiver] = True
+        for index, arg in enumerate(event.args, start=1):
+            if isinstance(arg, ObjRef):
+                segment.roots[index] = arg.ref
+                segment.root_classes[index] = arg.class_name
+                segment.controllable[arg.ref] = True
+        return segment
+
+
+# Re-exported for typing convenience.
+__all__ = ["LockEdge", "LockOrderAnalyzer", "LockOrderSummary", "MethodSummary"]

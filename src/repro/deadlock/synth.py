@@ -1,0 +1,232 @@
+"""Deadlock pair generation and test synthesis (OOPSLA 2014 sibling).
+
+A :class:`DeadlockPair` is two method invocations whose nested lock
+acquisitions have *opposite class orders*: ``m1`` locks an ``A`` then a
+``B``, ``m2`` locks a ``B`` then an ``A``.  The synthesized test drives
+the object graphs so that both sides' lock objects are the *same two
+instances*, crossed:
+
+    thread 1: m1 on S_A, whose nested lock resolves to S_B
+    thread 2: m2 on S_B, whose nested lock resolves to S_A
+
+Scope (documented restriction, covering the classic patterns): the held
+lock must be the invocation's receiver (synchronized methods /
+``synchronized(this)``), and the acquired lock must be reachable as a
+receiver field path or be a parameter.  Context setting reuses the race
+pipeline's :class:`~repro.context.deriver.ContextDeriver`; the
+cross-side circular sharing (each receiver is the *other* side's
+payload) is resolved by a slot-substitution pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.model import AnalysisResult
+from repro.analysis.paths import RECEIVER
+from repro.context.deriver import ContextDeriver
+from repro.context.plan import (
+    ObjectSlot,
+    PlannedCall,
+    SeedArg,
+    SidePlan,
+    SlotArg,
+    TestPlan,
+)
+from repro.deadlock.analysis import LockEdge, LockOrderSummary
+from repro.lang.classtable import ClassTable
+
+
+@dataclass(frozen=True)
+class DeadlockSide:
+    """One side of a deadlock pair (duck-compatible with PairSide where
+    the synthesizer needs it)."""
+
+    summary: LockOrderSummary
+    edge: LockEdge
+
+    def method_id(self) -> tuple[str, str]:
+        return self.summary.method_id()
+
+    def describe(self) -> str:
+        cls, method = self.method_id()
+        return f"{cls}.{method}: {self.edge.describe()}"
+
+
+@dataclass
+class DeadlockPair:
+    """Two invocations with opposite nested lock class-orders."""
+
+    first: DeadlockSide
+    second: DeadlockSide
+    site_pairs: set[tuple[int, int]] = field(default_factory=set)
+    same_site: bool = False
+
+    @property
+    def field(self) -> tuple[str, str]:  # site naming for reports
+        return (self.first.edge.held_class, self.first.edge.acquired_class)
+
+    def static_id(self) -> tuple:
+        methods = sorted([self.first.method_id(), self.second.method_id()])
+        return (tuple(methods), self.field)
+
+    def describe(self) -> str:
+        return (
+            f"[deadlock] {self.first.describe()}  <->  {self.second.describe()}"
+        )
+
+
+def _usable(edge: LockEdge) -> bool:
+    """The documented restriction: held == receiver, acquired settable."""
+    if edge.held_path is None or edge.acquired_path is None:
+        return False
+    if edge.held_path.root != RECEIVER or edge.held_path.fields:
+        return False
+    if edge.acquired_path.root == RECEIVER and edge.acquired_path.fields:
+        return edge.acquired_chain is not None
+    # Bare parameter lock: synchronized(param).
+    return edge.acquired_path.root > 0 and not edge.acquired_path.fields
+
+
+def generate_deadlock_pairs(
+    summaries: list[LockOrderSummary],
+    target_class: str | None = None,
+) -> list[DeadlockPair]:
+    """Enumerate deduplicated opposite-order lock pairs."""
+    sides: list[DeadlockSide] = []
+    seen_sides: set[tuple] = set()
+    for summary in summaries:
+        if summary.is_constructor:
+            continue
+        if target_class is not None and summary.class_name != target_class:
+            continue
+        for edge in summary.edges:
+            if not _usable(edge):
+                continue
+            key = (summary.method_id(), edge.held_site, edge.acquired_site)
+            if key in seen_sides:
+                continue
+            seen_sides.add(key)
+            sides.append(DeadlockSide(summary, edge))
+
+    pairs: dict[tuple, DeadlockPair] = {}
+    for i, first in enumerate(sides):
+        for second in sides[i:]:
+            if first.edge.class_pair() != tuple(
+                reversed(second.edge.class_pair())
+            ):
+                continue
+            pair = DeadlockPair(
+                first=first,
+                second=second,
+                same_site=(
+                    first.method_id() == second.method_id()
+                    and first.edge.acquired_site == second.edge.acquired_site
+                ),
+            )
+            existing = pairs.setdefault(pair.static_id(), pair)
+            existing.site_pairs.add(
+                tuple(sorted((first.edge.acquired_site, second.edge.acquired_site)))
+            )
+    return sorted(pairs.values(), key=lambda p: p.static_id())
+
+
+class DeadlockContextDeriver:
+    """Derives crossed-sharing plans for deadlock pairs."""
+
+    def __init__(self, analysis: AnalysisResult, table: ClassTable) -> None:
+        self._deriver = ContextDeriver(analysis, table)
+
+    def derive(self, pair: DeadlockPair) -> TestPlan | None:
+        """Build a crossed plan, or None when context is underivable."""
+        # Placeholder for side1's acquired lock (= side2's receiver).
+        placeholder = ObjectSlot(
+            pair.first.edge.acquired_class, note="crossed"
+        )
+        left = self._solve_side(pair.first, placeholder)
+        if left is None:
+            return None
+        right = self._solve_side(pair.second, left.racy_call.receiver)
+        if right is None:
+            return None
+        # Close the cycle: everywhere side1 used the placeholder, it
+        # must actually be side2's receiver.
+        _substitute_slot(left, placeholder, right.racy_call.receiver)
+        return TestPlan(
+            pair=pair,  # duck-typed: describe()/static_id()/field/site_pairs
+            left=left,
+            right=right,
+            shared_slot=left.racy_call.receiver,
+            receivers_shared=False,
+        )
+
+    def _solve_side(self, side: DeadlockSide, payload: ObjectSlot) -> SidePlan | None:
+        summary = side.summary
+        edge = side.edge
+        acquired = edge.acquired_path
+        assert acquired is not None
+
+        arg_count = _param_count(summary)
+        racy_args: list = [SeedArg(i) for i in range(arg_count)]
+
+        if acquired.root == RECEIVER:
+            chain = edge.acquired_chain
+            assert chain is not None
+            solved = self._deriver._solve_path(  # noqa: SLF001
+                chain, acquired.fields, payload, 0
+            )
+            if solved is None:
+                return None
+            receiver, setter_calls = solved
+        else:
+            # synchronized(param): pass the payload directly.
+            receiver = ObjectSlot(summary.class_name, note="dl-recv")
+            racy_args[acquired.root - 1] = SlotArg(payload)
+            setter_calls = []
+
+        racy_call = PlannedCall(
+            summary=_summary_shim(summary, arg_count),
+            receiver=receiver,
+            args=racy_args,
+        )
+        return SidePlan(
+            side=side,  # duck-typed where SidePlan consumers need it
+            setter_calls=setter_calls,
+            racy_call=racy_call,
+            shared_depth=acquired.depth,
+            full_context=True,
+        )
+
+
+def _param_count(summary: LockOrderSummary) -> int:
+    return summary.arg_count
+
+
+def _summary_shim(summary: LockOrderSummary, arg_count: int):
+    """Adapter giving PlannedCall the fields the Materializer reads."""
+
+    class _Shim:
+        test_name = summary.test_name
+        ordinal = summary.ordinal
+        class_name = summary.class_name
+        method = summary.method
+        is_constructor = summary.is_constructor
+        arg_refs = tuple([None] * arg_count)
+
+        def method_id(self):
+            return (summary.class_name, summary.method)
+
+    return _Shim()
+
+
+def _substitute_slot(side: SidePlan, old: ObjectSlot, new: ObjectSlot) -> None:
+    """Replace every reference to ``old`` with ``new`` in a side plan."""
+    for call in side.all_calls():
+        if call.receiver is old:
+            call.receiver = new
+        if call.produces is old:
+            call.produces = new
+        call.args = [
+            SlotArg(new) if isinstance(a, SlotArg) and a.slot is old else a
+            for a in call.args
+        ]

@@ -1,0 +1,25 @@
+"""Dynamic race detectors: Eraser lockset, Djit+, FastTrack."""
+
+from repro.detect.clock import EPOCH_ZERO, Epoch, VectorClock
+from repro.detect.djit import DjitDetector
+from repro.detect.eraser import EraserDetector
+from repro.detect.fasttrack import FastTrackDetector
+from repro.detect.report import (
+    AccessInfo,
+    RaceRecord,
+    RaceSet,
+    collect_constant_write_sites,
+)
+
+__all__ = [
+    "AccessInfo",
+    "DjitDetector",
+    "EPOCH_ZERO",
+    "Epoch",
+    "EraserDetector",
+    "FastTrackDetector",
+    "RaceRecord",
+    "RaceSet",
+    "VectorClock",
+    "collect_constant_write_sites",
+]

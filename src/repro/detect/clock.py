@@ -1,0 +1,81 @@
+"""Vector clocks and epochs for happens-before race detection.
+
+Shared by the Djit+ and FastTrack detectors.  A :class:`VectorClock` is
+a sparse mapping thread-id -> logical time; an :class:`Epoch` is the
+FastTrack compression of "one thread's time" (c@t in the paper's
+notation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class VectorClock:
+    """A sparse vector clock over thread ids.
+
+    Missing entries are zero.  Instances are mutable; use :meth:`copy`
+    before storing snapshots (e.g. lock release clocks).
+    """
+
+    __slots__ = ("_times",)
+
+    def __init__(self, times: dict[int, int] | None = None) -> None:
+        self._times = dict(times) if times else {}
+
+    def time_of(self, tid: int) -> int:
+        return self._times.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        """Increment this clock's component for ``tid``."""
+        self._times[tid] = self._times.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place."""
+        for tid, time in other._times.items():
+            if time > self._times.get(tid, 0):
+                self._times[tid] = time
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._times)
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise <= (the happens-before test)."""
+        return all(
+            time <= other._times.get(tid, 0) for tid, time in self._times.items()
+        )
+
+    def items(self):
+        return self._times.items()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        keys = set(self._times) | set(other._times)
+        return all(self.time_of(k) == other.time_of(k) for k in keys)
+
+    def __hash__(self):  # pragma: no cover - clocks are not hashable keys
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"t{t}:{c}" for t, c in sorted(self._times.items()))
+        return f"VC({inner})"
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """FastTrack's c@t: one component of a vector clock."""
+
+    tid: int
+    time: int
+
+    def leq_vc(self, clock: VectorClock) -> bool:
+        """c@t ⪯ V  ⇔  c <= V[t]."""
+        return self.time <= clock.time_of(self.tid)
+
+    def __repr__(self) -> str:
+        return f"{self.time}@t{self.tid}"
+
+
+#: The bottom epoch (never racy, precedes everything).
+EPOCH_ZERO = Epoch(tid=-1, time=0)

@@ -1,0 +1,136 @@
+"""Djit+ (Pozniansky & Schuster, PPoPP 2003): full-vector-clock HB
+race detection.
+
+The unoptimized ancestor of FastTrack: every variable keeps a complete
+read vector clock and write vector clock.  Kept as an independent
+detector both for the ablation benchmark (FastTrack must report exactly
+the same races, faster bookkeeping) and as an oracle in the detector
+equivalence property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detect.clock import VectorClock
+from repro.detect.report import AccessInfo, RaceRecord, RaceSet
+from repro.trace.events import (
+    AccessEvent,
+    Event,
+    ForkEvent,
+    JoinEvent,
+    LockEvent,
+    ReadEvent,
+    UnlockEvent,
+    WriteEvent,
+)
+
+
+@dataclass
+class _VarState:
+    reads: VectorClock = field(default_factory=VectorClock)
+    writes: VectorClock = field(default_factory=VectorClock)
+    last_writes: dict[int, AccessInfo] = field(default_factory=dict)
+    last_reads: dict[int, AccessInfo] = field(default_factory=dict)
+
+
+class DjitDetector:
+    """Vector-clock happens-before race detector (Djit+)."""
+
+    name = "djit+"
+
+    def __init__(self) -> None:
+        self.races = RaceSet()
+        self._threads: dict[int, VectorClock] = {}
+        self._locks: dict[int, VectorClock] = {}
+        self._vars: dict[tuple[int, str, int | None], _VarState] = {}
+
+    def _clock(self, tid: int) -> VectorClock:
+        clock = self._threads.get(tid)
+        if clock is None:
+            clock = VectorClock({tid: 1})
+            self._threads[tid] = clock
+        return clock
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, ReadEvent):
+            self._on_read(event)
+        elif isinstance(event, WriteEvent):
+            self._on_write(event)
+        elif isinstance(event, LockEvent):
+            lock_clock = self._locks.get(event.obj)
+            if lock_clock is not None:
+                self._clock(event.thread_id).join(lock_clock)
+        elif isinstance(event, UnlockEvent):
+            clock = self._clock(event.thread_id)
+            self._locks[event.obj] = clock.copy()
+            clock.tick(event.thread_id)
+        elif isinstance(event, ForkEvent):
+            parent = self._clock(event.thread_id)
+            self._clock(event.child_thread).join(parent)
+            parent.tick(event.thread_id)
+        elif isinstance(event, JoinEvent):
+            self._clock(event.thread_id).join(self._clock(event.child_thread))
+            self._clock(event.child_thread).tick(event.child_thread)
+
+    # ------------------------------------------------------------------
+
+    def _on_read(self, event: ReadEvent) -> None:
+        tid = event.thread_id
+        clock = self._clock(tid)
+        var = self._vars.setdefault(event.address(), _VarState())
+        info = _info(event, "R")
+        # A read races with every write not ordered before us.
+        for writer_tid, write_time in var.writes.items():
+            if writer_tid != tid and write_time > clock.time_of(writer_tid):
+                previous = var.last_writes.get(writer_tid)
+                if previous is not None:
+                    self._report(event, previous, info)
+        var.reads._times[tid] = clock.time_of(tid)  # noqa: SLF001
+        var.last_reads[tid] = info
+
+    def _on_write(self, event: WriteEvent) -> None:
+        tid = event.thread_id
+        clock = self._clock(tid)
+        var = self._vars.setdefault(event.address(), _VarState())
+        info = _info(event, "W")
+        for writer_tid, write_time in var.writes.items():
+            if writer_tid != tid and write_time > clock.time_of(writer_tid):
+                previous = var.last_writes.get(writer_tid)
+                if previous is not None:
+                    self._report(event, previous, info)
+        for reader_tid, read_time in var.reads.items():
+            if reader_tid != tid and read_time > clock.time_of(reader_tid):
+                previous = var.last_reads.get(reader_tid)
+                if previous is not None:
+                    self._report(event, previous, info)
+        var.writes._times[tid] = clock.time_of(tid)  # noqa: SLF001
+        var.last_writes[tid] = info
+
+    def _report(
+        self, event: AccessEvent, previous: AccessInfo, current: AccessInfo
+    ) -> None:
+        self.races.add(
+            RaceRecord(
+                detector=self.name,
+                class_name=event.class_name,
+                field_name=event.field_name,
+                address=event.address(),
+                first=previous,
+                second=current,
+            )
+        )
+
+
+def _info(event: AccessEvent, kind: str) -> AccessInfo:
+    return AccessInfo(
+        thread_id=event.thread_id,
+        node_id=event.node_id,
+        label=event.label,
+        kind=kind,
+        value=event.value,
+        old_value=event.old_value if isinstance(event, WriteEvent) else None,
+    )
+
+
+__all__ = ["DjitDetector"]

@@ -1,0 +1,125 @@
+"""The Eraser lockset algorithm (Savage et al., TOCS 1997).
+
+Narada's pair criterion — "the intersection of the held lock objects for
+any two shared memory accesses is empty" — *is* Eraser's invariant, which
+the paper points out explicitly (§1).  We implement the full detector,
+including the state machine that suppresses initialization and
+read-shared false positives:
+
+    VIRGIN -> EXCLUSIVE(t) -> SHARED (reads only) -> SHARED_MODIFIED
+
+Lockset refinement ``C(v) := C(v) ∩ locks_held`` starts when the second
+thread touches the variable; an empty lockset in SHARED_MODIFIED reports
+a race.  Because our access events carry the held-lock snapshot, no lock
+bookkeeping is needed here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.detect.report import AccessInfo, RaceRecord, RaceSet
+from repro.trace.events import AccessEvent, Event, WriteEvent
+
+
+class _State(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class _VarState:
+    state: _State = _State.VIRGIN
+    owner: int = -1
+    lockset: frozenset[int] | None = None
+    #: Most recent access per thread, for reporting racy pairs.
+    last_by_thread: dict[int, AccessInfo] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.last_by_thread is None:
+            self.last_by_thread = {}
+
+
+class EraserDetector:
+    """Lockset-based dynamic race detector."""
+
+    name = "eraser"
+
+    def __init__(self) -> None:
+        self.races = RaceSet()
+        self._vars: dict[tuple[int, str, int | None], _VarState] = {}
+
+    def on_event(self, event: Event) -> None:
+        if not isinstance(event, AccessEvent):
+            return
+        address = event.address()
+        var = self._vars.setdefault(address, _VarState())
+        info = AccessInfo(
+            thread_id=event.thread_id,
+            node_id=event.node_id,
+            label=event.label,
+            kind="W" if isinstance(event, WriteEvent) else "R",
+            value=event.value,
+            old_value=event.old_value if isinstance(event, WriteEvent) else None,
+        )
+        self._transition(var, event, info)
+        var.last_by_thread[event.thread_id] = info
+
+    # ------------------------------------------------------------------
+
+    def _transition(self, var: _VarState, event: AccessEvent, info: AccessInfo) -> None:
+        is_write = isinstance(event, WriteEvent)
+        tid = event.thread_id
+
+        if var.state is _State.VIRGIN:
+            var.state = _State.EXCLUSIVE
+            var.owner = tid
+            return
+        if var.state is _State.EXCLUSIVE:
+            if tid == var.owner:
+                return
+            # Second thread: start refining the lockset.
+            var.lockset = event.locks_held
+            var.state = _State.SHARED_MODIFIED if is_write else _State.SHARED
+            self._check(var, event, info)
+            return
+
+        assert var.lockset is not None
+        var.lockset = var.lockset & event.locks_held
+        if var.state is _State.SHARED and is_write:
+            var.state = _State.SHARED_MODIFIED
+        self._check(var, event, info)
+
+    def _check(self, var: _VarState, event: AccessEvent, info: AccessInfo) -> None:
+        if var.state is not _State.SHARED_MODIFIED:
+            return
+        if var.lockset:
+            return
+        # Pair the empty-lockset access with the most recent conflicting
+        # access made by any *other* thread.
+        previous = None
+        for tid, access in var.last_by_thread.items():
+            if tid == info.thread_id:
+                continue
+            if access.kind == "R" and info.kind == "R":
+                continue
+            if previous is None or access.label > previous.label:
+                previous = access
+        if previous is None:
+            return
+        self.races.add(
+            RaceRecord(
+                detector=self.name,
+                class_name=event.class_name,
+                field_name=event.field_name,
+                address=event.address(),
+                first=previous,
+                second=info,
+            )
+        )
+
+
+__all__ = ["EraserDetector"]

@@ -1,0 +1,122 @@
+"""Maple-style interleaving coverage (Yu et al., OOPSLA 2012).
+
+Maple — the last of the systematic-testing consumers the paper cites
+(§6) — drives executions toward *untested interleavings*, modelled as
+"iRoots": inter-thread dependencies between static sites.  We implement
+the idea at the granularity our VM exposes: an interleaving unit is an
+ordered pair of static sites ``(s1 -> s2)`` where the access at ``s2``
+observed, on the same address and from a different thread, the access at
+``s1`` as its immediate same-address predecessor, with at least one of
+the two being a write.
+
+:class:`CoverageGuidedFuzzer` keeps running fresh schedules until
+``plateau`` consecutive runs add no new interleaving units — a
+saturation-based stopping rule that adapts effort to each test instead
+of a fixed run count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detect.fasttrack import FastTrackDetector
+from repro.detect.report import RaceSet
+from repro.lang.classtable import ClassTable
+from repro.runtime.scheduler import RandomScheduler
+from repro.synth.runner import TestRunner
+from repro.synth.synthesizer import SynthesizedTest
+from repro.trace.events import AccessEvent, Event, WriteEvent
+
+#: An interleaving unit: (class, field, predecessor site, successor site).
+InterleavingUnit = tuple[str, str, int, int]
+
+
+@dataclass
+class InterleavingCoverageProbe:
+    """Listener collecting observed inter-thread dependency units."""
+
+    units: set[InterleavingUnit] = field(default_factory=set)
+    _last_by_address: dict[tuple, AccessEvent] = field(default_factory=dict)
+
+    def on_event(self, event: Event) -> None:
+        if not isinstance(event, AccessEvent):
+            return
+        address = event.address()
+        previous = self._last_by_address.get(address)
+        self._last_by_address[address] = event
+        if previous is None or previous.thread_id == event.thread_id:
+            return
+        if not (isinstance(previous, WriteEvent) or isinstance(event, WriteEvent)):
+            return
+        self.units.add(
+            (event.class_name, event.field_name, previous.node_id, event.node_id)
+        )
+
+
+@dataclass
+class CoverageReport:
+    """Outcome of coverage-guided fuzzing of one synthesized test."""
+
+    test_name: str
+    runs: int = 0
+    units: set[InterleavingUnit] = field(default_factory=set)
+    races: RaceSet = field(default_factory=RaceSet)
+    #: Coverage size after each run (monotone; flat tail = saturation).
+    growth: list[int] = field(default_factory=list)
+
+    @property
+    def saturated(self) -> bool:
+        return (
+            len(self.growth) >= 2 and self.growth[-1] == self.growth[-2]
+        )
+
+
+class CoverageGuidedFuzzer:
+    """Run schedules until interleaving coverage stops growing."""
+
+    def __init__(
+        self,
+        table: ClassTable,
+        plateau: int = 4,
+        max_runs: int = 40,
+        vm_seed: int = 0,
+    ) -> None:
+        """
+        Args:
+            plateau: stop after this many consecutive runs without new
+                interleaving units.
+            max_runs: hard cap on schedules per test.
+        """
+        self._table = table
+        self._plateau = plateau
+        self._max_runs = max_runs
+        self._vm_seed = vm_seed
+
+    def fuzz(self, test: SynthesizedTest) -> CoverageReport:
+        report = CoverageReport(test_name=test.name)
+        stale = 0
+        for run_index in range(self._max_runs):
+            probe = InterleavingCoverageProbe()
+            detector = FastTrackDetector()
+            runner = TestRunner(
+                self._table,
+                vm_seed=self._vm_seed,
+                listeners=(probe, detector),
+            )
+            runner.run(
+                test,
+                RandomScheduler(seed=run_index * 2_654_435_761 + 1,
+                                switch_bias=0.5),
+            )
+            report.runs += 1
+            before = len(report.units)
+            report.units |= probe.units
+            report.races.merge(detector.races)
+            report.growth.append(len(report.units))
+            if len(report.units) == before:
+                stale += 1
+                if stale >= self._plateau:
+                    break
+            else:
+                stale = 0
+        return report

@@ -1,0 +1,58 @@
+"""Execution probes used by the fuzzing layer.
+
+:class:`AdjacencyProbe` observes a concurrent execution and records
+every pair of *temporally adjacent conflicting accesses*: two successive
+accesses **to the same address** (other addresses may be touched in
+between) from different threads, at least one a write, with no common
+lock held.  When such a pair occurs the race has *manifested* in the
+concrete execution — this is the confirmation criterion our RaceFuzzer
+analogue uses for the paper's "reproduced" column, and it matches
+RaceFuzzer's semantics: one thread is paused at an access while the
+other runs up to the conflicting access, regardless of what unrelated
+memory it touches on the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.events import AccessEvent, Event, WriteEvent
+
+
+@dataclass
+class AdjacencyProbe:
+    """Records site pairs of adjacent conflicting same-address accesses."""
+
+    #: (class_name, field_name, sorted site pair) for each manifestation.
+    confirmed: set[tuple] = field(default_factory=set)
+    _last_by_address: dict[tuple, AccessEvent] = field(default_factory=dict)
+
+    def on_event(self, event: Event) -> None:
+        if not isinstance(event, AccessEvent):
+            return
+        address = event.address()
+        previous = self._last_by_address.get(address)
+        self._last_by_address[address] = event
+        if previous is None:
+            return
+        if previous.thread_id == event.thread_id:
+            return
+        if not (isinstance(previous, WriteEvent) or isinstance(event, WriteEvent)):
+            return
+        if previous.locks_held & event.locks_held:
+            return
+        sites = tuple(sorted((previous.node_id, event.node_id)))
+        self.confirmed.add((event.class_name, event.field_name, sites))
+
+
+@dataclass
+class SiteWatcher:
+    """Remembers the most recent access per static site (directed runs)."""
+
+    last_by_site: dict[int, AccessEvent] = field(default_factory=dict)
+    last_event: AccessEvent | None = None
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, AccessEvent):
+            self.last_by_site[event.node_id] = event
+            self.last_event = event

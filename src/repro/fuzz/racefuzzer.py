@@ -1,0 +1,260 @@
+"""RaceFuzzer-style schedule fuzzing over synthesized tests.
+
+The paper feeds Narada's tests to RaceFuzzer (Sen, PLDI 2008), which
+(1) detects candidate races with a hybrid detector and (2) *confirms*
+them by steering the scheduler so the two accesses execute back to back.
+Our analogue does the same over the MiniJ VM:
+
+* **random phase** — run the synthesized test under several seeded
+  random schedules with the FastTrack and Eraser detectors attached;
+  union the reported races.  An :class:`AdjacencyProbe` marks races that
+  already manifested as adjacent conflicting accesses.
+* **directed phase** — for every candidate race not yet confirmed, take
+  a fresh prepared run and drive one racy thread until it performs the
+  first access of the pair, then drive the other thread toward the
+  second access on the *same address*.  Success means the race was
+  reproduced in a concrete execution (the paper's "Reproduced" column);
+  candidates that never confirm correspond to the "Manual" column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detect.eraser import EraserDetector
+from repro.detect.fasttrack import FastTrackDetector
+from repro.detect.report import RaceRecord, RaceSet, collect_constant_write_sites
+from repro.fuzz.probes import AdjacencyProbe
+from repro.lang.classtable import ClassTable
+from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.runtime.vm import ThreadStatus
+from repro.synth.runner import PreparedRun, TestRunner
+from repro.synth.synthesizer import SynthesizedTest
+from repro.trace.events import AccessEvent
+
+#: Step budget for each phase of a directed confirmation attempt.
+DIRECTED_PHASE_STEPS = 20_000
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of fuzzing one synthesized test."""
+
+    test: SynthesizedTest
+    detected: RaceSet = field(default_factory=RaceSet)
+    reproduced: set[tuple] = field(default_factory=set)
+    confirmed_raw: set[tuple] = field(default_factory=set)
+    """Adjacency confirmations, including ones whose race record only
+    appears in a later run; intersected with detections after each run."""
+    random_runs: int = 0
+    directed_attempts: int = 0
+    deadlocks: int = 0
+    faults: int = 0
+    timeouts: int = 0
+    synthesis_failed: bool = False
+    constant_sites: set[int] = field(default_factory=set)
+    """Constant-RHS write sites of the program (benign classification)."""
+
+    def reproduced_records(self) -> list[RaceRecord]:
+        return [r for r in self.detected if r.static_key() in self.reproduced]
+
+    def unreproduced_records(self) -> list[RaceRecord]:
+        return [r for r in self.detected if r.static_key() not in self.reproduced]
+
+    def harmful(self) -> list[RaceRecord]:
+        return [
+            r
+            for r in self.reproduced_records()
+            if not r.is_benign(self.constant_sites)
+        ]
+
+    def benign(self) -> list[RaceRecord]:
+        return [
+            r for r in self.reproduced_records() if r.is_benign(self.constant_sites)
+        ]
+
+    @property
+    def race_count(self) -> int:
+        return len(self.detected)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.test.name}: {len(self.detected)} race(s) detected, "
+            f"{len(self.reproduced)} reproduced "
+            f"({len(self.harmful())} harmful, {len(self.benign())} benign)"
+        ]
+        for record in self.detected:
+            marker = "*" if record.static_key() in self.reproduced else " "
+            lines.append(f" {marker} {record.describe(self.constant_sites)}")
+        return "\n".join(lines)
+
+
+class RaceFuzzer:
+    """Detects and confirms races in synthesized multithreaded tests."""
+
+    def __init__(
+        self,
+        table: ClassTable,
+        random_runs: int = 8,
+        vm_seed: int = 0,
+        directed: bool = True,
+    ) -> None:
+        self._table = table
+        self._random_runs = random_runs
+        self._vm_seed = vm_seed
+        self._directed = directed
+
+    def fuzz(self, test: SynthesizedTest) -> FuzzReport:
+        report = FuzzReport(
+            test=test,
+            constant_sites=collect_constant_write_sites(self._table.program),
+        )
+        try:
+            self._random_phase(test, report)
+            if self._directed:
+                self._directed_phase(test, report)
+        except Exception as error:  # synthesis/collection failures
+            from repro._util.errors import SynthesisError
+
+            if isinstance(error, SynthesisError):
+                report.synthesis_failed = True
+                return report
+            raise
+        return report
+
+    # ------------------------------------------------------------------
+    # Random phase.
+
+    def _random_phase(self, test: SynthesizedTest, report: FuzzReport) -> None:
+        for run_index in range(self._random_runs):
+            fasttrack = FastTrackDetector()
+            eraser = EraserDetector()
+            probe = AdjacencyProbe()
+            runner = TestRunner(
+                self._table,
+                vm_seed=self._vm_seed,
+                listeners=(fasttrack, eraser, probe),
+            )
+            outcome = runner.run(test, RandomScheduler(seed=run_index * 7919 + 1))
+            report.random_runs += 1
+            self._absorb(report, outcome, fasttrack, eraser, probe)
+
+    def _absorb(self, report, outcome, fasttrack, eraser, probe) -> None:
+        report.detected.merge(fasttrack.races)
+        report.detected.merge(eraser.races)
+        report.confirmed_raw |= probe.confirmed
+        report.reproduced = report.confirmed_raw & report.detected.static_keys()
+        result = outcome.concurrent_result
+        if result is not None:
+            if result.deadlocked:
+                report.deadlocks += 1
+            if result.timed_out:
+                report.timeouts += 1
+            report.faults += len(result.faults)
+
+    # ------------------------------------------------------------------
+    # Directed phase.
+
+    def _directed_phase(self, test: SynthesizedTest, report: FuzzReport) -> None:
+        candidates = [
+            record
+            for record in report.detected
+            if record.static_key() not in report.reproduced
+        ]
+        # Also target the pairs the synthesis aimed at, even if the
+        # random phase missed them entirely.
+        site_targets = {
+            (record.first.node_id, record.second.node_id): record
+            for record in candidates
+        }
+        for sites in test.target_sites():
+            site_targets.setdefault(sites, None)
+
+        def settled(sites: tuple[int, int], record) -> bool:
+            if record is not None:
+                return record.static_key() in report.reproduced
+            return any(key[2] == sites for key in report.confirmed_raw)
+
+        for (site_a, site_b), record in site_targets.items():
+            sites = (min(site_a, site_b), max(site_a, site_b))
+            if settled(sites, record):
+                continue
+            orders = [(site_a, site_b)]
+            if site_a != site_b:
+                orders.append((site_b, site_a))
+            for first, second in orders:
+                for leader in (0, 1):
+                    self._directed_attempt(test, report, first, second, leader)
+                    if settled(sites, record):
+                        break
+                else:
+                    continue
+                break
+
+    def _directed_attempt(
+        self,
+        test: SynthesizedTest,
+        report: FuzzReport,
+        first_site: int,
+        second_site: int,
+        leader: int,
+    ) -> bool:
+        fasttrack = FastTrackDetector()
+        eraser = EraserDetector()
+        probe = AdjacencyProbe()
+        runner = TestRunner(
+            self._table,
+            vm_seed=self._vm_seed,
+            listeners=(fasttrack, eraser, probe),
+        )
+        prepared = runner.prepare(test)
+        report.directed_attempts += 1
+        if not prepared.ok:
+            return False
+        assert prepared.thread_ids is not None
+        lead_tid = prepared.thread_ids[leader]
+        chase_tid = prepared.thread_ids[1 - leader]
+
+        address = self._drive_until(prepared, lead_tid, chase_tid, first_site, None)
+        confirmed = False
+        if address is not None:
+            hit = self._drive_until(
+                prepared, chase_tid, lead_tid, second_site, address
+            )
+            confirmed = hit is not None
+        # Drain so detectors see a complete execution and threads finish.
+        outcome = runner.finish(prepared, RoundRobinScheduler())
+        self._absorb(report, outcome, fasttrack, eraser, probe)
+        return confirmed
+
+    @staticmethod
+    def _drive_until(
+        prepared: PreparedRun,
+        preferred: int,
+        other: int,
+        site: int,
+        address: tuple | None,
+    ):
+        """Step ``preferred`` until it performs an access at ``site``
+        (optionally on ``address``); returns the address or None."""
+        execution = prepared.execution
+        assert execution is not None
+        for _ in range(DIRECTED_PHASE_STEPS):
+            status = execution.thread(preferred).status
+            if status in (ThreadStatus.DONE, ThreadStatus.FAULTED):
+                return None
+            if status is ThreadStatus.BLOCKED:
+                # Let the other thread run one event to release monitors.
+                other_status = execution.thread(other).status
+                if other_status is ThreadStatus.RUNNABLE:
+                    execution.step(other)
+                    continue
+                return None
+            event = execution.step(preferred)
+            if (
+                isinstance(event, AccessEvent)
+                and event.node_id == site
+                and (address is None or event.address() == address)
+            ):
+                return event.address()
+        return None

@@ -1,0 +1,56 @@
+"""MiniJ: the small Java-like language the reproduction is built on.
+
+Public entry points:
+
+* :func:`repro.lang.load` — parse + build class table + resolve, in one
+  call.  This is what most users want.
+* :func:`repro.lang.parser.parse` — parse only.
+* :class:`repro.lang.classtable.ClassTable` — the resolved program view.
+"""
+
+from repro.lang import ast
+from repro.lang.classtable import ClassTable
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty_class, pretty_expr, pretty_program, pretty_stmt
+from repro.lang.resolver import resolve
+from repro.lang.types import BOOL, INT, NULL, VOID, Type, class_type
+
+
+def load(source: str) -> ClassTable:
+    """Parse MiniJ source, build its class table, and resolve it.
+
+    Args:
+        source: MiniJ program text.
+
+    Returns:
+        The resolved :class:`ClassTable` (the program is reachable via
+        ``table.program``).
+
+    Raises:
+        LexError, ParseError, TypeError_: on malformed programs.
+    """
+    program = parse(source)
+    table = ClassTable(program)
+    resolve(table)
+    return table
+
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "NULL",
+    "VOID",
+    "ClassTable",
+    "Type",
+    "ast",
+    "class_type",
+    "load",
+    "parse",
+    "pretty_class",
+    "pretty_expr",
+    "pretty_program",
+    "pretty_stmt",
+    "resolve",
+    "tokenize",
+]

@@ -1,0 +1,304 @@
+"""Abstract syntax tree for MiniJ.
+
+Every statement and expression node carries a ``line`` (source position)
+and a ``node_id`` — a unique integer assigned at parse time.  The
+``node_id`` is the *static site* identity used throughout the pipeline:
+trace events point back to the node that produced them, racy access pairs
+are pairs of sites, and detectors report races between sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.types import Type
+
+# ----------------------------------------------------------------------
+# Expressions.
+
+
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    line: int = 0
+    node_id: int = -1
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class This(Expr):
+    pass
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class FieldGet(Expr):
+    """``target.field`` — a field read; always a visible trace event."""
+
+    target: Expr | None = None
+    field_name: str = ""
+
+
+@dataclass
+class Call(Expr):
+    """``target.method(args)`` — dynamically dispatched method call."""
+
+    target: Expr | None = None
+    method: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class New(Expr):
+    """``new Class(args)`` — allocation followed by constructor call."""
+
+    class_name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Rand(Expr):
+    """``rand()`` — a value the client cannot control (paper, Fig. 8).
+
+    When the static context expects a class type, ``rand()`` allocates a
+    fresh library-private object of that class; in an int context it
+    produces a pseudo-random integer from the VM's deterministic stream.
+    The resolver fills :attr:`result_type`.
+    """
+
+    result_type: Type | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr | None = None
+
+
+# ----------------------------------------------------------------------
+# Statements.
+
+
+@dataclass
+class Stmt:
+    """Base class for statements."""
+
+    line: int = 0
+    node_id: int = -1
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``Type x = init;`` — declares a local variable."""
+
+    decl_type: Type | None = None
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class AssignVar(Stmt):
+    """``x = expr;`` — assignment to a local (or test) variable."""
+
+    name: str = ""
+    value: Expr | None = None
+
+
+@dataclass
+class AssignField(Stmt):
+    """``target.field = expr;`` — a field write; a visible trace event."""
+
+    target: Expr | None = None
+    field_name: str = ""
+    value: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then_body: Block | None = None
+    else_body: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Block | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Sync(Stmt):
+    """``synchronized (expr) { ... }`` — monitor enter/exit around body."""
+
+    lock: Expr | None = None
+    body: Block | None = None
+
+
+@dataclass
+class Assert(Stmt):
+    """``assert expr;`` — faults the thread when the condition is false."""
+
+    cond: Expr | None = None
+
+
+@dataclass
+class Fork(Stmt):
+    """``fork { ... }`` — spawn a thread running the body concurrently.
+
+    Only valid at the client (test) level; the spawned thread captures a
+    snapshot of the client environment, like a Java anonymous Runnable
+    capturing effectively-final locals.  This is how synthesized tests
+    are expressed as standalone MiniJ programs (paper Fig. 3's
+    ``new Thread() { ... }.start()``).
+    """
+
+    body: Block | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+# ----------------------------------------------------------------------
+# Declarations.
+
+
+@dataclass
+class Param:
+    name: str
+    param_type: Type
+    line: int = 0
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    field_type: Type
+    init: Expr | None = None
+    line: int = 0
+
+
+@dataclass
+class MethodDecl:
+    """A method or constructor.
+
+    A constructor is represented as a method whose name equals the class
+    name with ``is_constructor`` set; it has no return type.
+
+    ``synchronized`` methods are desugared by the interpreter into a
+    monitor enter on ``this`` around the body, exactly like Java.
+    """
+
+    name: str
+    params: list[Param]
+    return_type: Type
+    body: Block
+    synchronized: bool = False
+    is_constructor: bool = False
+    line: int = 0
+
+
+@dataclass
+class MethodSig:
+    """An interface method signature."""
+
+    name: str
+    param_types: list[Type]
+    return_type: Type
+    line: int = 0
+
+
+@dataclass
+class InterfaceDecl:
+    name: str
+    signatures: list[MethodSig] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    implements: list[str] = field(default_factory=list)
+    fields: list[FieldDecl] = field(default_factory=list)
+    methods: list[MethodDecl] = field(default_factory=list)
+    line: int = 0
+
+    def method(self, name: str) -> MethodDecl | None:
+        """Return the method with the given name, or None."""
+        for method in self.methods:
+            if method.name == name:
+                return method
+        return None
+
+
+@dataclass
+class TestDecl:
+    """A sequential client test: ``test Name { ... }``.
+
+    Statements in a test body execute at the *client* level — method
+    invocations made directly from a test body are the client invocations
+    that bootstrap controllability in the trace analysis (the ``invoke``
+    rule of Fig. 7).
+    """
+
+    name: str
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A parsed MiniJ compilation unit."""
+
+    classes: list[ClassDecl] = field(default_factory=list)
+    interfaces: list[InterfaceDecl] = field(default_factory=list)
+    tests: list[TestDecl] = field(default_factory=list)
+
+    def class_decl(self, name: str) -> ClassDecl | None:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        return None
+
+    def test_decl(self, name: str) -> TestDecl | None:
+        for test in self.tests:
+            if test.name == name:
+                return test
+        return None

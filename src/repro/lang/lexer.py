@@ -1,0 +1,158 @@
+"""Hand-written lexer for MiniJ source text.
+
+The lexer is a straightforward single-pass scanner.  It supports ``//``
+line comments and ``/* ... */`` block comments, decimal integer literals,
+and the operator/punctuation set listed in :mod:`repro.lang.tokens`.
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+#: Two-character operators, checked before single-character ones.
+_TWO_CHAR_OPS: dict[str, TokenKind] = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR_OPS: dict[str, TokenKind] = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "=": TokenKind.ASSIGN,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "!": TokenKind.NOT,
+}
+
+
+class Lexer:
+    """Converts MiniJ source text into a list of tokens."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Scan the whole input and return its tokens, ending with EOF."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self._at_end():
+                tokens.append(Token(TokenKind.EOF, "", self._line, self._column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    # Scanning helpers.
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._source)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self) -> str:
+        ch = self._source[self._pos]
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return ch
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while not self._at_end():
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        line, column = self._line, self._column
+        self._advance()  # '/'
+        self._advance()  # '*'
+        while not self._at_end():
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance()
+                self._advance()
+                return
+            self._advance()
+        raise LexError("unterminated block comment", line, column)
+
+    def _next_token(self) -> Token:
+        line, column = self._line, self._column
+        ch = self._peek()
+
+        if ch.isdigit():
+            return self._lex_int(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, column)
+
+        pair = ch + self._peek(1)
+        if pair in _TWO_CHAR_OPS:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR_OPS[pair], pair, line, column)
+        if ch in _ONE_CHAR_OPS:
+            self._advance()
+            return Token(_ONE_CHAR_OPS[ch], ch, line, column)
+
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_int(self, line: int, column: int) -> Token:
+        start = self._pos
+        while not self._at_end() and self._peek().isdigit():
+            self._advance()
+        text = self._source[start : self._pos]
+        return Token(TokenKind.INT, text, line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while not self._at_end() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self._source[start : self._pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniJ source text.
+
+    Args:
+        source: MiniJ program text.
+
+    Returns:
+        The token list, terminated by an EOF token.
+
+    Raises:
+        LexError: on malformed input.
+    """
+    return Lexer(source).tokenize()

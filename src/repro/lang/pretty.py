@@ -1,0 +1,163 @@
+"""Pretty printer for MiniJ ASTs.
+
+Used for two things: rendering subject library sources in documentation,
+and rendering synthesized multithreaded tests in the Figure-3 style of
+the paper so users can read what Narada produced.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+_INDENT = "  "
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a whole program back to MiniJ source text."""
+    parts: list[str] = []
+    for iface in program.interfaces:
+        parts.append(pretty_interface(iface))
+    for cls in program.classes:
+        parts.append(pretty_class(cls))
+    for test in program.tests:
+        parts.append(pretty_test(test))
+    return "\n\n".join(parts) + "\n"
+
+
+def pretty_interface(iface: ast.InterfaceDecl) -> str:
+    lines = [f"interface {iface.name} {{"]
+    for sig in iface.signatures:
+        params = ", ".join(f"{t} p{i}" for i, t in enumerate(sig.param_types))
+        lines.append(f"{_INDENT}{sig.return_type} {sig.name}({params});")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_class(cls: ast.ClassDecl) -> str:
+    header = f"class {cls.name}"
+    if cls.implements:
+        header += " implements " + ", ".join(cls.implements)
+    lines = [header + " {"]
+    for field_decl in cls.fields:
+        init = f" = {pretty_expr(field_decl.init)}" if field_decl.init else ""
+        lines.append(f"{_INDENT}{field_decl.field_type} {field_decl.name}{init};")
+    for method in cls.methods:
+        lines.append(_pretty_method(method, indent=1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_test(test: ast.TestDecl) -> str:
+    lines = [f"test {test.name} {{"]
+    for stmt in test.body.stmts:
+        lines.extend(pretty_stmt(stmt, indent=1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _pretty_method(method: ast.MethodDecl, indent: int) -> str:
+    pad = _INDENT * indent
+    params = ", ".join(f"{p.param_type} {p.name}" for p in method.params)
+    if method.is_constructor:
+        header = f"{pad}{method.name}({params}) {{"
+    else:
+        sync = "synchronized " if method.synchronized else ""
+        header = f"{pad}{sync}{method.return_type} {method.name}({params}) {{"
+    lines = [header]
+    for stmt in method.body.stmts:
+        lines.extend(pretty_stmt(stmt, indent + 1))
+    lines.append(pad + "}")
+    return "\n".join(lines)
+
+
+def pretty_stmt(stmt: ast.Stmt, indent: int = 0) -> list[str]:
+    """Render one statement as a list of indented source lines."""
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Block):
+        lines = [pad + "{"]
+        for inner in stmt.stmts:
+            lines.extend(pretty_stmt(inner, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.VarDecl):
+        init = f" = {pretty_expr(stmt.init)}" if stmt.init is not None else ""
+        return [f"{pad}{stmt.decl_type} {stmt.name}{init};"]
+    if isinstance(stmt, ast.AssignVar):
+        return [f"{pad}{stmt.name} = {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, ast.AssignField):
+        target = pretty_expr(stmt.target)
+        return [f"{pad}{target}.{stmt.field_name} = {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({pretty_expr(stmt.cond)}) {{"]
+        for inner in stmt.then_body.stmts:
+            lines.extend(pretty_stmt(inner, indent + 1))
+        if stmt.else_body is None:
+            lines.append(pad + "}")
+        elif isinstance(stmt.else_body, ast.If):
+            lines.append(pad + "} else " + pretty_stmt(stmt.else_body, 0)[0].lstrip())
+            lines.extend(pretty_stmt(stmt.else_body, indent)[1:])
+        else:
+            lines.append(pad + "} else {")
+            assert isinstance(stmt.else_body, ast.Block)
+            for inner in stmt.else_body.stmts:
+                lines.extend(pretty_stmt(inner, indent + 1))
+            lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({pretty_expr(stmt.cond)}) {{"]
+        for inner in stmt.body.stmts:
+            lines.extend(pretty_stmt(inner, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [pad + "return;"]
+        return [f"{pad}return {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, ast.Sync):
+        lines = [f"{pad}synchronized ({pretty_expr(stmt.lock)}) {{"]
+        for inner in stmt.body.stmts:
+            lines.extend(pretty_stmt(inner, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.Assert):
+        return [f"{pad}assert {pretty_expr(stmt.cond)};"]
+    if isinstance(stmt, ast.Fork):
+        lines = [pad + "fork {"]
+        for inner in stmt.body.stmts:
+            lines.extend(pretty_stmt(inner, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{pretty_expr(stmt.expr)};"]
+    raise ValueError(f"unknown statement {type(stmt).__name__}")
+
+
+def pretty_expr(expr: ast.Expr | None) -> str:
+    """Render one expression as source text."""
+    if expr is None:
+        return "<none>"
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.NullLit):
+        return "null"
+    if isinstance(expr, ast.This):
+        return "this"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Rand):
+        return "rand()"
+    if isinstance(expr, ast.FieldGet):
+        return f"{pretty_expr(expr.target)}.{expr.field_name}"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{pretty_expr(expr.target)}.{expr.method}({args})"
+    if isinstance(expr, ast.New):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"new {expr.class_name}({args})"
+    if isinstance(expr, ast.Binary):
+        return f"({pretty_expr(expr.left)} {expr.op} {pretty_expr(expr.right)})"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{pretty_expr(expr.operand)}"
+    raise ValueError(f"unknown expression {type(expr).__name__}")

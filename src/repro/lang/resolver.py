@@ -1,0 +1,246 @@
+"""Best-effort static resolution for MiniJ programs.
+
+MiniJ method calls are dynamically dispatched, so the resolver does not
+attempt full static typing.  It performs the checks that catch real
+authoring mistakes in subject libraries and seed tests, and it fills in
+the one piece of static information the runtime needs: the result type
+of each ``rand()`` expression (class context => fresh opaque object,
+int context => pseudo-random integer).
+
+Checks performed:
+
+* every ``new C(...)`` names a known class and matches the constructor
+  arity,
+* field reads/writes whose target type is statically known reference a
+  declared field,
+* method calls whose target type is statically known reference a
+  declared (or interface / native) method with the right arity,
+* locals are declared before use.
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import TypeError_
+from repro.lang import ast
+from repro.lang.classtable import OBJECT, ClassTable
+from repro.lang.types import BOOL, INT, NULL, VOID, Type, class_type
+
+
+class Resolver:
+    """Walks a program, validating references and annotating ``rand()``."""
+
+    def __init__(self, table: ClassTable) -> None:
+        self._table = table
+
+    def resolve_program(self) -> None:
+        for cls in self._table.program.classes:
+            for method in cls.methods:
+                self._resolve_method(cls, method)
+        for test in self._table.program.tests:
+            env: dict[str, Type] = {}
+            self._resolve_block(test.body, env)
+
+    # ------------------------------------------------------------------
+
+    def _resolve_method(self, cls: ast.ClassDecl, method: ast.MethodDecl) -> None:
+        env: dict[str, Type] = {"this": class_type(cls.name)}
+        for param in method.params:
+            self._check_type(param.param_type, param.line)
+            env[param.name] = param.param_type
+        self._resolve_block(method.body, env)
+
+    def _check_type(self, type_: Type, line: int) -> None:
+        if type_.kind != "class":
+            return
+        name = type_.name
+        if (
+            not self._table.has_class(name)
+            and not self._table.is_interface(name)
+            and name != OBJECT.name
+        ):
+            raise TypeError_(f"unknown type {name}", line)
+
+    def _resolve_block(self, block: ast.Block, env: dict[str, Type]) -> None:
+        scope = dict(env)
+        for stmt in block.stmts:
+            self._resolve_stmt(stmt, scope)
+
+    def _resolve_stmt(self, stmt: ast.Stmt, env: dict[str, Type]) -> None:
+        if isinstance(stmt, ast.Block):
+            self._resolve_block(stmt, env)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_type(stmt.decl_type, stmt.line)
+            if stmt.init is not None:
+                self._resolve_expr(stmt.init, env, expected=stmt.decl_type)
+            env[stmt.name] = stmt.decl_type
+        elif isinstance(stmt, ast.AssignVar):
+            if stmt.name not in env:
+                raise TypeError_(f"assignment to undeclared {stmt.name}", stmt.line)
+            self._resolve_expr(stmt.value, env, expected=env[stmt.name])
+        elif isinstance(stmt, ast.AssignField):
+            target_type = self._resolve_expr(stmt.target, env)
+            field_type = self._field_type_of(target_type, stmt.field_name, stmt.line)
+            self._resolve_expr(stmt.value, env, expected=field_type)
+        elif isinstance(stmt, ast.If):
+            self._resolve_expr(stmt.cond, env)
+            self._resolve_block(stmt.then_body, env)
+            if stmt.else_body is not None:
+                self._resolve_stmt(stmt.else_body, env)
+        elif isinstance(stmt, ast.While):
+            self._resolve_expr(stmt.cond, env)
+            self._resolve_block(stmt.body, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._resolve_expr(stmt.value, env)
+        elif isinstance(stmt, ast.Sync):
+            self._resolve_expr(stmt.lock, env)
+            self._resolve_block(stmt.body, env)
+        elif isinstance(stmt, ast.Assert):
+            self._resolve_expr(stmt.cond, env)
+        elif isinstance(stmt, ast.Fork):
+            self._resolve_block(stmt.body, env)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._resolve_expr(stmt.expr, env)
+        else:  # pragma: no cover - exhaustive over the AST
+            raise TypeError_(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _field_type_of(
+        self, target_type: Type | None, field_name: str, line: int
+    ) -> Type | None:
+        """Declared field type when the owner's class is known statically."""
+        if target_type is None or target_type.kind != "class":
+            return None
+        if self._table.is_interface(target_type.name):
+            return None
+        field_type = self._table.field_type(target_type.name, field_name)
+        if field_type is None:
+            raise TypeError_(
+                f"class {target_type.name} has no field {field_name}", line
+            )
+        return field_type
+
+    # ------------------------------------------------------------------
+    # Expressions.  Returns the static type when determinable, else None.
+
+    def _resolve_expr(
+        self, expr: ast.Expr | None, env: dict[str, Type], expected: Type | None = None
+    ) -> Type | None:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.BoolLit):
+            return BOOL
+        if isinstance(expr, ast.NullLit):
+            return NULL
+        if isinstance(expr, ast.This):
+            return env.get("this")
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in env:
+                raise TypeError_(f"use of undeclared variable {expr.name}", expr.line)
+            return env[expr.name]
+        if isinstance(expr, ast.Rand):
+            expr.result_type = expected if expected is not None else INT
+            return expr.result_type
+        if isinstance(expr, ast.FieldGet):
+            target_type = self._resolve_expr(expr.target, env)
+            return self._field_type_of(target_type, expr.field_name, expr.line)
+        if isinstance(expr, ast.New):
+            return self._resolve_new(expr, env)
+        if isinstance(expr, ast.Call):
+            return self._resolve_call(expr, env)
+        if isinstance(expr, ast.Binary):
+            self._resolve_expr(expr.left, env)
+            self._resolve_expr(expr.right, env)
+            if expr.op in ("+", "-", "*", "/", "%"):
+                return INT
+            return BOOL
+        if isinstance(expr, ast.Unary):
+            self._resolve_expr(expr.operand, env)
+            return INT if expr.op == "-" else BOOL
+        raise TypeError_(f"unknown expression {type(expr).__name__}", expr.line)
+
+    def _resolve_new(self, expr: ast.New, env: dict[str, Type]) -> Type:
+        name = expr.class_name
+        if not self._table.has_class(name):
+            raise TypeError_(f"new of unknown class {name}", expr.line)
+        for arg in expr.args:
+            self._resolve_expr(arg, env)
+        if self._table.is_builtin(name):
+            expected_arity = 1 if name in ("IntArray", "RefArray") else 0
+            if len(expr.args) != expected_arity:
+                raise TypeError_(
+                    f"new {name} expects {expected_arity} argument(s)", expr.line
+                )
+            return class_type(name)
+        ctor = self._table.constructor(name)
+        arity = len(ctor.params) if ctor is not None else 0
+        if len(expr.args) != arity:
+            raise TypeError_(
+                f"constructor {name} expects {arity} argument(s), "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        if ctor is not None:
+            for arg, param in zip(expr.args, ctor.params):
+                self._resolve_expr(arg, env, expected=param.param_type)
+        return class_type(name)
+
+    def _resolve_call(self, expr: ast.Call, env: dict[str, Type]) -> Type | None:
+        target_type = self._resolve_expr(expr.target, env)
+        if expr.method in ("wait", "notify", "notifyAll") and not expr.args:
+            # java.lang.Object condition methods exist on every object
+            # (unless the class shadows them with its own declaration).
+            if (
+                target_type is None
+                or target_type.kind != "class"
+                or self._table.is_interface(target_type.name)
+                or self._table.method(target_type.name, expr.method) is None
+            ):
+                return VOID
+        method_decl = None
+        if (
+            target_type is not None
+            and target_type.kind == "class"
+            and not self._table.is_interface(target_type.name)
+            and target_type.name != OBJECT.name
+        ):
+            class_name = target_type.name
+            native = self._table.native_method(class_name, expr.method)
+            if native is not None:
+                if len(expr.args) != len(native.param_types):
+                    raise TypeError_(
+                        f"{class_name}.{expr.method} expects "
+                        f"{len(native.param_types)} argument(s)",
+                        expr.line,
+                    )
+                for arg in expr.args:
+                    self._resolve_expr(arg, env)
+                return native.return_type
+            method_decl = self._table.method(class_name, expr.method)
+            if method_decl is None:
+                raise TypeError_(
+                    f"class {class_name} has no method {expr.method}", expr.line
+                )
+            if len(expr.args) != len(method_decl.params):
+                raise TypeError_(
+                    f"{class_name}.{expr.method} expects "
+                    f"{len(method_decl.params)} argument(s), got {len(expr.args)}",
+                    expr.line,
+                )
+        if method_decl is not None:
+            for arg, param in zip(expr.args, method_decl.params):
+                self._resolve_expr(arg, env, expected=param.param_type)
+            return method_decl.return_type if method_decl.return_type != VOID else VOID
+        for arg in expr.args:
+            self._resolve_expr(arg, env)
+        return None
+
+
+def resolve(table: ClassTable) -> None:
+    """Validate a program against its class table and annotate ``rand()``.
+
+    Raises:
+        TypeError_: on the static errors documented in the module docstring.
+    """
+    Resolver(table).resolve_program()

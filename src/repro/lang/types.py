@@ -1,0 +1,59 @@
+"""Static types for MiniJ.
+
+MiniJ has three primitive types (``int``, ``bool``, ``void``), named
+class/interface types, and the special ``null`` type that is assignable
+to any reference type.  There is no class inheritance; subtyping comes
+only from ``implements`` declarations, which keeps the *set*/*concat*/
+*deep-set* context-derivation rules (paper, Fig. 10) easy to state: two
+reference types are compatible when one names an interface the other
+implements, or they are the same class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniJ static type.
+
+    Attributes:
+        kind: one of ``"int"``, ``"bool"``, ``"void"``, ``"class"``,
+            ``"null"``.
+        name: the class or interface name when ``kind == "class"``.
+    """
+
+    kind: str
+    name: str = ""
+
+    def is_reference(self) -> bool:
+        """Whether values of this type are object references (or null)."""
+        return self.kind in ("class", "null")
+
+    def __str__(self) -> str:
+        if self.kind == "class":
+            return self.name
+        return self.kind
+
+
+INT = Type("int")
+BOOL = Type("bool")
+VOID = Type("void")
+NULL = Type("null")
+
+
+def class_type(name: str) -> Type:
+    """Build a class/interface reference type."""
+    return Type("class", name)
+
+
+#: Built-in native classes provided by the runtime.  ``IntArray`` and
+#: ``RefArray`` are fixed-size arrays whose element accesses surface as
+#: reads/writes of the pseudo-field ``"elem"`` in traces; ``Opaque`` is
+#: the class of objects produced by ``rand()`` in a reference context.
+BUILTIN_CLASS_NAMES = ("IntArray", "RefArray", "Opaque")
+
+INT_ARRAY = class_type("IntArray")
+REF_ARRAY = class_type("RefArray")
+OPAQUE = class_type("Opaque")

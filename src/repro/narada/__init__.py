@@ -1,0 +1,5 @@
+"""The end-to-end Narada pipeline."""
+
+from repro.narada.pipeline import DetectionReport, Narada, SynthesisReport
+
+__all__ = ["DetectionReport", "Narada", "SynthesisReport"]

@@ -1,0 +1,213 @@
+"""The end-to-end Narada pipeline (Fig. 6 of the paper).
+
+    sequential seed tests ──► Access Analyzer ──► Pair Generator
+                                   │                   │
+                                   ▼                   ▼
+                             Context Deriver ──► Test Synthesizer ──► racy tests
+
+plus the integration with the RaceFuzzer-style detector backend that the
+paper's Table 5 evaluates.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis import AnalysisResult, analyze_traces
+from repro.context import derive_plans
+from repro.context.plan import TestPlan
+from repro.fuzz import FuzzReport, RaceFuzzer
+from repro.lang import ClassTable, load, pretty_class
+from repro.pairs import RacyPair, generate_pairs
+from repro.runtime import VM
+from repro.synth import SynthesizedTest, TestSynthesizer
+from repro.trace import Recorder, Trace
+
+
+@dataclass
+class SynthesisReport:
+    """Table-4 shaped output for one analyzed class."""
+
+    class_name: str
+    method_count: int
+    loc: int
+    pairs: list[RacyPair]
+    plans: list[TestPlan]
+    tests: list[SynthesizedTest]
+    seconds: float
+
+    @property
+    def pair_count(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def test_count(self) -> int:
+        return len(self.tests)
+
+    def full_context_tests(self) -> list[SynthesizedTest]:
+        return [t for t in self.tests if t.plan.full_context]
+
+
+@dataclass
+class DetectionReport:
+    """Table-5 shaped output for one analyzed class."""
+
+    class_name: str
+    fuzz_reports: list[FuzzReport] = field(default_factory=list)
+
+    def _union_records(self):
+        merged: dict[tuple, tuple] = {}
+        for report in self.fuzz_reports:
+            for record in report.detected:
+                key = record.static_key()
+                if key not in merged:
+                    reproduced = key in report.reproduced
+                    merged[key] = (record, reproduced, report.constant_sites)
+                elif key in report.reproduced and not merged[key][1]:
+                    merged[key] = (record, True, report.constant_sites)
+        return merged
+
+    @property
+    def detected(self) -> int:
+        return len(self._union_records())
+
+    @property
+    def reproduced(self) -> int:
+        return sum(1 for _, repro, _ in self._union_records().values() if repro)
+
+    @property
+    def harmful(self) -> int:
+        return sum(
+            1
+            for record, repro, sites in self._union_records().values()
+            if repro and not record.is_benign(sites)
+        )
+
+    @property
+    def benign(self) -> int:
+        return sum(
+            1
+            for record, repro, sites in self._union_records().values()
+            if repro and record.is_benign(sites)
+        )
+
+    @property
+    def manual_tp(self) -> int:
+        """Unreproduced races flagged by the precise HB detector: races a
+        human triage would confirm (the paper found 44/48 such)."""
+        return sum(
+            1
+            for record, repro, _ in self._union_records().values()
+            if not repro and record.detector == "fasttrack"
+        )
+
+    @property
+    def manual_fp(self) -> int:
+        """Unreproduced lockset-only reports: detector imprecision."""
+        return sum(
+            1
+            for record, repro, _ in self._union_records().values()
+            if not repro and record.detector != "fasttrack"
+        )
+
+    def races_per_test(self) -> list[int]:
+        """Race count of each test (Figure 14's distribution input)."""
+        return [len(report.detected) for report in self.fuzz_reports]
+
+
+class Narada:
+    """The complete tool: library + seed suite in, racy tests out."""
+
+    def __init__(
+        self,
+        source_or_table: str | ClassTable,
+        seed: int = 0,
+        rng_seed: int | None = None,
+    ) -> None:
+        if isinstance(source_or_table, str):
+            self.table = load(source_or_table)
+        else:
+            self.table = source_or_table
+        self.seed = seed
+        self._rng = random.Random(rng_seed) if rng_seed is not None else None
+        self._analysis: AnalysisResult | None = None
+        self._traces: list[Trace] | None = None
+
+    # ------------------------------------------------------------------
+    # Stage 0/1: seed execution + trace analysis.
+
+    def seed_test_names(self) -> list[str]:
+        return [t.name for t in self.table.program.tests]
+
+    def run_seed_suite(self) -> list[Trace]:
+        """Execute every seed test sequentially and record its trace."""
+        if self._traces is not None:
+            return self._traces
+        traces: list[Trace] = []
+        for name in self.seed_test_names():
+            vm = VM(self.table, seed=self.seed)
+            recorder = Recorder(name)
+            vm.run_test(name, listeners=(recorder,))
+            traces.append(recorder.trace)
+        self._traces = traces
+        return traces
+
+    def analysis(self) -> AnalysisResult:
+        if self._analysis is None:
+            self._analysis = analyze_traces(self.run_seed_suite())
+        return self._analysis
+
+    # ------------------------------------------------------------------
+    # Stages 2+3: pairs, context, synthesis.
+
+    def synthesize_for_class(self, class_name: str) -> SynthesisReport:
+        """Run the full synthesis pipeline for one analyzed class."""
+        start = time.perf_counter()
+        analysis = self.analysis()
+        pairs = generate_pairs(analysis, target_class=class_name)
+        plans = derive_plans(pairs, analysis, self.table, rng=self._rng)
+        tests = TestSynthesizer(
+            self.table, name_prefix=f"{class_name}Racy"
+        ).synthesize(plans)
+        seconds = time.perf_counter() - start
+        decl = self.table.program.class_decl(class_name)
+        method_count = len(decl.methods) if decl else 0
+        loc = len(pretty_class(decl).splitlines()) if decl else 0
+        return SynthesisReport(
+            class_name=class_name,
+            method_count=method_count,
+            loc=loc,
+            pairs=pairs,
+            plans=plans,
+            tests=tests,
+            seconds=seconds,
+        )
+
+    def synthesize_all(self) -> list[SynthesisReport]:
+        classes = sorted(
+            {s.class_name for s in self.analysis() if not self.table.is_builtin(s.class_name)}
+        )
+        return [self.synthesize_for_class(name) for name in classes]
+
+    # ------------------------------------------------------------------
+    # Detector integration (Table 5).
+
+    def detect(
+        self,
+        report: SynthesisReport,
+        random_runs: int = 8,
+        directed: bool = True,
+    ) -> DetectionReport:
+        """Fuzz every synthesized test of a class with detectors attached."""
+        fuzzer = RaceFuzzer(
+            self.table,
+            random_runs=random_runs,
+            vm_seed=self.seed,
+            directed=directed,
+        )
+        detection = DetectionReport(class_name=report.class_name)
+        for test in report.tests:
+            detection.fuzz_reports.append(fuzzer.fuzz(test))
+        return detection

@@ -1,0 +1,5 @@
+"""Stage 2a of Narada: potential racy access pair generation (§3.3)."""
+
+from repro.pairs.generator import PairGenerator, PairSide, RacyPair, generate_pairs
+
+__all__ = ["PairGenerator", "PairSide", "RacyPair", "generate_pairs"]

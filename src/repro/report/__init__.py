@@ -1,0 +1,41 @@
+"""Paper-style table and figure rendering for the evaluation."""
+
+from repro.report.tables import (
+    FIG14_BUCKETS,
+    Fig14Row,
+    figure14_distribution,
+    format_contege_comparison,
+    format_figure14,
+    format_table3,
+    format_table4,
+    format_table5,
+)
+
+__all__ = [
+    "FIG14_BUCKETS",
+    "Fig14Row",
+    "figure14_distribution",
+    "format_contege_comparison",
+    "format_figure14",
+    "format_table3",
+    "format_table4",
+    "format_table5",
+]
+
+from repro.report.export import (
+    contege_dict,
+    detection_dict,
+    evaluation_dict,
+    subject_dict,
+    synthesis_dict,
+    write_evaluation_json,
+)
+
+__all__ += [
+    "contege_dict",
+    "detection_dict",
+    "evaluation_dict",
+    "subject_dict",
+    "synthesis_dict",
+    "write_evaluation_json",
+]

@@ -1,0 +1,116 @@
+"""Machine-readable export of the evaluation results.
+
+Mirrors the rendered tables as plain dictionaries so downstream tooling
+(plots, dashboards, regression tracking across runs) can consume the
+reproduction without scraping text tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.baseline.contege import ConTeGeResult
+from repro.narada.pipeline import DetectionReport, SynthesisReport
+from repro.report.tables import FIG14_BUCKETS, figure14_distribution
+from repro.subjects.base import SubjectInfo
+
+
+def subject_dict(subject: SubjectInfo) -> dict[str, Any]:
+    return {
+        "key": subject.key,
+        "benchmark": subject.benchmark,
+        "version": subject.version,
+        "class": subject.class_name,
+        "paper": {
+            "methods": subject.paper.methods,
+            "loc": subject.paper.loc,
+            "race_pairs": subject.paper.race_pairs,
+            "tests": subject.paper.tests,
+            "time_seconds": subject.paper.time_seconds,
+            "races_detected": subject.paper.races_detected,
+            "harmful": subject.paper.harmful,
+            "benign": subject.paper.benign,
+            "manual_tp": subject.paper.manual_tp,
+            "manual_fp": subject.paper.manual_fp,
+        },
+    }
+
+
+def synthesis_dict(report: SynthesisReport) -> dict[str, Any]:
+    return {
+        "class": report.class_name,
+        "methods": report.method_count,
+        "loc": report.loc,
+        "pairs": report.pair_count,
+        "tests": report.test_count,
+        "seconds": report.seconds,
+        "full_context_tests": len(report.full_context_tests()),
+    }
+
+
+def detection_dict(report: DetectionReport) -> dict[str, Any]:
+    return {
+        "class": report.class_name,
+        "detected": report.detected,
+        "reproduced": report.reproduced,
+        "harmful": report.harmful,
+        "benign": report.benign,
+        "manual_tp": report.manual_tp,
+        "manual_fp": report.manual_fp,
+        "races_per_test": report.races_per_test(),
+    }
+
+
+def contege_dict(result: ConTeGeResult) -> dict[str, Any]:
+    return {
+        "class": result.class_name,
+        "tests_generated": result.tests_generated,
+        "executions": result.executions,
+        "violations": result.violation_count,
+        "fault_kinds": sorted({v.fault_kind for v in result.violations}),
+        "seconds": result.seconds,
+    }
+
+
+def evaluation_dict(
+    rows: list[tuple[SubjectInfo, SynthesisReport, DetectionReport]],
+    contege: dict[str, ConTeGeResult] | None = None,
+) -> dict[str, Any]:
+    """The full evaluation as one JSON-serializable structure."""
+    fig14 = {
+        row.class_key: row.percentages
+        for row in figure14_distribution(
+            [(subject, detection) for subject, _, detection in rows]
+        )
+    }
+    out: dict[str, Any] = {
+        "paper": "Synthesizing Racy Tests (PLDI 2015)",
+        "fig14_buckets": list(FIG14_BUCKETS),
+        "subjects": [],
+    }
+    for subject, synthesis, detection in rows:
+        entry = subject_dict(subject)
+        entry["measured"] = {
+            "synthesis": synthesis_dict(synthesis),
+            "detection": detection_dict(detection),
+            "fig14": fig14[subject.key],
+        }
+        if contege and subject.key in contege:
+            entry["measured"]["contege"] = contege_dict(contege[subject.key])
+        out["subjects"].append(entry)
+    out["totals"] = {
+        "pairs": sum(s.pair_count for _, s, _ in rows),
+        "tests": sum(s.test_count for _, s, _ in rows),
+        "detected": sum(d.detected for _, _, d in rows),
+        "reproduced": sum(d.reproduced for _, _, d in rows),
+        "harmful": sum(d.harmful for _, _, d in rows),
+        "benign": sum(d.benign for _, _, d in rows),
+    }
+    return out
+
+
+def write_evaluation_json(path: str, data: dict[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,179 @@
+"""Table/figure formatting mirroring the paper's evaluation section.
+
+Each function takes measured results and renders rows in the same shape
+as the corresponding paper table, with the paper's own numbers alongside
+for comparison.  The benchmark harness prints these.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.baseline.contege import ConTeGeResult
+from repro.narada.pipeline import DetectionReport, SynthesisReport
+from repro.subjects.base import SubjectInfo
+
+#: Figure 14's histogram buckets for races-per-test.
+FIG14_BUCKETS = ("0", "1", "2", "3-5", "5-10", ">10")
+
+
+def _bucket(races: int) -> str:
+    if races <= 2:
+        return str(races)
+    if races <= 5:
+        return "3-5"
+    if races <= 10:
+        return "5-10"
+    return ">10"
+
+
+def format_table3(subjects: list[SubjectInfo]) -> str:
+    """Table 3: benchmark information."""
+    lines = [
+        "Table 3: Benchmark Information",
+        f"{'Key':<5}{'Benchmark':<12}{'Version':<10}Class name",
+        "-" * 60,
+    ]
+    for subject in subjects:
+        lines.append(
+            f"{subject.key:<5}{subject.benchmark:<12}{subject.version:<10}"
+            f"{subject.class_name}"
+        )
+    return "\n".join(lines)
+
+
+def format_table4(
+    rows: list[tuple[SubjectInfo, SynthesisReport]],
+) -> str:
+    """Table 4: synthesized test count and synthesis time."""
+    lines = [
+        "Table 4: Synthesized test count and synthesis time",
+        f"{'Class':<6}{'Methods':>8}{'LoC':>6}{'Pairs':>7}{'Tests':>7}"
+        f"{'Time(s)':>9}   paper: pairs/tests/time",
+        "-" * 76,
+    ]
+    total_pairs = total_tests = 0
+    total_time = 0.0
+    for subject, report in rows:
+        total_pairs += report.pair_count
+        total_tests += report.test_count
+        total_time += report.seconds
+        paper = subject.paper
+        lines.append(
+            f"{subject.key:<6}{report.method_count:>8}{report.loc:>6}"
+            f"{report.pair_count:>7}{report.test_count:>7}"
+            f"{report.seconds:>9.2f}   "
+            f"{paper.race_pairs}/{paper.tests}/{paper.time_seconds}"
+        )
+    lines.append("-" * 76)
+    lines.append(
+        f"{'Total':<6}{'':>8}{'':>6}{total_pairs:>7}{total_tests:>7}"
+        f"{total_time:>9.2f}   466/101/201.3"
+    )
+    return "\n".join(lines)
+
+
+def format_table5(
+    rows: list[tuple[SubjectInfo, DetectionReport]],
+) -> str:
+    """Table 5: detector results on the synthesized tests."""
+    lines = [
+        "Table 5: Analysis of synthesized tests by the RaceFuzzer analogue",
+        f"{'Class':<6}{'Detected':>9}{'Reprod.':>8}{'Harmful':>8}{'Benign':>7}"
+        f"{'TP':>4}{'FP':>4}   paper: det/harm/ben/tp/fp",
+        "-" * 78,
+    ]
+    totals = Counter()
+    for subject, report in rows:
+        totals["detected"] += report.detected
+        totals["reproduced"] += report.reproduced
+        totals["harmful"] += report.harmful
+        totals["benign"] += report.benign
+        totals["tp"] += report.manual_tp
+        totals["fp"] += report.manual_fp
+        paper = subject.paper
+        paper_tp = paper.manual_tp if paper.manual_tp is not None else "-"
+        paper_fp = paper.manual_fp if paper.manual_fp is not None else "-"
+        lines.append(
+            f"{subject.key:<6}{report.detected:>9}{report.reproduced:>8}"
+            f"{report.harmful:>8}{report.benign:>7}"
+            f"{report.manual_tp:>4}{report.manual_fp:>4}   "
+            f"{paper.races_detected}/{paper.harmful}/{paper.benign}"
+            f"/{paper_tp}/{paper_fp}"
+        )
+    lines.append("-" * 78)
+    lines.append(
+        f"{'Total':<6}{totals['detected']:>9}{totals['reproduced']:>8}"
+        f"{totals['harmful']:>8}{totals['benign']:>7}"
+        f"{totals['tp']:>4}{totals['fp']:>4}   307/187/72/44/4"
+    )
+    return "\n".join(lines)
+
+
+@dataclass
+class Fig14Row:
+    """Per-class distribution of tests over race-count buckets (%)"""
+
+    class_key: str
+    percentages: dict[str, float]
+
+
+def figure14_distribution(
+    rows: list[tuple[SubjectInfo, DetectionReport]],
+) -> list[Fig14Row]:
+    out = []
+    for subject, report in rows:
+        counts = Counter(_bucket(n) for n in report.races_per_test())
+        total = sum(counts.values()) or 1
+        out.append(
+            Fig14Row(
+                class_key=subject.key,
+                percentages={
+                    bucket: 100.0 * counts.get(bucket, 0) / total
+                    for bucket in FIG14_BUCKETS
+                },
+            )
+        )
+    return out
+
+
+def format_figure14(rows: list[tuple[SubjectInfo, DetectionReport]]) -> str:
+    """Figure 14: distribution of tests w.r.t. number of detected races."""
+    dist = figure14_distribution(rows)
+    lines = [
+        "Figure 14: Distribution of tests w.r.t. the number of detected races",
+        f"{'Class':<6}" + "".join(f"{bucket:>8}" for bucket in FIG14_BUCKETS),
+        "-" * 60,
+    ]
+    for row in dist:
+        lines.append(
+            f"{row.class_key:<6}"
+            + "".join(f"{row.percentages[bucket]:>7.0f}%" for bucket in FIG14_BUCKETS)
+        )
+    return "\n".join(lines)
+
+
+def format_contege_comparison(
+    rows: list[tuple[SubjectInfo, ConTeGeResult, DetectionReport | None]],
+) -> str:
+    """§5 comparison: ConTeGe random search vs Narada's directed tests."""
+    lines = [
+        "ConTeGe comparison (§5): random generation vs directed synthesis",
+        f"{'Class':<6}{'ConTeGe tests':>14}{'violations':>12}"
+        f"{'Narada tests':>14}{'races':>7}   paper (ConTeGe)",
+        "-" * 78,
+    ]
+    for subject, contege, narada in rows:
+        narada_tests = len(narada.fuzz_reports) if narada else 0
+        narada_races = narada.detected if narada else 0
+        paper_note = {
+            "C5": "2 violations / 2.9K tests",
+            "C6": "1 violation / 105 tests",
+        }.get(subject.key, "none / 1K-70K tests")
+        lines.append(
+            f"{subject.key:<6}{contege.tests_generated:>14}"
+            f"{contege.violation_count:>12}{narada_tests:>14}"
+            f"{narada_races:>7}   {paper_note}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""The MiniJ virtual machine: heap, monitors, interpreter, schedulers."""
+
+from repro.runtime.heap import Heap, HeapObject, Monitor
+from repro.runtime.interp import Interpreter, ThreadContext
+from repro.runtime.scheduler import (
+    FixedScheduler,
+    PreferredScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SequentialScheduler,
+)
+from repro.runtime.values import ObjRef, Value, is_null, is_ref, show_value
+from repro.runtime.vm import (
+    DEFAULT_MAX_STEPS,
+    Execution,
+    ExecutionResult,
+    ThreadStatus,
+    VM,
+    VMThread,
+)
+
+__all__ = [
+    "DEFAULT_MAX_STEPS",
+    "Execution",
+    "ExecutionResult",
+    "FixedScheduler",
+    "Heap",
+    "HeapObject",
+    "Interpreter",
+    "Monitor",
+    "ObjRef",
+    "PreferredScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SequentialScheduler",
+    "ThreadContext",
+    "ThreadStatus",
+    "VM",
+    "VMThread",
+    "Value",
+    "is_null",
+    "is_ref",
+    "show_value",
+]
+
+from repro.runtime.pct import PCTScheduler
+from repro.runtime.recording import RecordingScheduler, ScheduleLog
+
+__all__ += ["PCTScheduler", "RecordingScheduler", "ScheduleLog"]

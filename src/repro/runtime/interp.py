@@ -1,0 +1,893 @@
+"""Generator-based small-step interpreter for MiniJ.
+
+Every *visible action* (field access, lock, unlock, call, return, alloc)
+is ``yield``-ed as a trace event; the scheduler advances a thread by one
+event at a time.  Purely local computation between two events executes
+atomically — which matches the memory model relevant for races: only
+shared-memory and synchronization operations are interleaving points.
+
+Because of this structure, ``count = count + 1`` really is a READ event
+followed by a WRITE event with a schedulable gap in between, so lost
+updates and other classic races manifest concretely in the VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro._util.errors import MiniJRuntimeError
+from repro.lang import ast
+from repro.lang.classtable import ClassTable
+from repro.runtime.heap import Heap, HeapObject
+from repro.runtime.values import ObjRef, Value, values_equal
+from repro.trace.events import (
+    AllocEvent,
+    BlockedEvent,
+    Event,
+    InvokeEvent,
+    LockEvent,
+    NotifyEvent,
+    ReadEvent,
+    ReturnEvent,
+    UnlockEvent,
+    WaitEvent,
+    WriteEvent,
+)
+
+#: Default bound on nested library calls per thread.  Each MiniJ frame
+#: costs a dozen-plus Python frames in the ``yield from`` delegation
+#: chain, so this is kept well below Python's own recursion limit (which
+#: the VM also raises defensively).
+MAX_CALL_DEPTH = 64
+
+
+@dataclass
+class Frame:
+    """One activation record.
+
+    ``call_index`` scopes the invocation (0 = client level); ``depth`` is
+    the library-call nesting depth (client = 0).
+    """
+
+    locals: dict[str, Value] = field(default_factory=dict)
+    this: ObjRef | None = None
+    class_name: str = ""
+    method: str = ""
+    call_index: int = 0
+    depth: int = 0
+    is_constructor: bool = False
+    returned: bool = False
+    return_value: Value = None
+
+    @property
+    def is_client(self) -> bool:
+        return self.call_index == 0
+
+
+@dataclass
+class ForkRequest:
+    """Yielded by the interpreter when client code executes ``fork {}``.
+
+    Not a trace event: the Execution intercepts it, spawns the child
+    thread (emitting the real ForkEvent), and resumes the parent.  The
+    child runs ``stmts`` over ``env`` — a snapshot of the parent's
+    client variables at fork time (Java capture-by-value semantics).
+    """
+
+    stmts: list
+    env: dict
+    node_id: int
+
+
+@dataclass
+class ThreadContext:
+    """Per-thread interpreter state shared across frames."""
+
+    thread_id: int
+    #: Monitor reentrancy per held object ref.
+    held: dict[int, int] = field(default_factory=dict)
+    #: Number of constructor frames on the stack (>0 => "in constructor").
+    ctor_depth: int = 0
+
+    def locks_held(self) -> frozenset[int]:
+        return frozenset(self.held)
+
+
+class Interpreter:
+    """Executes MiniJ code for one VM, one generator per thread.
+
+    The interpreter does not schedule anything itself: callers drive the
+    generators returned by :meth:`run_client_stmts` and receive events.
+    """
+
+    def __init__(self, table: ClassTable, heap: Heap, rng, label_source) -> None:
+        """
+        Args:
+            table: the resolved program.
+            heap: the shared heap.
+            rng: a ``random.Random`` used only by ``rand()``.
+            label_source: zero-argument callable returning the next
+                global trace label.
+        """
+        self._table = table
+        self._heap = heap
+        self._rng = rng
+        self._next_label = label_source
+        self._next_call_index = 1
+        self.max_call_depth = MAX_CALL_DEPTH
+
+    # ------------------------------------------------------------------
+    # Entry points.
+
+    def run_client_stmts(
+        self, stmts: list[ast.Stmt], thread: ThreadContext, env: dict[str, Value]
+    ) -> Iterator[Event]:
+        """Execute client (test body) statements in the given thread.
+
+        ``env`` is the client variable environment; it is mutated in
+        place so callers can observe client variables afterwards (this is
+        how the synthesizer's ``collectObjects`` captures references).
+        """
+        frame = Frame(locals=env, call_index=0, depth=0, class_name="<client>",
+                      method="<client>")
+        for stmt in stmts:
+            yield from self._exec(stmt, frame, thread)
+            if frame.returned:
+                break
+
+    def call_method(
+        self,
+        thread: ThreadContext,
+        receiver: ObjRef,
+        method_name: str,
+        args: list[Value],
+        from_client: bool = True,
+        caller_depth: int = 0,
+        node_id: int = -1,
+        caller_call_index: int = 0,
+    ) -> Iterator[Event]:
+        """Invoke ``receiver.method(args)`` directly (no client statement).
+
+        Used by synthesized-test thread bodies and the fuzzer.  The
+        generator's return value is the method's return value.
+        """
+        return self._invoke(
+            thread,
+            receiver,
+            method_name,
+            args,
+            from_client=from_client,
+            caller_depth=caller_depth,
+            node_id=node_id,
+            caller_call_index=caller_call_index,
+        )
+
+    # ------------------------------------------------------------------
+    # Statement execution.
+
+    def _exec(self, stmt: ast.Stmt, frame: Frame, thread: ThreadContext):
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                yield from self._exec(inner, frame, thread)
+                if frame.returned:
+                    return
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                value = yield from self._eval(stmt.init, frame, thread)
+            else:
+                value = _default_for(stmt.decl_type.kind)
+            frame.locals[stmt.name] = value
+        elif isinstance(stmt, ast.AssignVar):
+            value = yield from self._eval(stmt.value, frame, thread)
+            frame.locals[stmt.name] = value
+        elif isinstance(stmt, ast.AssignField):
+            yield from self._exec_field_write(stmt, frame, thread)
+        elif isinstance(stmt, ast.If):
+            cond = yield from self._eval(stmt.cond, frame, thread)
+            self._require_bool(cond, stmt.line, thread)
+            if cond:
+                yield from self._exec(stmt.then_body, frame, thread)
+            elif stmt.else_body is not None:
+                yield from self._exec(stmt.else_body, frame, thread)
+        elif isinstance(stmt, ast.While):
+            while True:
+                cond = yield from self._eval(stmt.cond, frame, thread)
+                self._require_bool(cond, stmt.line, thread)
+                if not cond:
+                    break
+                yield from self._exec(stmt.body, frame, thread)
+                if frame.returned:
+                    return
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                frame.return_value = yield from self._eval(stmt.value, frame, thread)
+            frame.returned = True
+        elif isinstance(stmt, ast.Sync):
+            yield from self._exec_sync(stmt, frame, thread)
+        elif isinstance(stmt, ast.Assert):
+            cond = yield from self._eval(stmt.cond, frame, thread)
+            if cond is not True:
+                raise MiniJRuntimeError(
+                    "assertion-failed",
+                    f"assert at line {stmt.line} in "
+                    f"{frame.class_name}.{frame.method}",
+                    thread.thread_id,
+                )
+        elif isinstance(stmt, ast.Fork):
+            if not frame.is_client:
+                raise MiniJRuntimeError(
+                    "fork-in-library",
+                    f"fork at line {stmt.line} outside a test body",
+                    thread.thread_id,
+                )
+            yield ForkRequest(
+                stmts=stmt.body.stmts,
+                env=dict(frame.locals),
+                node_id=stmt.node_id,
+            )
+        elif isinstance(stmt, ast.ExprStmt):
+            yield from self._eval(stmt.expr, frame, thread)
+        else:  # pragma: no cover - exhaustive over the AST
+            raise AssertionError(f"unknown statement {type(stmt).__name__}")
+
+    def _exec_field_write(
+        self, stmt: ast.AssignField, frame: Frame, thread: ThreadContext
+    ):
+        target = yield from self._eval(stmt.target, frame, thread)
+        obj = self._require_object(target, stmt.line, thread)
+        value = yield from self._eval(stmt.value, frame, thread)
+        if stmt.field_name not in obj.fields:
+            raise MiniJRuntimeError(
+                "no-such-field",
+                f"{obj.class_name}.{stmt.field_name} at line {stmt.line}",
+                thread.thread_id,
+            )
+        old_value = obj.fields[stmt.field_name]
+        obj.fields[stmt.field_name] = value
+        yield WriteEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=stmt.node_id,
+            call_index=frame.call_index,
+            obj=obj.ref,
+            class_name=obj.class_name,
+            field_name=stmt.field_name,
+            value=value,
+            old_value=old_value,
+            locks_held=thread.locks_held(),
+            in_constructor=thread.ctor_depth > 0,
+        )
+
+    def _exec_sync(self, stmt: ast.Sync, frame: Frame, thread: ThreadContext):
+        lock_value = yield from self._eval(stmt.lock, frame, thread)
+        obj = self._require_object(lock_value, stmt.line, thread)
+        yield from self._acquire(obj, frame, thread, stmt.node_id)
+        yield from self._exec(stmt.body, frame, thread)
+        yield from self._release(obj, frame, thread, stmt.node_id)
+
+    # ------------------------------------------------------------------
+    # Monitors.
+
+    def _acquire(self, obj: HeapObject, frame: Frame, thread: ThreadContext, node_id: int):
+        while not obj.monitor.can_acquire(thread.thread_id):
+            yield BlockedEvent(
+                label=self._next_label(),
+                thread_id=thread.thread_id,
+                node_id=node_id,
+                call_index=frame.call_index,
+                obj=obj.ref,
+                owner_thread=obj.monitor.owner if obj.monitor.owner is not None else -1,
+            )
+        depth = obj.monitor.acquire(thread.thread_id)
+        thread.held[obj.ref] = thread.held.get(obj.ref, 0) + 1
+        yield LockEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=node_id,
+            call_index=frame.call_index,
+            obj=obj.ref,
+            reentrancy=depth,
+        )
+
+    def _release(self, obj: HeapObject, frame: Frame, thread: ThreadContext, node_id: int):
+        depth = obj.monitor.release(thread.thread_id)
+        remaining = thread.held.get(obj.ref, 0) - 1
+        if remaining <= 0:
+            thread.held.pop(obj.ref, None)
+        else:
+            thread.held[obj.ref] = remaining
+        yield UnlockEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=node_id,
+            call_index=frame.call_index,
+            obj=obj.ref,
+            reentrancy=depth,
+        )
+
+    # ------------------------------------------------------------------
+    # Expression evaluation.
+
+    def _eval(self, expr: ast.Expr | None, frame: Frame, thread: ThreadContext):
+        if expr is None:
+            return None
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.NullLit):
+            return None
+        if isinstance(expr, ast.This):
+            return frame.this
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in frame.locals:
+                raise MiniJRuntimeError(
+                    "undefined-variable",
+                    f"{expr.name} at line {expr.line}",
+                    thread.thread_id,
+                )
+            return frame.locals[expr.name]
+        if isinstance(expr, ast.Rand):
+            return (yield from self._eval_rand(expr, frame, thread))
+        if isinstance(expr, ast.FieldGet):
+            return (yield from self._eval_field_get(expr, frame, thread))
+        if isinstance(expr, ast.New):
+            return (yield from self._eval_new(expr, frame, thread))
+        if isinstance(expr, ast.Call):
+            return (yield from self._eval_call(expr, frame, thread))
+        if isinstance(expr, ast.Binary):
+            return (yield from self._eval_binary(expr, frame, thread))
+        if isinstance(expr, ast.Unary):
+            operand = yield from self._eval(expr.operand, frame, thread)
+            if expr.op == "!":
+                self._require_bool(operand, expr.line, thread)
+                return not operand
+            self._require_int(operand, expr.line, thread)
+            return -operand
+        raise AssertionError(f"unknown expression {type(expr).__name__}")
+
+    def _eval_rand(self, expr: ast.Rand, frame: Frame, thread: ThreadContext):
+        result_type = expr.result_type
+        if result_type is not None and result_type.kind == "class":
+            class_name = result_type.name
+            if self._table.is_interface(class_name) or not self._table.has_class(
+                class_name
+            ):
+                class_name = "Opaque"
+            obj = self._alloc_object(class_name, lib_allocated=True)
+            yield AllocEvent(
+                label=self._next_label(),
+                thread_id=thread.thread_id,
+                node_id=expr.node_id,
+                call_index=frame.call_index,
+                ref=obj.ref,
+                class_name=obj.class_name,
+                in_library=True,
+            )
+            return obj.handle()
+        return self._rng.randrange(1 << 16)
+
+    def _eval_field_get(self, expr: ast.FieldGet, frame: Frame, thread: ThreadContext):
+        target = yield from self._eval(expr.target, frame, thread)
+        obj = self._require_object(target, expr.line, thread)
+        if obj.elements is not None and expr.field_name == "length":
+            return len(obj.elements)
+        if expr.field_name not in obj.fields:
+            raise MiniJRuntimeError(
+                "no-such-field",
+                f"{obj.class_name}.{expr.field_name} at line {expr.line}",
+                thread.thread_id,
+            )
+        value = obj.fields[expr.field_name]
+        yield ReadEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=expr.node_id,
+            call_index=frame.call_index,
+            obj=obj.ref,
+            class_name=obj.class_name,
+            field_name=expr.field_name,
+            value=value,
+            locks_held=thread.locks_held(),
+            in_constructor=thread.ctor_depth > 0,
+        )
+        return value
+
+    def _eval_new(self, expr: ast.New, frame: Frame, thread: ThreadContext):
+        args: list[Value] = []
+        for arg_expr in expr.args:
+            arg = yield from self._eval(arg_expr, frame, thread)
+            args.append(arg)
+        class_name = expr.class_name
+
+        if self._table.is_builtin(class_name):
+            return (yield from self._alloc_builtin(expr, class_name, args, frame, thread))
+
+        obj = self._alloc_object(class_name, lib_allocated=not frame.is_client)
+        yield AllocEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=expr.node_id,
+            call_index=frame.call_index,
+            ref=obj.ref,
+            class_name=class_name,
+            in_library=not frame.is_client,
+        )
+        yield from self._run_field_initializers(obj, expr, frame, thread)
+        ctor = self._table.constructor(class_name)
+        if ctor is not None:
+            yield from self._invoke_decl(
+                thread,
+                obj.handle(),
+                ctor,
+                args,
+                from_client=frame.is_client,
+                caller_depth=frame.depth,
+                node_id=expr.node_id,
+                caller_call_index=frame.call_index,
+            )
+        return obj.handle()
+
+    def _alloc_builtin(
+        self,
+        expr: ast.New,
+        class_name: str,
+        args: list[Value],
+        frame: Frame,
+        thread: ThreadContext,
+    ):
+        if class_name in ("IntArray", "RefArray"):
+            length = args[0]
+            self._require_int(length, expr.line, thread)
+            elem_kind = "int" if class_name == "IntArray" else "class"
+            obj = self._heap.alloc(
+                class_name,
+                {},
+                lib_allocated=not frame.is_client,
+                array_length=length,
+                array_elem_kind=elem_kind,
+            )
+        else:  # Opaque
+            obj = self._heap.alloc(class_name, {}, lib_allocated=not frame.is_client)
+        yield AllocEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=expr.node_id,
+            call_index=frame.call_index,
+            ref=obj.ref,
+            class_name=class_name,
+            in_library=not frame.is_client,
+        )
+        return obj.handle()
+
+    def _alloc_object(self, class_name: str, lib_allocated: bool) -> HeapObject:
+        if self._table.is_builtin(class_name):
+            return self._heap.alloc(class_name, {}, lib_allocated=lib_allocated)
+        field_types = {
+            f.name: f.field_type.kind for f in self._table.class_decl(class_name).fields
+        }
+        return self._heap.alloc(class_name, field_types, lib_allocated=lib_allocated)
+
+    def _run_field_initializers(
+        self, obj: HeapObject, new_expr: ast.New, frame: Frame, thread: ThreadContext
+    ):
+        """Run declared field initializers as constructor-context writes."""
+        cls = self._table.class_decl(obj.class_name)
+        init_frame = Frame(
+            this=obj.handle(),
+            class_name=obj.class_name,
+            method="<fieldinit>",
+            call_index=self._fresh_call_index(),
+            depth=frame.depth + 1,
+            is_constructor=True,
+        )
+        thread.ctor_depth += 1
+        try:
+            for field_decl in cls.fields:
+                if field_decl.init is None:
+                    continue
+                value = yield from self._eval(field_decl.init, init_frame, thread)
+                old_value = obj.fields[field_decl.name]
+                obj.fields[field_decl.name] = value
+                yield WriteEvent(
+                    label=self._next_label(),
+                    thread_id=thread.thread_id,
+                    node_id=new_expr.node_id,
+                    call_index=init_frame.call_index,
+                    obj=obj.ref,
+                    class_name=obj.class_name,
+                    field_name=field_decl.name,
+                    value=value,
+                    old_value=old_value,
+                    locks_held=thread.locks_held(),
+                    in_constructor=True,
+                )
+        finally:
+            thread.ctor_depth -= 1
+
+    def _eval_call(self, expr: ast.Call, frame: Frame, thread: ThreadContext):
+        target = yield from self._eval(expr.target, frame, thread)
+        args: list[Value] = []
+        for arg_expr in expr.args:
+            arg = yield from self._eval(arg_expr, frame, thread)
+            args.append(arg)
+        obj = self._require_object(target, expr.line, thread)
+        if (
+            expr.method in ("wait", "notify", "notifyAll")
+            and not args
+            and self._table.method(obj.class_name, expr.method) is None
+        ):
+            # java.lang.Object condition methods, available on any object.
+            return (yield from self._condition_op(obj, expr, frame, thread))
+        if self._table.is_builtin(obj.class_name):
+            return (yield from self._call_native(obj, expr, args, frame, thread))
+        return (
+            yield from self._invoke(
+                thread,
+                obj.handle(),
+                expr.method,
+                args,
+                from_client=frame.is_client,
+                caller_depth=frame.depth,
+                node_id=expr.node_id,
+                caller_call_index=frame.call_index,
+            )
+        )
+
+    def _call_native(
+        self,
+        obj: HeapObject,
+        expr: ast.Call,
+        args: list[Value],
+        frame: Frame,
+        thread: ThreadContext,
+    ):
+        method = expr.method
+        if obj.elements is None or method not in ("get", "set", "length"):
+            raise MiniJRuntimeError(
+                "no-such-method",
+                f"{obj.class_name}.{method} at line {expr.line}",
+                thread.thread_id,
+            )
+        if method == "length":
+            return len(obj.elements)
+        index = args[0]
+        self._require_int(index, expr.line, thread)
+        if not 0 <= index < len(obj.elements):
+            raise MiniJRuntimeError(
+                "index-out-of-bounds",
+                f"index {index} of {obj.class_name}#{obj.ref} "
+                f"(length {len(obj.elements)}) at line {expr.line}",
+                thread.thread_id,
+            )
+        if method == "get":
+            value = obj.elements[index]
+            yield ReadEvent(
+                label=self._next_label(),
+                thread_id=thread.thread_id,
+                node_id=expr.node_id,
+                call_index=frame.call_index,
+                obj=obj.ref,
+                class_name=obj.class_name,
+                field_name="elem",
+                value=value,
+                locks_held=thread.locks_held(),
+                elem_index=index,
+                in_constructor=thread.ctor_depth > 0,
+            )
+            return value
+        old_value = obj.elements[index]
+        obj.elements[index] = args[1]
+        yield WriteEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=expr.node_id,
+            call_index=frame.call_index,
+            obj=obj.ref,
+            class_name=obj.class_name,
+            field_name="elem",
+            value=args[1],
+            old_value=old_value,
+            locks_held=thread.locks_held(),
+            elem_index=index,
+            in_constructor=thread.ctor_depth > 0,
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    # Condition synchronization: wait / notify / notifyAll.
+
+    def _condition_op(self, obj: HeapObject, expr: ast.Call, frame: Frame,
+                      thread: ThreadContext):
+        """``java.lang.Object`` monitor methods on any object.
+
+        ``wait`` fully releases the monitor (emitting a real UnlockEvent
+        so happens-before detectors see the release), parks the thread
+        in the wait set, and — once removed by a notify — reacquires the
+        monitor at its previous reentrancy depth (a real LockEvent).
+        Wake-ups may be spurious, exactly like Java: a parked thread
+        re-checks its wait-set membership whenever the monitor's state
+        changes.
+        """
+        monitor = obj.monitor
+        if monitor.owner != thread.thread_id:
+            raise MiniJRuntimeError(
+                "illegal-monitor-state",
+                f"{expr.method} on #{obj.ref} without owning its monitor "
+                f"at line {expr.line}",
+                thread.thread_id,
+            )
+        if expr.method in ("notify", "notifyAll"):
+            if expr.method == "notifyAll":
+                woken = tuple(sorted(monitor.wait_set))
+                monitor.wait_set.clear()
+            elif monitor.wait_set:
+                chosen = min(monitor.wait_set)
+                monitor.wait_set.discard(chosen)
+                woken = (chosen,)
+            else:
+                woken = ()
+            yield NotifyEvent(
+                label=self._next_label(),
+                thread_id=thread.thread_id,
+                node_id=expr.node_id,
+                call_index=frame.call_index,
+                obj=obj.ref,
+                woken=woken,
+                notify_all=expr.method == "notifyAll",
+            )
+            return None
+
+        # wait(): release completely, park, reacquire at saved depth.
+        saved_depth = monitor.depth
+        while monitor.depth > 0:
+            monitor.release(thread.thread_id)
+        thread.held.pop(obj.ref, None)
+        monitor.wait_set.add(thread.thread_id)
+        yield UnlockEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=expr.node_id,
+            call_index=frame.call_index,
+            obj=obj.ref,
+            reentrancy=0,
+        )
+        yield WaitEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=expr.node_id,
+            call_index=frame.call_index,
+            obj=obj.ref,
+        )
+        while thread.thread_id in monitor.wait_set:
+            yield BlockedEvent(
+                label=self._next_label(),
+                thread_id=thread.thread_id,
+                node_id=expr.node_id,
+                call_index=frame.call_index,
+                obj=obj.ref,
+                owner_thread=monitor.owner if monitor.owner is not None else -1,
+            )
+        while not monitor.can_acquire(thread.thread_id):
+            yield BlockedEvent(
+                label=self._next_label(),
+                thread_id=thread.thread_id,
+                node_id=expr.node_id,
+                call_index=frame.call_index,
+                obj=obj.ref,
+                owner_thread=monitor.owner if monitor.owner is not None else -1,
+            )
+        for _ in range(saved_depth):
+            monitor.acquire(thread.thread_id)
+        thread.held[obj.ref] = saved_depth
+        yield LockEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=expr.node_id,
+            call_index=frame.call_index,
+            obj=obj.ref,
+            reentrancy=saved_depth,
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    # Invocation machinery.
+
+    def _fresh_call_index(self) -> int:
+        index = self._next_call_index
+        self._next_call_index += 1
+        return index
+
+    def _invoke(
+        self,
+        thread: ThreadContext,
+        receiver: ObjRef,
+        method_name: str,
+        args: list[Value],
+        from_client: bool,
+        caller_depth: int,
+        node_id: int,
+        caller_call_index: int,
+    ):
+        decl = self._table.method(receiver.class_name, method_name)
+        if decl is None:
+            raise MiniJRuntimeError(
+                "no-such-method",
+                f"{receiver.class_name}.{method_name}",
+                thread.thread_id,
+            )
+        return (
+            yield from self._invoke_decl(
+                thread,
+                receiver,
+                decl,
+                args,
+                from_client=from_client,
+                caller_depth=caller_depth,
+                node_id=node_id,
+                caller_call_index=caller_call_index,
+            )
+        )
+
+    def _invoke_decl(
+        self,
+        thread: ThreadContext,
+        receiver: ObjRef,
+        decl: ast.MethodDecl,
+        args: list[Value],
+        from_client: bool,
+        caller_depth: int,
+        node_id: int,
+        caller_call_index: int,
+    ):
+        if caller_depth + 1 > self.max_call_depth:
+            raise MiniJRuntimeError(
+                "stack-overflow",
+                f"calling {receiver.class_name}.{decl.name}",
+                thread.thread_id,
+            )
+        if len(args) != len(decl.params):
+            raise MiniJRuntimeError(
+                "arity-mismatch",
+                f"{receiver.class_name}.{decl.name} expects "
+                f"{len(decl.params)} argument(s), got {len(args)}",
+                thread.thread_id,
+            )
+        call_index = self._fresh_call_index()
+        yield InvokeEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=node_id,
+            call_index=caller_call_index,
+            receiver=receiver.ref,
+            class_name=receiver.class_name,
+            method=decl.name,
+            args=tuple(args),
+            from_client=from_client,
+            is_constructor=decl.is_constructor,
+            new_call_index=call_index,
+            depth=caller_depth + 1,
+        )
+        frame = Frame(
+            locals={p.name: v for p, v in zip(decl.params, args)},
+            this=receiver,
+            class_name=receiver.class_name,
+            method=decl.name,
+            call_index=call_index,
+            depth=caller_depth + 1,
+            is_constructor=decl.is_constructor,
+        )
+        if decl.is_constructor:
+            thread.ctor_depth += 1
+        receiver_obj = self._heap.get(receiver.ref)
+        try:
+            if decl.synchronized:
+                yield from self._acquire(receiver_obj, frame, thread, node_id)
+            yield from self._exec(decl.body, frame, thread)
+            if decl.synchronized:
+                yield from self._release(receiver_obj, frame, thread, node_id)
+        finally:
+            if decl.is_constructor:
+                thread.ctor_depth -= 1
+        yield ReturnEvent(
+            label=self._next_label(),
+            thread_id=thread.thread_id,
+            node_id=node_id,
+            call_index=caller_call_index,
+            value=frame.return_value,
+            to_client=from_client,
+            returning_call_index=call_index,
+            method=decl.name,
+            class_name=receiver.class_name,
+        )
+        return frame.return_value
+
+    # ------------------------------------------------------------------
+    # Fault helpers.
+
+    def _require_object(self, value: Value, line: int, thread: ThreadContext) -> HeapObject:
+        if not isinstance(value, ObjRef):
+            kind = "null-dereference" if value is None else "type-error"
+            raise MiniJRuntimeError(
+                kind, f"dereference of {value!r} at line {line}", thread.thread_id
+            )
+        return self._heap.get(value.ref)
+
+    def _require_bool(self, value: Value, line: int, thread: ThreadContext) -> None:
+        if not isinstance(value, bool):
+            raise MiniJRuntimeError(
+                "type-error", f"expected bool at line {line}, got {value!r}",
+                thread.thread_id,
+            )
+
+    def _require_int(self, value: Value, line: int, thread: ThreadContext) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise MiniJRuntimeError(
+                "type-error", f"expected int at line {line}, got {value!r}",
+                thread.thread_id,
+            )
+
+    def _eval_binary(self, expr: ast.Binary, frame: Frame, thread: ThreadContext):
+        op = expr.op
+        if op == "&&":
+            left = yield from self._eval(expr.left, frame, thread)
+            self._require_bool(left, expr.line, thread)
+            if not left:
+                return False
+            right = yield from self._eval(expr.right, frame, thread)
+            self._require_bool(right, expr.line, thread)
+            return right
+        if op == "||":
+            left = yield from self._eval(expr.left, frame, thread)
+            self._require_bool(left, expr.line, thread)
+            if left:
+                return True
+            right = yield from self._eval(expr.right, frame, thread)
+            self._require_bool(right, expr.line, thread)
+            return right
+
+        left = yield from self._eval(expr.left, frame, thread)
+        right = yield from self._eval(expr.right, frame, thread)
+        if op == "==":
+            return values_equal(left, right)
+        if op == "!=":
+            return not values_equal(left, right)
+
+        self._require_int(left, expr.line, thread)
+        self._require_int(right, expr.line, thread)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op in ("/", "%"):
+            if right == 0:
+                raise MiniJRuntimeError(
+                    "division-by-zero", f"at line {expr.line}", thread.thread_id
+                )
+            # Match Java semantics: truncation toward zero.
+            quotient = abs(left) // abs(right)
+            if (left < 0) != (right < 0):
+                quotient = -quotient
+            if op == "/":
+                return quotient
+            return left - quotient * right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise AssertionError(f"unknown operator {op}")
+
+
+def _default_for(kind: str) -> Value:
+    if kind == "int":
+        return 0
+    if kind == "bool":
+        return False
+    return None

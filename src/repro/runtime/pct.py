@@ -1,0 +1,59 @@
+"""PCT: the priority-based probabilistic concurrency testing scheduler.
+
+Burckhardt et al., *A randomized scheduler with probabilistic guarantees
+of finding bugs* (ASPLOS 2010) — one of the systematic-testing systems
+the paper names as a consumer of its synthesized tests (§6).  PCT gives
+each thread a random priority and always runs the highest-priority
+runnable thread, lowering the priority at ``d-1`` random *change points*
+spread over the expected execution length.  For a bug of depth ``d`` it
+guarantees detection probability >= 1/(n * k^(d-1)) for n threads and k
+steps.
+
+Data races are depth-2 bugs, so PCT with d=2 needs a single change
+point — which is why it confirms the synthesized races in very few
+schedules (see ``bench_schedulers.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+class PCTScheduler:
+    """Priority-based probabilistic concurrency testing.
+
+    Args:
+        seed: randomness for priorities and change points.
+        depth: the targeted bug depth ``d`` (data races: 2).
+        expected_steps: estimate of the execution length ``k``; change
+            points are drawn uniformly from [1, expected_steps].
+    """
+
+    def __init__(self, seed: int = 0, depth: int = 2, expected_steps: int = 1000) -> None:
+        self._rng = random.Random(seed)
+        self._priorities: dict[int, float] = {}
+        self._steps = 0
+        self._change_points = sorted(
+            self._rng.randrange(1, max(2, expected_steps))
+            for _ in range(max(0, depth - 1))
+        )
+        self._next_change = 0
+
+    def _priority(self, tid: int) -> float:
+        if tid not in self._priorities:
+            # Fresh threads draw a random high priority band.
+            self._priorities[tid] = 1.0 + self._rng.random()
+        return self._priorities[tid]
+
+    def pick(self, runnable: Sequence[int], last: int | None) -> int:
+        self._steps += 1
+        if (
+            self._next_change < len(self._change_points)
+            and self._steps >= self._change_points[self._next_change]
+        ):
+            self._next_change += 1
+            if last is not None:
+                # Demote the current thread below everything else.
+                self._priorities[last] = self._rng.random() - 1.0
+        return max(runnable, key=self._priority)

@@ -1,0 +1,43 @@
+"""Schedule recording and deterministic replay.
+
+RaceFuzzer's practical value is not just flagging a race but handing the
+developer a *reproducer*.  A :class:`RecordingScheduler` wraps any
+scheduler and logs the exact thread choice sequence; replaying the log
+through a :class:`repro.runtime.scheduler.FixedScheduler` on a fresh VM
+(same VM seed => same materialization) reproduces the execution — and
+therefore the race — deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.runtime.scheduler import FixedScheduler, Scheduler
+
+
+@dataclass
+class ScheduleLog:
+    """The recorded thread-choice sequence of one execution."""
+
+    choices: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+    def replayer(self) -> FixedScheduler:
+        """A scheduler that replays this log verbatim."""
+        return FixedScheduler(self.choices)
+
+
+class RecordingScheduler:
+    """Wraps a scheduler, logging every decision for replay."""
+
+    def __init__(self, inner: Scheduler) -> None:
+        self._inner = inner
+        self.log = ScheduleLog()
+
+    def pick(self, runnable: Sequence[int], last: int | None) -> int:
+        choice = self._inner.pick(runnable, last)
+        self.log.choices.append(choice)
+        return choice

@@ -1,0 +1,113 @@
+"""Thread schedulers for the MiniJ VM.
+
+A scheduler picks which runnable thread advances by one event.  Because
+the VM is deterministic, a (program, scheduler) pair always reproduces
+the same execution — the property the RaceFuzzer-style confirmation and
+the replay tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+
+class Scheduler(Protocol):
+    """Strategy interface: choose the next thread to advance."""
+
+    def pick(self, runnable: Sequence[int], last: int | None) -> int:
+        """Pick a thread id from ``runnable`` (never empty).
+
+        Args:
+            runnable: ids of threads that can make progress.
+            last: the thread advanced on the previous step, or None.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class RoundRobinScheduler:
+    """Advance threads in cyclic id order, one event each."""
+
+    def pick(self, runnable: Sequence[int], last: int | None) -> int:
+        ordered = sorted(runnable)
+        if last is None:
+            return ordered[0]
+        for tid in ordered:
+            if tid > last:
+                return tid
+        return ordered[0]
+
+
+class SequentialScheduler:
+    """Run the lowest-id runnable thread to completion before the next.
+
+    This is the scheduler used to obtain *sequential* executions (seed
+    traces, and the linearizations the ConTeGe oracle compares against).
+    """
+
+    def pick(self, runnable: Sequence[int], last: int | None) -> int:
+        if last is not None and last in runnable:
+            return last
+        return min(runnable)
+
+
+class RandomScheduler:
+    """Uniformly random scheduling from a seeded stream.
+
+    With ``switch_bias`` below 1.0 the scheduler prefers staying on the
+    current thread, producing longer atomic blocks (closer to how real
+    preemption looks) while still exploring interleavings.
+    """
+
+    def __init__(self, seed: int = 0, switch_bias: float = 1.0) -> None:
+        self._rng = random.Random(seed)
+        self._switch_bias = switch_bias
+
+    def pick(self, runnable: Sequence[int], last: int | None) -> int:
+        if (
+            last is not None
+            and last in runnable
+            and self._switch_bias < 1.0
+            and self._rng.random() >= self._switch_bias
+        ):
+            return last
+        return self._rng.choice(list(runnable))
+
+
+class FixedScheduler:
+    """Replay a recorded schedule; falls back when the script runs dry.
+
+    The script is a list of thread ids.  When the scripted id is not
+    runnable (or the script is exhausted) the fallback scheduler decides.
+    """
+
+    def __init__(self, script: Sequence[int], fallback: Scheduler | None = None) -> None:
+        self._script = list(script)
+        self._pos = 0
+        self._fallback = fallback or RoundRobinScheduler()
+
+    def pick(self, runnable: Sequence[int], last: int | None) -> int:
+        while self._pos < len(self._script):
+            tid = self._script[self._pos]
+            self._pos += 1
+            if tid in runnable:
+                return tid
+        return self._fallback.pick(runnable, last)
+
+
+class PreferredScheduler:
+    """Run one preferred thread whenever possible.
+
+    The race-directed fuzzer uses two of these in sequence: drive thread
+    A until it performs the first access of a candidate pair, then switch
+    preference to thread B until it performs the second.
+    """
+
+    def __init__(self, preferred: int, fallback: Scheduler | None = None) -> None:
+        self.preferred = preferred
+        self._fallback = fallback or RoundRobinScheduler()
+
+    def pick(self, runnable: Sequence[int], last: int | None) -> int:
+        if self.preferred in runnable:
+            return self.preferred
+        return self._fallback.pick(runnable, last)

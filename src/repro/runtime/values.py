@@ -1,0 +1,71 @@
+"""Runtime values for the MiniJ VM.
+
+MiniJ values are Python ``int``, ``bool``, ``None`` (MiniJ ``null``) and
+:class:`ObjRef` — an immutable handle naming a heap object.  Using a
+dedicated handle type (rather than the heap object itself) keeps events
+cheap to snapshot and makes object identity explicit everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class ObjRef:
+    """A reference to a heap object.
+
+    Attributes:
+        ref: the heap id (unique per VM instance).
+        class_name: the runtime class of the referenced object; carried
+            on the handle so trace consumers never need the heap.
+    """
+
+    ref: int
+    class_name: str
+
+    def __repr__(self) -> str:
+        return f"{self.class_name}#{self.ref}"
+
+
+#: A MiniJ runtime value.
+Value = Union[int, bool, None, ObjRef]
+
+
+def is_ref(value: Value) -> bool:
+    """Whether a value is a (non-null) object reference."""
+    return isinstance(value, ObjRef)
+
+
+def is_null(value: Value) -> bool:
+    return value is None
+
+
+def values_equal(left: Value, right: Value) -> bool:
+    """MiniJ ``==``: identity for references, value equality otherwise."""
+    if isinstance(left, ObjRef) or isinstance(right, ObjRef):
+        return left == right
+    if left is None or right is None:
+        return left is right
+    return left == right
+
+
+def default_value(type_kind: str) -> Value:
+    """The default a field of the given type kind is initialized to."""
+    if type_kind == "int":
+        return 0
+    if type_kind == "bool":
+        return False
+    return None
+
+
+def show_value(value: Value) -> str:
+    """Render a value the way the pretty printer would."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return repr(value) if isinstance(value, ObjRef) else str(value)

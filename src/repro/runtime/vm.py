@@ -1,0 +1,358 @@
+"""The MiniJ virtual machine and its execution engine.
+
+:class:`VM` owns the heap, the deterministic random stream, the global
+trace-label counter and the interpreter.  :class:`Execution` owns a set
+of threads, advances them one *event* at a time under a scheduler, and
+dispatches every event to registered listeners (trace recorders, race
+detectors, fuzzer probes).
+
+A single VM can host several executions in sequence — exactly what the
+synthesized tests need: run seed-test prefixes to collect objects, run
+the context-setting calls, then run the racy methods from two threads,
+all against one heap.
+"""
+
+from __future__ import annotations
+
+import enum
+import sys
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol
+
+from repro._util.errors import DeadlockError, MiniJRuntimeError
+from repro.lang import ast
+from repro.lang.classtable import ClassTable
+from repro.runtime.heap import Heap
+from repro.runtime.interp import ForkRequest, Interpreter, ThreadContext
+from repro.runtime.scheduler import Scheduler, SequentialScheduler
+from repro.runtime.values import Value
+from repro.trace.events import (
+    BlockedEvent,
+    Event,
+    FaultEvent,
+    ForkEvent,
+    JoinEvent,
+    UnlockEvent,
+)
+
+#: Default event budget per execution; prevents racy loops from hanging
+#: the fuzzer.
+DEFAULT_MAX_STEPS = 200_000
+
+
+class Listener(Protocol):
+    """Anything that observes the event stream of an execution."""
+
+    def on_event(self, event: Event) -> None: ...  # pragma: no cover
+
+
+class ThreadStatus(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAULTED = "faulted"
+
+
+@dataclass
+class VMThread:
+    """Bookkeeping for one VM thread inside an Execution."""
+
+    ctx: ThreadContext
+    body: Iterator[Event]
+    name: str
+    status: ThreadStatus = ThreadStatus.RUNNABLE
+    blocked_on: int | None = None
+    fault: MiniJRuntimeError | None = None
+    result: Value = None
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of driving an execution to quiescence."""
+
+    steps: int = 0
+    completed: bool = False
+    deadlocked: bool = False
+    timed_out: bool = False
+    faults: list[tuple[int, MiniJRuntimeError]] = field(default_factory=list)
+    blocked: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when every thread finished without fault or deadlock."""
+        return self.completed and not self.faults and not self.deadlocked
+
+
+class VM:
+    """A MiniJ virtual machine for one resolved program."""
+
+    def __init__(self, table: ClassTable, seed: int = 0) -> None:
+        self.table = table
+        self.heap = Heap()
+        self.rng = random.Random(seed)
+        self._label = 0
+        self._next_thread_id = 0
+        self.interp = Interpreter(table, self.heap, self.rng, self.next_label)
+        # Resuming a generator nested N MiniJ-frames deep traverses the
+        # whole `yield from` chain; give the interpreter headroom so the
+        # MiniJ stack-overflow check fires before Python's own.
+        if sys.getrecursionlimit() < 20_000:
+            sys.setrecursionlimit(20_000)
+
+    def next_label(self) -> int:
+        label = self._label
+        self._label += 1
+        return label
+
+    def new_thread_ctx(self) -> ThreadContext:
+        ctx = ThreadContext(thread_id=self._next_thread_id)
+        self._next_thread_id += 1
+        return ctx
+
+    # ------------------------------------------------------------------
+    # Convenience entry points.
+
+    def run_test(
+        self,
+        test_name: str,
+        listeners: tuple[Listener, ...] = (),
+        env: dict[str, Value] | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> tuple[ExecutionResult, dict[str, Value]]:
+        """Run a named sequential test to completion.
+
+        Returns the execution result and the final client environment
+        (test variables -> values).
+        """
+        test = self.table.program.test_decl(test_name)
+        if test is None:
+            raise MiniJRuntimeError("no-such-test", test_name)
+        return self.run_client_stmts(test.body.stmts, listeners, env, max_steps)
+
+    def run_client_stmts(
+        self,
+        stmts: list[ast.Stmt],
+        listeners: tuple[Listener, ...] = (),
+        env: dict[str, Value] | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> tuple[ExecutionResult, dict[str, Value]]:
+        """Run client statements sequentially in a fresh thread."""
+        client_env: dict[str, Value] = {} if env is None else env
+        execution = Execution(self, listeners=listeners)
+        execution.spawn(
+            lambda ctx: self.interp.run_client_stmts(stmts, ctx, client_env),
+            name="main",
+        )
+        result = execution.run(SequentialScheduler(), max_steps=max_steps)
+        return result, client_env
+
+
+class Execution:
+    """A set of VM threads advanced under a scheduler.
+
+    Threads are added with :meth:`spawn`; each is a generator of events.
+    :meth:`step` advances one thread by one event and dispatches it to
+    the listeners; :meth:`run` drives scheduling until every thread is
+    done, a deadlock is reached, or the step budget runs out.
+    """
+
+    def __init__(self, vm: VM, listeners: tuple[Listener, ...] = ()) -> None:
+        self._vm = vm
+        self._listeners = list(listeners)
+        self._threads: dict[int, VMThread] = {}
+        self._last_scheduled: int | None = None
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    # Thread management.
+
+    def spawn(
+        self,
+        make_body: Callable[[ThreadContext], Iterator[Event]],
+        name: str = "",
+        parent: int | None = None,
+    ) -> int:
+        """Create a thread whose body is built from its ThreadContext.
+
+        When ``parent`` is given, a ForkEvent (a happens-before edge for
+        the detectors) is dispatched on the parent's behalf.
+        """
+        ctx = self._vm.new_thread_ctx()
+        thread = VMThread(ctx=ctx, body=make_body(ctx), name=name or f"t{ctx.thread_id}")
+        self._threads[ctx.thread_id] = thread
+        if parent is not None:
+            self._dispatch(
+                ForkEvent(
+                    label=self._vm.next_label(),
+                    thread_id=parent,
+                    node_id=-1,
+                    call_index=0,
+                    child_thread=ctx.thread_id,
+                )
+            )
+        return ctx.thread_id
+
+    def emit_join(self, parent: int, child: int) -> None:
+        """Dispatch a JoinEvent: ``parent`` observed ``child`` finishing."""
+        self._dispatch(
+            JoinEvent(
+                label=self._vm.next_label(),
+                thread_id=parent,
+                node_id=-1,
+                call_index=0,
+                child_thread=child,
+            )
+        )
+
+    def thread(self, tid: int) -> VMThread:
+        return self._threads[tid]
+
+    def thread_ids(self) -> list[int]:
+        return list(self._threads)
+
+    def runnable_threads(self) -> list[int]:
+        return [
+            tid
+            for tid, thread in self._threads.items()
+            if thread.status is ThreadStatus.RUNNABLE
+        ]
+
+    def live_threads(self) -> list[int]:
+        return [
+            tid
+            for tid, thread in self._threads.items()
+            if thread.status in (ThreadStatus.RUNNABLE, ThreadStatus.BLOCKED)
+        ]
+
+    def add_listener(self, listener: Listener) -> None:
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Stepping.
+
+    def step(self, tid: int) -> Event | None:
+        """Advance thread ``tid`` by one event.
+
+        Returns the event, or None when the thread just finished.
+        Faults are converted into FaultEvents and terminate the thread,
+        force-releasing its monitors so peers do not hang forever
+        (mirroring monitor release during Java exception unwinding).
+        """
+        thread = self._threads[tid]
+        if thread.status not in (ThreadStatus.RUNNABLE, ThreadStatus.BLOCKED):
+            raise AssertionError(f"stepping {thread.status.value} thread {tid}")
+        self.steps += 1
+        self._last_scheduled = tid
+        try:
+            event = next(thread.body)
+        except StopIteration as stop:
+            thread.status = ThreadStatus.DONE
+            thread.result = stop.value
+            return None
+        except MiniJRuntimeError as fault:
+            thread.status = ThreadStatus.FAULTED
+            thread.fault = fault
+            self._force_release_monitors(thread)
+            fault_event = FaultEvent(
+                label=self._vm.next_label(),
+                thread_id=tid,
+                node_id=-1,
+                call_index=0,
+                kind=fault.kind,
+                message=str(fault),
+            )
+            self._dispatch(fault_event)
+            return fault_event
+
+        if isinstance(event, ForkRequest):
+            # Client-level `fork {}`: spawn the child (which dispatches
+            # the real ForkEvent) and keep the parent runnable.
+            self.spawn(
+                lambda ctx: self._vm.interp.run_client_stmts(
+                    event.stmts, ctx, event.env
+                ),
+                name=f"fork@{event.node_id}",
+                parent=tid,
+            )
+            thread.status = ThreadStatus.RUNNABLE
+            return None
+
+        if isinstance(event, BlockedEvent):
+            thread.status = ThreadStatus.BLOCKED
+            thread.blocked_on = event.obj
+        else:
+            thread.status = ThreadStatus.RUNNABLE
+            thread.blocked_on = None
+        self._dispatch(event)
+        if isinstance(event, UnlockEvent) and event.reentrancy == 0:
+            self._wake_waiters(event.obj)
+        return event
+
+    def run(
+        self, scheduler: Scheduler, max_steps: int = DEFAULT_MAX_STEPS
+    ) -> ExecutionResult:
+        """Drive all threads under ``scheduler`` until quiescence."""
+        result = ExecutionResult()
+        while True:
+            runnable = self.runnable_threads()
+            if not runnable:
+                live = self.live_threads()
+                if live:
+                    result.deadlocked = True
+                    result.blocked = {
+                        tid: self._threads[tid].blocked_on or -1 for tid in live
+                    }
+                else:
+                    result.completed = True
+                break
+            if self.steps >= max_steps:
+                result.timed_out = True
+                break
+            tid = scheduler.pick(runnable, self._last_scheduled)
+            self.step(tid)
+        result.steps = self.steps
+        result.faults = [
+            (tid, thread.fault)
+            for tid, thread in self._threads.items()
+            if thread.fault is not None
+        ]
+        return result
+
+    def run_single(self, tid: int, max_steps: int = DEFAULT_MAX_STEPS) -> VMThread:
+        """Drive one thread to completion (sequential phases).
+
+        Raises:
+            DeadlockError: if the thread blocks with nobody to unblock it.
+        """
+        thread = self._threads[tid]
+        steps = 0
+        while thread.status in (ThreadStatus.RUNNABLE, ThreadStatus.BLOCKED):
+            if thread.status is ThreadStatus.BLOCKED:
+                raise DeadlockError({tid: thread.blocked_on or -1})
+            if steps >= max_steps:
+                raise MiniJRuntimeError("step-budget", f"thread {tid} exceeded budget")
+            self.step(tid)
+            steps += 1
+        return thread
+
+    # ------------------------------------------------------------------
+    # Internals.
+
+    def _dispatch(self, event: Event) -> None:
+        for listener in self._listeners:
+            listener.on_event(event)
+
+    def _wake_waiters(self, obj_ref: int) -> None:
+        for thread in self._threads.values():
+            if thread.status is ThreadStatus.BLOCKED and thread.blocked_on == obj_ref:
+                thread.status = ThreadStatus.RUNNABLE
+                thread.blocked_on = None
+
+    def _force_release_monitors(self, thread: VMThread) -> None:
+        for obj_ref, count in list(thread.ctx.held.items()):
+            obj = self._vm.heap.get(obj_ref)
+            for _ in range(count):
+                obj.monitor.release(thread.ctx.thread_id)
+            self._wake_waiters(obj_ref)
+        thread.ctx.held.clear()

@@ -1,0 +1,17 @@
+"""The nine subject libraries of the paper's evaluation (Table 3)."""
+
+from repro.subjects.base import (
+    PaperNumbers,
+    SubjectInfo,
+    all_subjects,
+    get_subject,
+    register,
+)
+
+__all__ = [
+    "PaperNumbers",
+    "SubjectInfo",
+    "all_subjects",
+    "get_subject",
+    "register",
+]

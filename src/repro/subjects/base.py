@@ -1,0 +1,93 @@
+"""Subject registry: the nine analyzed classes of the paper's Table 3.
+
+Each subject module re-implements, in MiniJ, the analyzed class of one
+paper benchmark together with enough of its surrounding library for the
+seed tests to be realistic — preserving the *defect pattern* the paper
+found (wrong mutex object, missing synchronization, constant-reset
+benign races, uncontrollable internal state), not the Java source text.
+
+``paper`` carries the numbers the original evaluation reported so the
+benchmark harness can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ClassTable, load
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """The paper's reported values for one subject (Tables 3-5)."""
+
+    methods: int
+    loc: int
+    race_pairs: int
+    tests: int
+    time_seconds: float
+    races_detected: int
+    harmful: int
+    benign: int
+    manual_tp: int | None = None
+    manual_fp: int | None = None
+
+
+@dataclass(frozen=True)
+class SubjectInfo:
+    """One subject: metadata plus its MiniJ source."""
+
+    key: str
+    benchmark: str
+    version: str
+    class_name: str
+    description: str
+    source: str
+    paper: PaperNumbers
+
+    def load(self) -> ClassTable:
+        """Parse and resolve the subject's MiniJ program."""
+        return load(self.source)
+
+
+_REGISTRY: dict[str, SubjectInfo] = {}
+
+
+def register(info: SubjectInfo) -> SubjectInfo:
+    if info.key in _REGISTRY:
+        raise ValueError(f"duplicate subject {info.key}")
+    _REGISTRY[info.key] = info
+    return info
+
+
+def get_subject(key: str) -> SubjectInfo:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown subject {key!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_subjects() -> list[SubjectInfo]:
+    """All subjects in C1..C9 order."""
+    _ensure_loaded()
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def _ensure_loaded() -> None:
+    if _REGISTRY:
+        return
+    # Importing the modules populates the registry via register().
+    from repro.subjects import (  # noqa: F401
+        c1_hazelcast_wbq,
+        c2_openjdk_synccollection,
+        c3_openjdk_chararraywriter,
+        c4_colt_dynamicbin,
+        c5_hsqldb_doubleintindex,
+        c6_hsqldb_scanner,
+        c7_hedc_pooledexecutor,
+        c8_h2_sequence,
+        c9_classpath_chararrayreader,
+    )

@@ -1,0 +1,224 @@
+"""C1 — hazelcast 3.3.2 ``SynchronizedWriteBehindQueue``.
+
+The paper's motivating example (§2, Figs. 2-5).  The wrapper is
+advertised as thread safe, but its constructor assigns ``this`` as the
+mutex instead of the wrapped queue.  Two wrappers around the same
+``CoalescedWriteBehindQueue`` therefore guard the shared inner state
+with *different* locks — every delegated operation is an unprotected
+access to the inner queue's fields.
+
+The synthesized Figure-3 test wraps one coalesced queue twice via the
+``WriteBehindQueues`` factory and calls ``removeFirst`` from two
+threads.
+"""
+
+from repro.subjects.base import PaperNumbers, SubjectInfo, register
+
+SOURCE = """
+interface WriteBehindQueue {
+  void addFirst(DelayedEntry e);
+  void addLast(DelayedEntry e);
+  DelayedEntry removeFirst();
+  DelayedEntry removeLast();
+  DelayedEntry getFirst();
+  bool offer(DelayedEntry e);
+  DelayedEntry poll();
+  DelayedEntry peek();
+  bool contains(DelayedEntry e);
+  void removeAll();
+  void clear();
+  int size();
+  bool isEmpty();
+}
+
+class DelayedEntry {
+  Opaque value;
+  int delayTime;
+  DelayedEntry() { this.delayTime = 0; }
+}
+
+/* Factory methods for write behind queues (WriteBehindQueues.java). */
+class WriteBehindQueues {
+  WriteBehindQueue createSafeWriteBehindQueue(WriteBehindQueue q) {
+    return new SynchronizedWriteBehindQueue(q);
+  }
+  WriteBehindQueue createCoalescedWriteBehindQueue() {
+    return new CoalescedWriteBehindQueue();
+  }
+}
+
+/* Unsynchronized backing queue (CoalescedWriteBehindQueue.java). */
+class CoalescedWriteBehindQueue implements WriteBehindQueue {
+  RefArray items;
+  int count;
+  CoalescedWriteBehindQueue() {
+    this.items = new RefArray(16);
+    this.count = 0;
+  }
+  void addFirst(DelayedEntry e) {
+    int i = this.count;
+    while (i > 0) {
+      this.items.set(i, this.items.get(i - 1));
+      i = i - 1;
+    }
+    this.items.set(0, e);
+    this.count = this.count + 1;
+  }
+  void addLast(DelayedEntry e) {
+    this.items.set(this.count, e);
+    this.count = this.count + 1;
+  }
+  DelayedEntry removeFirst() {
+    if (this.count == 0) { return null; }
+    DelayedEntry head = this.items.get(0);
+    int i = 1;
+    while (i < this.count) {
+      this.items.set(i - 1, this.items.get(i));
+      i = i + 1;
+    }
+    this.count = this.count - 1;
+    this.items.set(this.count, null);
+    return head;
+  }
+  DelayedEntry removeLast() {
+    if (this.count == 0) { return null; }
+    this.count = this.count - 1;
+    DelayedEntry tail = this.items.get(this.count);
+    this.items.set(this.count, null);
+    return tail;
+  }
+  DelayedEntry getFirst() {
+    if (this.count == 0) { return null; }
+    return this.items.get(0);
+  }
+  bool offer(DelayedEntry e) {
+    if (this.count >= this.items.length) { return false; }
+    this.addLast(e);
+    return true;
+  }
+  DelayedEntry poll() { return this.removeFirst(); }
+  DelayedEntry peek() { return this.getFirst(); }
+  bool contains(DelayedEntry e) {
+    int i = 0;
+    while (i < this.count) {
+      if (this.items.get(i) == e) { return true; }
+      i = i + 1;
+    }
+    return false;
+  }
+  void removeAll() {
+    while (this.count > 0) { this.removeFirst(); }
+  }
+  void clear() {
+    int i = 0;
+    while (i < this.count) {
+      this.items.set(i, null);
+      i = i + 1;
+    }
+    this.count = 0;
+  }
+  int size() { return this.count; }
+  bool isEmpty() { return this.count == 0; }
+}
+
+/* Thread safe write behind queue (SynchronizedWriteBehindQueue.java).
+   BUG: the mutex is `this` instead of the wrapped queue (line 38 of
+   the original), so two wrappers of one queue race on its state. */
+class SynchronizedWriteBehindQueue implements WriteBehindQueue {
+  WriteBehindQueue queue;
+  Object mutex;
+  SynchronizedWriteBehindQueue(WriteBehindQueue q) {
+    this.queue = q;
+    this.mutex = this;
+  }
+  void addFirst(DelayedEntry e) {
+    synchronized (this.mutex) { this.queue.addFirst(e); }
+  }
+  void addLast(DelayedEntry e) {
+    synchronized (this.mutex) { this.queue.addLast(e); }
+  }
+  DelayedEntry removeFirst() {
+    synchronized (this.mutex) { return this.queue.removeFirst(); }
+  }
+  DelayedEntry removeLast() {
+    synchronized (this.mutex) { return this.queue.removeLast(); }
+  }
+  DelayedEntry getFirst() {
+    synchronized (this.mutex) { return this.queue.getFirst(); }
+  }
+  bool offer(DelayedEntry e) {
+    synchronized (this.mutex) { return this.queue.offer(e); }
+  }
+  DelayedEntry poll() {
+    synchronized (this.mutex) { return this.queue.poll(); }
+  }
+  DelayedEntry peek() {
+    synchronized (this.mutex) { return this.queue.peek(); }
+  }
+  bool contains(DelayedEntry e) {
+    synchronized (this.mutex) { return this.queue.contains(e); }
+  }
+  void removeAll() {
+    synchronized (this.mutex) { this.queue.removeAll(); }
+  }
+  void clear() {
+    synchronized (this.mutex) { this.queue.clear(); }
+  }
+  int size() {
+    synchronized (this.mutex) { return this.queue.size(); }
+  }
+  bool isEmpty() {
+    synchronized (this.mutex) { return this.queue.isEmpty(); }
+  }
+}
+
+/* Seed suite: every SynchronizedWriteBehindQueue method exactly once
+   (§5: "each method in the class is invoked exactly once"). */
+test SeedC1 {
+  WriteBehindQueues factory = new WriteBehindQueues();
+  WriteBehindQueue cwbq = factory.createCoalescedWriteBehindQueue();
+  WriteBehindQueue swbq = factory.createSafeWriteBehindQueue(cwbq);
+  DelayedEntry e1 = new DelayedEntry();
+  DelayedEntry e2 = new DelayedEntry();
+  DelayedEntry first = swbq.getFirst();
+  DelayedEntry peeked = swbq.peek();
+  bool has = swbq.contains(e2);
+  int n = swbq.size();
+  bool empty = swbq.isEmpty();
+  DelayedEntry r1 = swbq.removeFirst();
+  DelayedEntry r2 = swbq.removeLast();
+  DelayedEntry polled = swbq.poll();
+  swbq.removeAll();
+  swbq.clear();
+  swbq.addFirst(e1);
+  swbq.addLast(e2);
+  bool offered = swbq.offer(new DelayedEntry());
+}
+"""
+
+C1 = register(
+    SubjectInfo(
+        key="C1",
+        benchmark="hazelcast",
+        version="3.3.2",
+        class_name="SynchronizedWriteBehindQueue",
+        description=(
+            "Write-behind queue wrapper whose mutex is the wrapper itself "
+            "instead of the wrapped queue; wrappers sharing a backing queue "
+            "race on all of its state."
+        ),
+        source=SOURCE,
+        paper=PaperNumbers(
+            methods=14,
+            loc=104,
+            race_pairs=65,
+            tests=15,
+            time_seconds=12.2,
+            races_detected=76,
+            harmful=58,
+            benign=2,
+            manual_tp=12,
+            manual_fp=4,
+        ),
+    )
+)

@@ -1,0 +1,237 @@
+"""C2 — openjdk 1.7 ``Collections.SynchronizedCollection``.
+
+Same defect family as C1: the synchronized wrapper guards the backing
+collection with its own monitor (``mutex = this``), so two wrappers
+created over one backing collection — a situation the public
+``synchronizedCollection`` factory makes easy — do not exclude each
+other.  The paper analyzed this class plus eight similar openjdk
+wrapper classes whose races it reports as "very similar" (§5, fn. 5).
+"""
+
+from repro.subjects.base import PaperNumbers, SubjectInfo, register
+
+SOURCE = """
+interface Collection {
+  bool add(Object e);
+  bool remove(Object e);
+  bool contains(Object e);
+  int size();
+  bool isEmpty();
+  void clear();
+  Object get(int i);
+  Object set(int i, Object e);
+  int indexOf(Object e);
+  Object first();
+  Object last();
+}
+
+/* A plain, unsynchronized ArrayList-like collection. */
+class ArrayCollection implements Collection {
+  RefArray elements;
+  int count;
+  int modCount;
+  ArrayCollection() {
+    this.elements = new RefArray(16);
+    this.count = 0;
+    this.modCount = 0;
+  }
+  bool add(Object e) {
+    if (this.count >= this.elements.length) { return false; }
+    this.elements.set(this.count, e);
+    this.count = this.count + 1;
+    this.modCount = this.modCount + 1;
+    return true;
+  }
+  bool remove(Object e) {
+    int i = this.indexOf(e);
+    if (i < 0) { return false; }
+    int j = i + 1;
+    while (j < this.count) {
+      this.elements.set(j - 1, this.elements.get(j));
+      j = j + 1;
+    }
+    this.count = this.count - 1;
+    this.elements.set(this.count, null);
+    this.modCount = this.modCount + 1;
+    return true;
+  }
+  bool contains(Object e) { return this.indexOf(e) >= 0; }
+  int size() { return this.count; }
+  bool isEmpty() { return this.count == 0; }
+  void clear() {
+    int i = 0;
+    while (i < this.count) {
+      this.elements.set(i, null);
+      i = i + 1;
+    }
+    this.count = 0;
+    this.modCount = this.modCount + 1;
+  }
+  Object get(int i) {
+    if (i < 0) { return null; }
+    if (i >= this.count) { return null; }
+    return this.elements.get(i);
+  }
+  Object set(int i, Object e) {
+    Object old = this.elements.get(i);
+    this.elements.set(i, e);
+    this.modCount = this.modCount + 1;
+    return old;
+  }
+  int indexOf(Object e) {
+    int i = 0;
+    while (i < this.count) {
+      if (this.elements.get(i) == e) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+  Object first() { return this.get(0); }
+  Object last() { return this.get(this.count - 1); }
+}
+
+/* java.util.Collections$SynchronizedCollection.  BUG: mutex = this, so
+   wrappers sharing one backing collection use different locks. */
+class SynchronizedCollection implements Collection {
+  Collection c;
+  Object mutex;
+  SynchronizedCollection(Collection backing) {
+    this.c = backing;
+    this.mutex = this;
+  }
+  bool add(Object e) { synchronized (this.mutex) { return this.c.add(e); } }
+  bool remove(Object e) { synchronized (this.mutex) { return this.c.remove(e); } }
+  bool contains(Object e) {
+    synchronized (this.mutex) { return this.c.contains(e); }
+  }
+  int size() { synchronized (this.mutex) { return this.c.size(); } }
+  bool isEmpty() { synchronized (this.mutex) { return this.c.isEmpty(); } }
+  void clear() { synchronized (this.mutex) { this.c.clear(); } }
+  Object get(int i) { synchronized (this.mutex) { return this.c.get(i); } }
+  Object set(int i, Object e) {
+    synchronized (this.mutex) { return this.c.set(i, e); }
+  }
+  int indexOf(Object e) { synchronized (this.mutex) { return this.c.indexOf(e); } }
+  Object first() { synchronized (this.mutex) { return this.c.first(); } }
+  Object last() { synchronized (this.mutex) { return this.c.last(); } }
+  bool addAll(Collection other) {
+    synchronized (this.mutex) {
+      int i = 0;
+      int n = other.size();
+      bool changed = false;
+      while (i < n) {
+        changed = this.c.add(other.get(i)) || changed;
+        i = i + 1;
+      }
+      return changed;
+    }
+  }
+  bool removeAll(Collection other) {
+    synchronized (this.mutex) {
+      int i = 0;
+      int n = other.size();
+      bool changed = false;
+      while (i < n) {
+        changed = this.c.remove(other.get(i)) || changed;
+        i = i + 1;
+      }
+      return changed;
+    }
+  }
+  bool containsAll(Collection other) {
+    synchronized (this.mutex) {
+      int i = 0;
+      int n = other.size();
+      while (i < n) {
+        if (!this.c.contains(other.get(i))) { return false; }
+        i = i + 1;
+      }
+      return true;
+    }
+  }
+  RefArray toArray() {
+    synchronized (this.mutex) {
+      int n = this.c.size();
+      RefArray out = new RefArray(n);
+      int i = 0;
+      while (i < n) {
+        out.set(i, this.c.get(i));
+        i = i + 1;
+      }
+      return out;
+    }
+  }
+  Object poll() {
+    synchronized (this.mutex) {
+      Object head = this.c.first();
+      if (head != null) { this.c.remove(head); }
+      return head;
+    }
+  }
+  bool offer(Object e) { synchronized (this.mutex) { return this.c.add(e); } }
+  Object peek() { synchronized (this.mutex) { return this.c.first(); } }
+  Collection backing() { return this.c; }
+}
+
+class Collections {
+  Collection synchronizedCollection(Collection c) {
+    return new SynchronizedCollection(c);
+  }
+}
+
+test SeedC2 {
+  Collections util = new Collections();
+  Collection backing = new ArrayCollection();
+  Collection view = util.synchronizedCollection(backing);
+  Opaque a = rand();
+  Opaque b = rand();
+  bool e1 = view.isEmpty();
+  int n0 = view.size();
+  bool has = view.contains(a);
+  int at = view.indexOf(a);
+  Object f0 = view.first();
+  Object l0 = view.last();
+  Object g0 = view.get(0);
+  Object pk = view.peek();
+  Object pl = view.poll();
+  view.clear();
+  bool r1 = view.remove(a);
+  bool a1 = view.add(a);
+  bool o1 = view.offer(b);
+  Object s1 = view.set(0, b);
+  Collection other = new ArrayCollection();
+  other.add(a);
+  SynchronizedCollection sview = new SynchronizedCollection(backing);
+  bool aa = sview.addAll(other);
+  bool ca = sview.containsAll(other);
+  bool ra = sview.removeAll(other);
+  RefArray arr = sview.toArray();
+  Collection back = sview.backing();
+}
+"""
+
+C2 = register(
+    SubjectInfo(
+        key="C2",
+        benchmark="openjdk",
+        version="1.7",
+        class_name="SynchronizedCollection",
+        description=(
+            "Collections.synchronizedCollection wrapper; two wrappers over "
+            "one backing collection synchronize on different mutexes."
+        ),
+        source=SOURCE,
+        paper=PaperNumbers(
+            methods=19,
+            loc=85,
+            race_pairs=131,
+            tests=40,
+            time_seconds=13.5,
+            races_detected=84,
+            harmful=65,
+            benign=1,
+            manual_tp=18,
+            manual_fp=0,
+        ),
+    )
+)

@@ -1,0 +1,110 @@
+"""C3 — openjdk 1.7 ``java.io.CharArrayWriter``.
+
+The mutating methods are synchronized, but ``reset()`` and ``size()``
+are not (their real-JDK counterparts touch ``count`` without holding the
+lock).  ``writeTo`` additionally reads another writer's buffer under the
+*receiver's* monitor only, so two writers copying into each other race.
+"""
+
+from repro.subjects.base import PaperNumbers, SubjectInfo, register
+
+SOURCE = """
+class CharArrayWriter {
+  IntArray buf;
+  int count;
+  CharArrayWriter() {
+    this.buf = new IntArray(32);
+    this.count = 0;
+  }
+  synchronized void write(int c) {
+    int newcount = this.count + 1;
+    if (newcount <= this.buf.length) {
+      this.buf.set(this.count, c);
+      this.count = newcount;
+    }
+  }
+  synchronized void writeChars(IntArray c, int off, int len) {
+    int i = 0;
+    while (i < len) {
+      this.buf.set(this.count + i, c.get(off + i));
+      i = i + 1;
+    }
+    this.count = this.count + len;
+  }
+  synchronized void writeTo(CharArrayWriter out) {
+    int i = 0;
+    while (i < this.count) {
+      out.write(this.buf.get(i));
+      i = i + 1;
+    }
+  }
+  synchronized void append(int c) { this.write(c); }
+  synchronized IntArray toCharArray() {
+    IntArray copy = new IntArray(this.count);
+    int i = 0;
+    while (i < this.count) {
+      copy.set(i, this.buf.get(i));
+      i = i + 1;
+    }
+    return copy;
+  }
+  /* NOT synchronized in the JDK: resets count without the lock. */
+  void reset() { this.count = 0; }
+  /* NOT synchronized in the JDK. */
+  int size() { return this.count; }
+  int capacity() { return this.buf.length; }
+  synchronized bool isEmpty() { return this.count == 0; }
+  synchronized int charAt(int i) {
+    if (i < this.count) { return this.buf.get(i); }
+    return 0 - 1;
+  }
+  void flush() { int observed = this.count; }
+  void close() { int remaining = this.count; }
+}
+
+test SeedC3 {
+  CharArrayWriter w = new CharArrayWriter();
+  w.write(65);
+  w.append(66);
+  IntArray chunk = new IntArray(4);
+  chunk.set(0, 67);
+  chunk.set(1, 68);
+  w.writeChars(chunk, 0, 2);
+  CharArrayWriter sink = new CharArrayWriter();
+  w.writeTo(sink);
+  IntArray snapshot = w.toCharArray();
+  int n = w.size();
+  int cap = w.capacity();
+  bool empty = w.isEmpty();
+  int ch = w.charAt(0);
+  w.flush();
+  w.close();
+  w.reset();
+}
+"""
+
+C3 = register(
+    SubjectInfo(
+        key="C3",
+        benchmark="openjdk",
+        version="1.7",
+        class_name="CharArrayWriter",
+        description=(
+            "Character buffer whose reset/size/flush/close touch count "
+            "without the monitor the write methods hold."
+        ),
+        source=SOURCE,
+        paper=PaperNumbers(
+            methods=13,
+            loc=92,
+            race_pairs=13,
+            tests=9,
+            time_seconds=2.2,
+            races_detected=8,
+            harmful=7,
+            benign=1,
+            manual_tp=0,
+            manual_fp=0,
+        ),
+    )
+)

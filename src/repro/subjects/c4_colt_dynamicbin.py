@@ -1,0 +1,357 @@
+"""C4 — colt 1.2.0 ``DynamicBin1D``.
+
+A statistics bin that keeps its samples in an *internal* buffer object
+allocated by the constructor.  Almost every method is synchronized on
+the bin, yet each one touches the buffer's state without holding the
+buffer's own monitor — so the analysis (correctly, per its conservative
+definition) reports many unprotected accesses and racing pairs.  But the
+buffer is never exposed to or settable by clients: context derivation
+can only fall back to sharing the *receiver*, and since the methods are
+synchronized the resulting tests serialize and expose nothing.  This is
+exactly the phenomenon the paper reports for C4: 26 racing pairs, tests
+synthesized for them, only 4 races detected (§5, Fig. 14 discussion).
+
+The four real races come from the handful of methods that skip
+synchronization: cache invalidation and the fix-up flags.
+"""
+
+from repro.subjects.base import PaperNumbers, SubjectInfo, register
+
+SOURCE = """
+/* Internal sample storage; never escapes DynamicBin1D. */
+class DoubleBuffer {
+  IntArray elements;
+  int count;
+  DoubleBuffer() {
+    this.elements = new IntArray(64);
+    this.count = 0;
+  }
+  void addValue(int v) {
+    if (this.count < this.elements.length) {
+      this.elements.set(this.count, v);
+      this.count = this.count + 1;
+    }
+  }
+  int valueAt(int i) { return this.elements.get(i); }
+  int length() { return this.count; }
+  void reset() { this.count = 0; }
+}
+
+class DynamicBin1D {
+  DoubleBuffer buffer;
+  int cachedSum;
+  int cachedSumSq;
+  int cachedMin;
+  int cachedMax;
+  bool validSum;
+  bool validMinMax;
+  bool fixedOrder;
+  DynamicBin1D() {
+    this.buffer = new DoubleBuffer();
+    this.cachedSum = 0;
+    this.cachedSumSq = 0;
+    this.cachedMin = 0;
+    this.cachedMax = 0;
+    this.validSum = false;
+    this.validMinMax = false;
+    this.fixedOrder = false;
+  }
+
+  synchronized void add(int v) {
+    this.buffer.addValue(v);
+    this.validSum = false;
+    this.validMinMax = false;
+  }
+  synchronized void addAllOf(DynamicBin1D other) {
+    int n = other.size();
+    int i = 0;
+    while (i < n) {
+      this.buffer.addValue(other.valueAt(i));
+      i = i + 1;
+    }
+    this.validSum = false;
+    this.validMinMax = false;
+  }
+  synchronized int size() { return this.buffer.length(); }
+  synchronized int valueAt(int i) { return this.buffer.valueAt(i); }
+  synchronized void clear() {
+    this.buffer.reset();
+    this.validSum = false;
+    this.validMinMax = false;
+  }
+  synchronized int sum() {
+    if (!this.validSum) { this.updateSumCache(); }
+    return this.cachedSum;
+  }
+  synchronized int sumOfSquares() {
+    if (!this.validSum) { this.updateSumCache(); }
+    return this.cachedSumSq;
+  }
+  synchronized void updateSumCache() {
+    int s = 0;
+    int sq = 0;
+    int i = 0;
+    int n = this.buffer.length();
+    while (i < n) {
+      int v = this.buffer.valueAt(i);
+      s = s + v;
+      sq = sq + v * v;
+      i = i + 1;
+    }
+    this.cachedSum = s;
+    this.cachedSumSq = sq;
+    this.validSum = true;
+  }
+  synchronized int min() {
+    if (!this.validMinMax) { this.updateMinMaxCache(); }
+    return this.cachedMin;
+  }
+  synchronized int max() {
+    if (!this.validMinMax) { this.updateMinMaxCache(); }
+    return this.cachedMax;
+  }
+  synchronized void updateMinMaxCache() {
+    int n = this.buffer.length();
+    if (n == 0) { return; }
+    int lo = this.buffer.valueAt(0);
+    int hi = lo;
+    int i = 1;
+    while (i < n) {
+      int v = this.buffer.valueAt(i);
+      if (v < lo) { lo = v; }
+      if (v > hi) { hi = v; }
+      i = i + 1;
+    }
+    this.cachedMin = lo;
+    this.cachedMax = hi;
+    this.validMinMax = true;
+  }
+  synchronized int mean() {
+    int n = this.buffer.length();
+    if (n == 0) { return 0; }
+    return this.sum() / n;
+  }
+  synchronized int variance() {
+    int n = this.buffer.length();
+    if (n == 0) { return 0; }
+    int m = this.mean();
+    return this.sumOfSquares() / n - m * m;
+  }
+  synchronized int standardDeviation() {
+    int v = this.variance();
+    int r = 0;
+    while ((r + 1) * (r + 1) <= v) { r = r + 1; }
+    return r;
+  }
+  synchronized int rms() {
+    int n = this.buffer.length();
+    if (n == 0) { return 0; }
+    int msq = this.sumOfSquares() / n;
+    int r = 0;
+    while ((r + 1) * (r + 1) <= msq) { r = r + 1; }
+    return r;
+  }
+  synchronized int frequency(int v) {
+    int n = this.buffer.length();
+    int i = 0;
+    int hits = 0;
+    while (i < n) {
+      if (this.buffer.valueAt(i) == v) { hits = hits + 1; }
+      i = i + 1;
+    }
+    return hits;
+  }
+  synchronized bool includes(int v) { return this.frequency(v) > 0; }
+  synchronized int sizeOfRange(int lo, int hi) {
+    int n = this.buffer.length();
+    int i = 0;
+    int hits = 0;
+    while (i < n) {
+      int v = this.buffer.valueAt(i);
+      if (v >= lo && v <= hi) { hits = hits + 1; }
+      i = i + 1;
+    }
+    return hits;
+  }
+  synchronized int moment(int k) {
+    int n = this.buffer.length();
+    if (n == 0) { return 0; }
+    int total = 0;
+    int i = 0;
+    while (i < n) {
+      int v = this.buffer.valueAt(i);
+      int p = 1;
+      int j = 0;
+      while (j < k) { p = p * v; j = j + 1; }
+      total = total + p;
+      i = i + 1;
+    }
+    return total / n;
+  }
+  synchronized int product() {
+    int n = this.buffer.length();
+    int p = 1;
+    int i = 0;
+    while (i < n) { p = p * this.buffer.valueAt(i); i = i + 1; }
+    return p;
+  }
+  synchronized int sumOfInversions() {
+    int n = this.buffer.length();
+    int total = 0;
+    int i = 0;
+    while (i < n) {
+      int v = this.buffer.valueAt(i);
+      if (v != 0) { total = total + 1000 / v; }
+      i = i + 1;
+    }
+    return total;
+  }
+  synchronized int geometricMean() {
+    int p = this.product();
+    int n = this.buffer.length();
+    if (n == 0) { return 0; }
+    int r = 0;
+    while ((r + 1) * (r + 1) <= p) { r = r + 1; }
+    return r;
+  }
+  synchronized int harmonicMean() {
+    int inv = this.sumOfInversions();
+    int n = this.buffer.length();
+    if (inv == 0) { return 0; }
+    return n * 1000 / inv;
+  }
+  synchronized int median() {
+    this.sortInternal();
+    int n = this.buffer.length();
+    if (n == 0) { return 0; }
+    return this.buffer.valueAt(n / 2);
+  }
+  synchronized int quantile(int percent) {
+    this.sortInternal();
+    int n = this.buffer.length();
+    if (n == 0) { return 0; }
+    int idx = n * percent / 100;
+    if (idx >= n) { idx = n - 1; }
+    return this.buffer.valueAt(idx);
+  }
+  synchronized void sortInternal() {
+    int n = this.buffer.length();
+    int i = 0;
+    while (i < n) {
+      int j = i + 1;
+      while (j < n) {
+        int a = this.buffer.valueAt(i);
+        int b = this.buffer.valueAt(j);
+        if (b < a) {
+          this.buffer.elements.set(i, b);
+          this.buffer.elements.set(j, a);
+        }
+        j = j + 1;
+      }
+      i = i + 1;
+    }
+  }
+  synchronized void trim(int lo, int hi) {
+    this.sortInternal();
+    int n = this.buffer.length();
+    if (lo + hi >= n) { this.buffer.reset(); return; }
+    int i = 0;
+    while (i < n - lo - hi) {
+      this.buffer.elements.set(i, this.buffer.valueAt(i + lo));
+      i = i + 1;
+    }
+    this.buffer.count = n - lo - hi;
+  }
+  synchronized bool isEmpty() { return this.buffer.length() == 0; }
+  synchronized int sampleVariance() {
+    int n = this.buffer.length();
+    if (n < 2) { return 0; }
+    int m = this.mean();
+    return (this.sumOfSquares() - n * m * m) / (n - 1);
+  }
+  synchronized int sampleStandardDeviation() {
+    int v = this.sampleVariance();
+    int r = 0;
+    while ((r + 1) * (r + 1) <= v) { r = r + 1; }
+    return r;
+  }
+
+  /* NOT synchronized (cache fix-up helpers in the original). */
+  void invalidateAll() {
+    this.validSum = false;
+    this.validMinMax = false;
+  }
+  bool isValidSum() { return this.validSum; }
+  bool isFixedOrder() { return this.fixedOrder; }
+  void setFixedOrder(bool fixed) { this.fixedOrder = fixed; }
+}
+
+test SeedC4 {
+  DynamicBin1D bin = new DynamicBin1D();
+  bin.add(5);
+  bin.add(3);
+  bin.add(9);
+  DynamicBin1D other = new DynamicBin1D();
+  other.add(1);
+  bin.addAllOf(other);
+  int n = bin.size();
+  int v0 = bin.valueAt(0);
+  int s = bin.sum();
+  int sq = bin.sumOfSquares();
+  int lo = bin.min();
+  int hi = bin.max();
+  int m = bin.mean();
+  int vr = bin.variance();
+  int sd = bin.standardDeviation();
+  int r = bin.rms();
+  int fr = bin.frequency(3);
+  bool inc = bin.includes(9);
+  int rng = bin.sizeOfRange(1, 9);
+  int mo = bin.moment(2);
+  int pr = bin.product();
+  int si = bin.sumOfInversions();
+  int gm = bin.geometricMean();
+  int hm = bin.harmonicMean();
+  int md = bin.median();
+  int q = bin.quantile(50);
+  bin.sortInternal();
+  bin.trim(0, 1);
+  bool em = bin.isEmpty();
+  int sv = bin.sampleVariance();
+  int ssd = bin.sampleStandardDeviation();
+  bin.updateSumCache();
+  bin.updateMinMaxCache();
+  bin.invalidateAll();
+  bool vs = bin.isValidSum();
+  bool fo = bin.isFixedOrder();
+  bin.setFixedOrder(true);
+  bin.clear();
+}
+"""
+
+C4 = register(
+    SubjectInfo(
+        key="C4",
+        benchmark="colt",
+        version="1.2.0",
+        class_name="DynamicBin1D",
+        description=(
+            "Statistics bin with an internal sample buffer that clients can "
+            "never set: most racing pairs get only receiver-shared fallback "
+            "tests that serialize on the monitor, so few races manifest."
+        ),
+        source=SOURCE,
+        paper=PaperNumbers(
+            methods=35,
+            loc=313,
+            race_pairs=26,
+            tests=11,
+            time_seconds=33.0,
+            races_detected=4,
+            harmful=2,
+            benign=0,
+            manual_tp=2,
+            manual_fp=0,
+        ),
+    )
+)

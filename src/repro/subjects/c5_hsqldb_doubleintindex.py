@@ -1,0 +1,251 @@
+"""C5 — hsqldb 2.3.2 ``DoubleIntIndex``.
+
+A sorted pair-of-int-arrays index with *no synchronization at all*:
+every access to ``keys``/``values``/``count``/``sorted`` is unprotected,
+producing the largest racing-pair count of the paper's evaluation (136).
+Because nothing is locked, receiver-shared tests race immediately; this
+is also one of the two classes where ConTeGe's random search managed to
+find violations (concurrent adds overrun the arrays and crash).
+"""
+
+from repro.subjects.base import PaperNumbers, SubjectInfo, register
+
+SOURCE = """
+class DoubleIntIndex {
+  IntArray keys;
+  IntArray values;
+  int count;
+  bool sorted;
+  int capacity;
+  DoubleIntIndex(int capacity) {
+    this.keys = new IntArray(capacity);
+    this.values = new IntArray(capacity);
+    this.capacity = capacity;
+    this.count = 0;
+    this.sorted = true;
+  }
+  bool addUnsorted(int key, int value) {
+    if (this.count == this.capacity) { return false; }
+    if (this.sorted && this.count != 0) {
+      if (key < this.keys.get(this.count - 1)) { this.sorted = false; }
+    }
+    this.keys.set(this.count, key);
+    this.values.set(this.count, value);
+    this.count = this.count + 1;
+    return true;
+  }
+  bool addSorted(int key, int value) {
+    if (this.count == this.capacity) { return false; }
+    if (this.count != 0 && key < this.keys.get(this.count - 1)) { return false; }
+    this.keys.set(this.count, key);
+    this.values.set(this.count, value);
+    this.count = this.count + 1;
+    return true;
+  }
+  bool addUnique(int key, int value) {
+    if (this.findFirstEqualKeyIndex(key) >= 0) { return false; }
+    return this.addUnsorted(key, value);
+  }
+  int getKey(int i) { return this.keys.get(i); }
+  int getValue(int i) { return this.values.get(i); }
+  void setKey(int i, int key) {
+    this.keys.set(i, key);
+    this.sorted = false;
+  }
+  void setValue(int i, int value) { this.values.set(i, value); }
+  int size() { return this.count; }
+  void setSize(int newSize) { this.count = newSize; }
+  int capacityOf() { return this.capacity; }
+  bool isEmpty() { return this.count == 0; }
+  bool isFull() { return this.count == this.capacity; }
+  bool isSorted() { return this.sorted; }
+  void clear() {
+    this.count = 0;
+    this.sorted = true;
+  }
+  void removeLast() {
+    if (this.count > 0) { this.count = this.count - 1; }
+  }
+  void remove(int i) {
+    int j = i + 1;
+    while (j < this.count) {
+      this.keys.set(j - 1, this.keys.get(j));
+      this.values.set(j - 1, this.values.get(j));
+      j = j + 1;
+    }
+    this.count = this.count - 1;
+  }
+  int findFirstEqualKeyIndex(int key) {
+    this.fastQuickSort();
+    int i = 0;
+    while (i < this.count) {
+      if (this.keys.get(i) == key) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+  int findFirstGreaterEqualKeyIndex(int key) {
+    this.fastQuickSort();
+    int i = 0;
+    while (i < this.count) {
+      if (this.keys.get(i) >= key) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+  int lookup(int key) {
+    int i = this.findFirstEqualKeyIndex(key);
+    if (i < 0) { return 0 - 1; }
+    return this.values.get(i);
+  }
+  int lookupFirstGreaterEqual(int key) {
+    int i = this.findFirstGreaterEqualKeyIndex(key);
+    if (i < 0) { return 0 - 1; }
+    return this.values.get(i);
+  }
+  void fastQuickSort() {
+    if (this.sorted) { return; }
+    int n = this.count;
+    int i = 0;
+    while (i < n) {
+      int j = i + 1;
+      while (j < n) {
+        if (this.keys.get(j) < this.keys.get(i)) { this.swap(i, j); }
+        j = j + 1;
+      }
+      i = i + 1;
+    }
+    this.sorted = true;
+  }
+  void swap(int i, int j) {
+    int tk = this.keys.get(i);
+    int tv = this.values.get(i);
+    this.keys.set(i, this.keys.get(j));
+    this.values.set(i, this.values.get(j));
+    this.keys.set(j, tk);
+    this.values.set(j, tv);
+  }
+  int keyOfLast() {
+    if (this.count == 0) { return 0 - 1; }
+    return this.keys.get(this.count - 1);
+  }
+  int valueOfLast() {
+    if (this.count == 0) { return 0 - 1; }
+    return this.values.get(this.count - 1);
+  }
+  int sumKeys() {
+    int total = 0;
+    int i = 0;
+    while (i < this.count) {
+      total = total + this.keys.get(i);
+      i = i + 1;
+    }
+    return total;
+  }
+  int sumValues() {
+    int total = 0;
+    int i = 0;
+    while (i < this.count) {
+      total = total + this.values.get(i);
+      i = i + 1;
+    }
+    return total;
+  }
+  bool containsKey(int key) { return this.findFirstEqualKeyIndex(key) >= 0; }
+  bool containsValue(int value) {
+    int i = 0;
+    while (i < this.count) {
+      if (this.values.get(i) == value) { return true; }
+      i = i + 1;
+    }
+    return false;
+  }
+  void copyTo(DoubleIntIndex target) {
+    int i = 0;
+    while (i < this.count) {
+      target.addUnsorted(this.keys.get(i), this.values.get(i));
+      i = i + 1;
+    }
+  }
+  void removeRange(int start, int limit) {
+    int span = limit - start;
+    int j = limit;
+    while (j < this.count) {
+      this.keys.set(j - span, this.keys.get(j));
+      this.values.set(j - span, this.values.get(j));
+      j = j + 1;
+    }
+    this.count = this.count - span;
+  }
+  void incrementValue(int i) { this.values.set(i, this.values.get(i) + 1); }
+  void markUnsorted() { this.sorted = false; }
+  int firstKey() { return this.getKey(0); }
+  int firstValue() { return this.getValue(0); }
+}
+
+test SeedC5 {
+  DoubleIntIndex idx = new DoubleIntIndex(8);
+  int n = idx.size();
+  int cap = idx.capacityOf();
+  bool empty = idx.isEmpty();
+  bool full = idx.isFull();
+  bool srt = idx.isSorted();
+  int f1 = idx.findFirstEqualKeyIndex(5);
+  int f2 = idx.findFirstGreaterEqualKeyIndex(4);
+  int l1 = idx.lookup(5);
+  int l2 = idx.lookupFirstGreaterEqual(4);
+  idx.fastQuickSort();
+  int kl = idx.keyOfLast();
+  int vl = idx.valueOfLast();
+  int sk = idx.sumKeys();
+  int sv = idx.sumValues();
+  bool ck = idx.containsKey(3);
+  bool cv = idx.containsValue(30);
+  DoubleIntIndex target = new DoubleIntIndex(8);
+  idx.copyTo(target);
+  int fk = idx.firstKey();
+  int fv = idx.firstValue();
+  idx.removeRange(0, 0);
+  idx.removeLast();
+  idx.setSize(0);
+  idx.clear();
+  idx.markUnsorted();
+  bool a1 = idx.addUnsorted(5, 50);
+  bool a2 = idx.addSorted(7, 70);
+  bool a3 = idx.addUnique(3, 30);
+  int k0 = idx.getKey(0);
+  int v0 = idx.getValue(0);
+  idx.setKey(1, 8);
+  idx.setValue(1, 80);
+  idx.swap(0, 1);
+  idx.incrementValue(0);
+  idx.remove(0);
+}
+"""
+
+C5 = register(
+    SubjectInfo(
+        key="C5",
+        benchmark="hsqldb",
+        version="2.3.2",
+        class_name="DoubleIntIndex",
+        description=(
+            "Fully unsynchronized int-pair index; every state access races, "
+            "and concurrent adds can overrun the backing arrays (the crash "
+            "ConTeGe's random search also finds)."
+        ),
+        source=SOURCE,
+        paper=PaperNumbers(
+            methods=32,
+            loc=508,
+            race_pairs=136,
+            tests=8,
+            time_seconds=7.4,
+            races_detected=36,
+            harmful=30,
+            benign=6,
+            manual_tp=None,
+            manual_fp=None,
+        ),
+    )
+)

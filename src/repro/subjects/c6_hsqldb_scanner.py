@@ -1,0 +1,210 @@
+"""C6 — hsqldb 2.3.2 ``Scanner`` (the SQL tokenizer).
+
+Entirely unsynchronized; the interesting property the paper reports is
+the *benign* race cluster: ``reset`` (and its helpers) write constants
+into many scanner fields, so when two threads race through them the
+writes collide but store identical values — 62 of C6's 89 races were
+triaged benign for exactly this reason (§5).
+"""
+
+from repro.subjects.base import PaperNumbers, SubjectInfo, register
+
+SOURCE = """
+class Token {
+  int tokenType;
+  int tokenValue;
+  int position;
+  bool isReservedIdentifier;
+  Token() {
+    this.tokenType = 0;
+    this.tokenValue = 0;
+    this.position = 0;
+    this.isReservedIdentifier = false;
+  }
+}
+
+class Scanner {
+  IntArray sqlString;
+  int limit;
+  int currentPosition;
+  int tokenPosition;
+  int tokenType;
+  int tokenValue;
+  bool hasNonSpace;
+  bool scanned;
+  int errorCode;
+  Token token;
+  Scanner() {
+    this.sqlString = new IntArray(64);
+    this.limit = 0;
+    this.currentPosition = 0;
+    this.tokenPosition = 0;
+    this.tokenType = 0;
+    this.tokenValue = 0;
+    this.hasNonSpace = false;
+    this.scanned = false;
+    this.errorCode = 0;
+    this.token = new Token();
+  }
+  void setSource(IntArray chars, int length) {
+    int i = 0;
+    while (i < length) {
+      this.sqlString.set(i, chars.get(i));
+      i = i + 1;
+    }
+    this.limit = length;
+    this.reset();
+  }
+  /* The benign-race generator: everything reset to constants. */
+  void reset() {
+    this.currentPosition = 0;
+    this.tokenPosition = 0;
+    this.tokenType = 0;
+    this.tokenValue = 0;
+    this.hasNonSpace = false;
+    this.scanned = false;
+    this.errorCode = 0;
+  }
+  void resumeAt(int position) {
+    this.currentPosition = position;
+    this.tokenPosition = position;
+  }
+  int charAt(int i) {
+    if (i >= this.limit) { return 0 - 1; }
+    return this.sqlString.get(i);
+  }
+  int currentChar() { return this.charAt(this.currentPosition); }
+  bool hasMore() { return this.currentPosition < this.limit; }
+  void skipWhitespace() {
+    while (this.hasMore() && this.currentChar() == 32) {
+      this.currentPosition = this.currentPosition + 1;
+    }
+  }
+  void scanNext() {
+    this.skipWhitespace();
+    this.tokenPosition = this.currentPosition;
+    if (!this.hasMore()) {
+      this.tokenType = 0 - 1;
+      this.scanned = true;
+      return;
+    }
+    int c = this.currentChar();
+    if (c >= 48 && c <= 57) { this.scanNumber(); }
+    else { this.scanIdentifier(); }
+    this.scanned = true;
+  }
+  void scanNumber() {
+    int value = 0;
+    while (this.hasMore()) {
+      int c = this.currentChar();
+      if (c < 48 || c > 57) { this.tokenType = 2; this.tokenValue = value; return; }
+      value = value * 10 + (c - 48);
+      this.currentPosition = this.currentPosition + 1;
+      this.hasNonSpace = true;
+    }
+    this.tokenType = 2;
+    this.tokenValue = value;
+  }
+  void scanIdentifier() {
+    int length = 0;
+    while (this.hasMore() && this.currentChar() != 32) {
+      this.currentPosition = this.currentPosition + 1;
+      length = length + 1;
+      this.hasNonSpace = true;
+    }
+    this.tokenType = 1;
+    this.tokenValue = length;
+  }
+  int getTokenType() { return this.tokenType; }
+  int getTokenValue() { return this.tokenValue; }
+  int getPosition() { return this.currentPosition; }
+  int getTokenPosition() { return this.tokenPosition; }
+  int getLimit() { return this.limit; }
+  bool wasScanned() { return this.scanned; }
+  bool sawNonSpace() { return this.hasNonSpace; }
+  int getErrorCode() { return this.errorCode; }
+  void setErrorCode(int code) { this.errorCode = code; }
+  Token getToken() { return this.token; }
+  void publishToken() {
+    /* hsqldb raises on corrupted scanner state; racy reset/backtrack
+       can leave the token start beyond the cursor. */
+    assert this.tokenPosition <= this.currentPosition;
+    Token t = this.token;
+    t.tokenType = this.tokenType;
+    t.tokenValue = this.tokenValue;
+    t.position = this.tokenPosition;
+  }
+  void adoptToken(Token t) { this.token = t; }
+  bool scanWhitespaceChar() {
+    if (this.currentChar() == 32) {
+      this.currentPosition = this.currentPosition + 1;
+      return true;
+    }
+    return false;
+  }
+  int remaining() { return this.limit - this.currentPosition; }
+  void backtrack() { this.currentPosition = this.tokenPosition; }
+  void advance() { this.currentPosition = this.currentPosition + 1; }
+}
+
+test SeedC6 {
+  Scanner sc = new Scanner();
+  IntArray sql = new IntArray(8);
+  sql.set(0, 53);
+  sql.set(1, 32);
+  sql.set(2, 120);
+  sc.setSource(sql, 3);
+  sc.scanNext();
+  int tt = sc.getTokenType();
+  int tv = sc.getTokenValue();
+  int p = sc.getPosition();
+  int tp = sc.getTokenPosition();
+  int lim = sc.getLimit();
+  bool ws = sc.wasScanned();
+  bool ns = sc.sawNonSpace();
+  int ec = sc.getErrorCode();
+  sc.setErrorCode(7);
+  Token tok = sc.getToken();
+  sc.publishToken();
+  Token fresh = new Token();
+  sc.adoptToken(fresh);
+  bool sw = sc.scanWhitespaceChar();
+  int rem = sc.remaining();
+  int cc = sc.currentChar();
+  int ca = sc.charAt(1);
+  bool hm = sc.hasMore();
+  sc.skipWhitespace();
+  sc.scanIdentifier();
+  sc.scanNumber();
+  sc.advance();
+  sc.backtrack();
+  sc.resumeAt(0);
+  sc.reset();
+}
+"""
+
+C6 = register(
+    SubjectInfo(
+        key="C6",
+        benchmark="hsqldb",
+        version="2.3.2",
+        class_name="Scanner",
+        description=(
+            "Unsynchronized SQL tokenizer; reset() writes constants into "
+            "many fields, producing the paper's large benign-race cluster."
+        ),
+        source=SOURCE,
+        paper=PaperNumbers(
+            methods=26,
+            loc=1802,
+            race_pairs=85,
+            tests=8,
+            time_seconds=121.7,
+            races_detected=89,
+            harmful=15,
+            benign=62,
+            manual_tp=12,
+            manual_fp=None,
+        ),
+    )
+)

@@ -1,0 +1,112 @@
+"""C7 — hedc ``PooledExecutorWithInvalidate``.
+
+A small task-pool wrapper from the hedc web-crawler.  Task submission
+and execution are guarded by the pool's monitor, but the *invalidate*
+path — the method the class is named for — flips the ``invalid`` flag
+and drains the queue without holding it.  The paper reports exactly 4
+racing pairs and 4 harmful races here.
+"""
+
+from repro.subjects.base import PaperNumbers, SubjectInfo, register
+
+SOURCE = """
+class Task {
+  int id;
+  bool done;
+  Task next;
+  Task(int id) {
+    this.id = id;
+    this.done = false;
+  }
+  void run() { this.done = true; }
+}
+
+class PooledExecutorWithInvalidate {
+  Task head;
+  int queued;
+  int executed;
+  bool invalid;
+  int maximumPoolSize;
+  PooledExecutorWithInvalidate(int maximumPoolSize) {
+    this.maximumPoolSize = maximumPoolSize;
+    this.queued = 0;
+    this.executed = 0;
+    this.invalid = false;
+  }
+  synchronized bool execute(Task t) {
+    if (this.invalid) { return false; }
+    if (this.queued >= this.maximumPoolSize) { return false; }
+    t.next = this.head;
+    this.head = t;
+    this.queued = this.queued + 1;
+    return true;
+  }
+  synchronized Task take() {
+    Task t = this.head;
+    if (t == null) { return null; }
+    this.head = t.next;
+    this.queued = this.queued - 1;
+    return t;
+  }
+  synchronized void runOne() {
+    Task t = this.take();
+    if (t != null) {
+      t.run();
+      this.executed = this.executed + 1;
+    }
+  }
+  synchronized int queuedCount() { return this.queued; }
+  synchronized int executedCount() { return this.executed; }
+  /* NOT synchronized: the defective invalidate path. */
+  void invalidate() {
+    this.invalid = true;
+    this.head = null;
+    this.queued = 0;
+  }
+  bool isInvalid() { return this.invalid; }
+  int poolSize() { return this.maximumPoolSize; }
+  void revalidate() { this.invalid = false; }
+}
+
+test SeedC7 {
+  PooledExecutorWithInvalidate pool = new PooledExecutorWithInvalidate(4);
+  Task t1 = new Task(1);
+  Task t2 = new Task(2);
+  bool ok1 = pool.execute(t1);
+  bool ok2 = pool.execute(t2);
+  Task taken = pool.take();
+  pool.runOne();
+  int q = pool.queuedCount();
+  int e = pool.executedCount();
+  bool inv = pool.isInvalid();
+  int ps = pool.poolSize();
+  pool.invalidate();
+  pool.revalidate();
+}
+"""
+
+C7 = register(
+    SubjectInfo(
+        key="C7",
+        benchmark="hedc",
+        version="NA",
+        class_name="PooledExecutorWithInvalidate",
+        description=(
+            "Task pool whose invalidate() drains shared state without the "
+            "monitor every other mutator holds."
+        ),
+        source=SOURCE,
+        paper=PaperNumbers(
+            methods=9,
+            loc=191,
+            race_pairs=4,
+            tests=4,
+            time_seconds=3.6,
+            races_detected=4,
+            harmful=4,
+            benign=0,
+            manual_tp=0,
+            manual_fp=0,
+        ),
+    )
+)

@@ -1,0 +1,116 @@
+"""C8 — h2 1.4.182 ``Sequence`` (database sequence object).
+
+``getNext``/``flush`` coordinate through ``value``/``valueWithMargin``
+under the sequence's monitor, but the margin bookkeeping helpers touch
+the same fields without it — the 4 racing pairs and 4 harmful races the
+paper reports.
+"""
+
+from repro.subjects.base import PaperNumbers, SubjectInfo, register
+
+SOURCE = """
+class Sequence {
+  int value;
+  int valueWithMargin;
+  int increment;
+  int cacheSize;
+  int minValue;
+  int maxValue;
+  bool cycle;
+  bool belongsToTable;
+  Sequence(int startValue, int increment, int cacheSize) {
+    this.value = startValue;
+    this.valueWithMargin = startValue;
+    this.increment = increment;
+    this.cacheSize = cacheSize;
+    this.minValue = 0;
+    this.maxValue = 1000000;
+    this.cycle = false;
+    this.belongsToTable = false;
+  }
+  synchronized int getNext() {
+    if (this.value >= this.valueWithMargin) {
+      this.valueWithMargin = this.valueWithMargin
+          + this.increment * this.cacheSize;
+    }
+    int result = this.value;
+    this.value = this.value + this.increment;
+    if (this.cycle && this.value > this.maxValue) {
+      this.value = this.minValue;
+    }
+    return result;
+  }
+  synchronized int getCurrentValue() { return this.value - this.increment; }
+  synchronized void setStartValue(int v) {
+    this.value = v;
+    this.valueWithMargin = v;
+  }
+  synchronized bool isBelongsToTable() { return this.belongsToTable; }
+  synchronized void setBelongsToTable(bool b) { this.belongsToTable = b; }
+  synchronized void setCycle(bool cycle) { this.cycle = cycle; }
+  synchronized bool getCycle() { return this.cycle; }
+  synchronized int getIncrement() { return this.increment; }
+  synchronized void setIncrement(int inc) { this.increment = inc; }
+  synchronized int getCacheSize() { return this.cacheSize; }
+  synchronized void setCacheSize(int size) { this.cacheSize = size; }
+  synchronized int getMinValue() { return this.minValue; }
+  synchronized int getMaxValue() { return this.maxValue; }
+  synchronized void setMinMax(int lo, int hi) {
+    this.minValue = lo;
+    this.maxValue = hi;
+  }
+  /* NOT synchronized (the h2 flush path). */
+  void flush() {
+    this.valueWithMargin = this.value;
+  }
+  int flushValue() { return this.valueWithMargin; }
+  bool needsFlush() { return this.valueWithMargin != this.value; }
+}
+
+test SeedC8 {
+  Sequence seq = new Sequence(1, 1, 32);
+  int n1 = seq.getNext();
+  int cur = seq.getCurrentValue();
+  seq.setStartValue(10);
+  bool bt = seq.isBelongsToTable();
+  seq.setBelongsToTable(true);
+  seq.setCycle(true);
+  bool cy = seq.getCycle();
+  int inc = seq.getIncrement();
+  seq.setIncrement(2);
+  int cs = seq.getCacheSize();
+  seq.setCacheSize(16);
+  int lo = seq.getMinValue();
+  int hi = seq.getMaxValue();
+  seq.setMinMax(0, 100);
+  seq.flush();
+  int fv = seq.flushValue();
+  bool nf = seq.needsFlush();
+}
+"""
+
+C8 = register(
+    SubjectInfo(
+        key="C8",
+        benchmark="h2",
+        version="1.4.182",
+        class_name="Sequence",
+        description=(
+            "Database sequence whose flush path reads and writes the value "
+            "margin without the monitor getNext holds."
+        ),
+        source=SOURCE,
+        paper=PaperNumbers(
+            methods=18,
+            loc=233,
+            race_pairs=4,
+            tests=4,
+            time_seconds=5.8,
+            races_detected=4,
+            harmful=4,
+            benign=0,
+            manual_tp=0,
+            manual_fp=0,
+        ),
+    )
+)

@@ -1,0 +1,111 @@
+"""C9 — GNU classpath 0.99 ``CharArrayReader``.
+
+Nearly everything synchronizes on the reader's ``lock`` object — except
+``close`` (which nulls the buffer) and ``ready`` (which reads position
+state).  The paper reports exactly 2 racing pairs / 2 harmful races,
+the smallest subject of the evaluation.
+"""
+
+from repro.subjects.base import PaperNumbers, SubjectInfo, register
+
+SOURCE = """
+class CharArrayReader {
+  IntArray buf;
+  int pos;
+  int markedPos;
+  int count;
+  Object lock;
+  CharArrayReader(IntArray buf, int offset, int length) {
+    this.buf = buf;
+    this.pos = offset;
+    this.markedPos = offset;
+    this.count = offset + length;
+    this.lock = this;
+  }
+  int read() {
+    synchronized (this.lock) {
+      if (this.pos >= this.count) { return 0 - 1; }
+      int c = this.buf.get(this.pos);
+      this.pos = this.pos + 1;
+      return c;
+    }
+  }
+  int readInto(IntArray target, int off, int len) {
+    synchronized (this.lock) {
+      int copied = 0;
+      while (copied < len && this.pos < this.count) {
+        target.set(off + copied, this.buf.get(this.pos));
+        this.pos = this.pos + 1;
+        copied = copied + 1;
+      }
+      return copied;
+    }
+  }
+  int skip(int n) {
+    synchronized (this.lock) {
+      int remaining = this.count - this.pos;
+      int skipped = n;
+      if (skipped > remaining) { skipped = remaining; }
+      this.pos = this.pos + skipped;
+      return skipped;
+    }
+  }
+  void mark(int readAheadLimit) {
+    synchronized (this.lock) { this.markedPos = this.pos; }
+  }
+  void reset() {
+    synchronized (this.lock) { this.pos = this.markedPos; }
+  }
+  bool markSupported() { return true; }
+  /* NOT synchronized: races with read()'s position state. */
+  bool ready() { return this.pos < this.count; }
+  /* NOT synchronized in classpath: nulls the buffer under readers. */
+  void close() {
+    this.buf = null;
+    this.pos = 0;
+    this.count = 0;
+  }
+}
+
+test SeedC9 {
+  IntArray data = new IntArray(8);
+  data.set(0, 104);
+  data.set(1, 105);
+  CharArrayReader r = new CharArrayReader(data, 0, 2);
+  int c1 = r.read();
+  IntArray sink = new IntArray(4);
+  int copied = r.readInto(sink, 0, 1);
+  int skipped = r.skip(1);
+  r.mark(0);
+  r.reset();
+  bool ms = r.markSupported();
+  bool rd = r.ready();
+  r.close();
+}
+"""
+
+C9 = register(
+    SubjectInfo(
+        key="C9",
+        benchmark="classpath",
+        version="0.99",
+        class_name="CharArrayReader",
+        description=(
+            "Reader whose close() and ready() touch position state without "
+            "the lock every read operation holds."
+        ),
+        source=SOURCE,
+        paper=PaperNumbers(
+            methods=8,
+            loc=102,
+            race_pairs=2,
+            tests=2,
+            time_seconds=1.9,
+            races_detected=2,
+            harmful=2,
+            benign=0,
+            manual_tp=0,
+            manual_fp=0,
+        ),
+    )
+)

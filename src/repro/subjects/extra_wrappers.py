@@ -1,0 +1,310 @@
+"""The other openjdk synchronized wrappers (paper §5, footnote 5).
+
+The paper analyzed ``SynchronizedCollection`` and notes: "We did not
+list eight other classes in openjdk because the races were very similar
+to the races in SynchronizedCollection."  This module implements three
+of that family — ``SynchronizedList``, ``SynchronizedMap`` and
+``SynchronizedSet`` — as *extension subjects*: they are not part of the
+C1–C9 tables, but demonstrate that the pipeline generalizes across the
+whole wrapper family without per-class tuning
+(``tests/subjects/test_extra_wrappers.py``).
+
+All three share the C2 defect: the factory can wrap one backing
+container twice, and each wrapper guards it with its own monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ClassTable, load
+
+SYNCHRONIZED_LIST = """
+class ArrayList {
+  RefArray elements;
+  int count;
+  ArrayList() { this.elements = new RefArray(16); this.count = 0; }
+  void add(Object e) {
+    if (this.count < this.elements.length) {
+      this.elements.set(this.count, e);
+      this.count = this.count + 1;
+    }
+  }
+  Object get(int i) {
+    if (i < 0 || i >= this.count) { return null; }
+    return this.elements.get(i);
+  }
+  Object set(int i, Object e) {
+    Object old = this.elements.get(i);
+    this.elements.set(i, e);
+    return old;
+  }
+  Object removeAt(int i) {
+    Object old = this.elements.get(i);
+    int j = i + 1;
+    while (j < this.count) {
+      this.elements.set(j - 1, this.elements.get(j));
+      j = j + 1;
+    }
+    this.count = this.count - 1;
+    this.elements.set(this.count, null);
+    return old;
+  }
+  int size() { return this.count; }
+  int indexOf(Object e) {
+    int i = 0;
+    while (i < this.count) {
+      if (this.elements.get(i) == e) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+  void clear() { this.count = 0; }
+}
+
+class SynchronizedList {
+  ArrayList list;
+  Object mutex;
+  SynchronizedList(ArrayList backing) {
+    this.list = backing;
+    this.mutex = this;
+  }
+  void add(Object e) { synchronized (this.mutex) { this.list.add(e); } }
+  Object get(int i) { synchronized (this.mutex) { return this.list.get(i); } }
+  Object set(int i, Object e) {
+    synchronized (this.mutex) { return this.list.set(i, e); }
+  }
+  Object removeAt(int i) {
+    synchronized (this.mutex) { return this.list.removeAt(i); }
+  }
+  int size() { synchronized (this.mutex) { return this.list.size(); } }
+  int indexOf(Object e) {
+    synchronized (this.mutex) { return this.list.indexOf(e); }
+  }
+  void clear() { synchronized (this.mutex) { this.list.clear(); } }
+}
+
+class ListFactory {
+  SynchronizedList synchronizedList(ArrayList backing) {
+    return new SynchronizedList(backing);
+  }
+}
+
+test SeedList {
+  ListFactory factory = new ListFactory();
+  ArrayList backing = new ArrayList();
+  SynchronizedList view = factory.synchronizedList(backing);
+  Opaque a = rand();
+  int n = view.size();
+  int at = view.indexOf(a);
+  Object g = view.get(0);
+  view.clear();
+  view.add(a);
+  Object s = view.set(0, a);
+  Object r = view.removeAt(0);
+}
+"""
+
+SYNCHRONIZED_MAP = """
+class HashMap {
+  RefArray keys;
+  RefArray values;
+  int count;
+  HashMap() {
+    this.keys = new RefArray(16);
+    this.values = new RefArray(16);
+    this.count = 0;
+  }
+  Object put(Object key, Object value) {
+    int i = this.indexOfKey(key);
+    if (i >= 0) {
+      Object old = this.values.get(i);
+      this.values.set(i, value);
+      return old;
+    }
+    if (this.count < this.keys.length) {
+      this.keys.set(this.count, key);
+      this.values.set(this.count, value);
+      this.count = this.count + 1;
+    }
+    return null;
+  }
+  Object get(Object key) {
+    int i = this.indexOfKey(key);
+    if (i < 0) { return null; }
+    return this.values.get(i);
+  }
+  Object removeKey(Object key) {
+    int i = this.indexOfKey(key);
+    if (i < 0) { return null; }
+    Object old = this.values.get(i);
+    this.count = this.count - 1;
+    this.keys.set(i, this.keys.get(this.count));
+    this.values.set(i, this.values.get(this.count));
+    this.keys.set(this.count, null);
+    this.values.set(this.count, null);
+    return old;
+  }
+  bool containsKey(Object key) { return this.indexOfKey(key) >= 0; }
+  int indexOfKey(Object key) {
+    int i = 0;
+    while (i < this.count) {
+      if (this.keys.get(i) == key) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+  int size() { return this.count; }
+  void clear() { this.count = 0; }
+}
+
+class SynchronizedMap {
+  HashMap m;
+  Object mutex;
+  SynchronizedMap(HashMap backing) {
+    this.m = backing;
+    this.mutex = this;
+  }
+  Object put(Object k, Object v) {
+    synchronized (this.mutex) { return this.m.put(k, v); }
+  }
+  Object get(Object k) { synchronized (this.mutex) { return this.m.get(k); } }
+  Object removeKey(Object k) {
+    synchronized (this.mutex) { return this.m.removeKey(k); }
+  }
+  bool containsKey(Object k) {
+    synchronized (this.mutex) { return this.m.containsKey(k); }
+  }
+  int size() { synchronized (this.mutex) { return this.m.size(); } }
+  void clear() { synchronized (this.mutex) { this.m.clear(); } }
+}
+
+class MapFactory {
+  SynchronizedMap synchronizedMap(HashMap backing) {
+    return new SynchronizedMap(backing);
+  }
+}
+
+test SeedMap {
+  MapFactory factory = new MapFactory();
+  HashMap backing = new HashMap();
+  SynchronizedMap view = factory.synchronizedMap(backing);
+  Opaque k = rand();
+  Opaque v = rand();
+  int n = view.size();
+  bool has = view.containsKey(k);
+  Object g = view.get(k);
+  view.clear();
+  Object p = view.put(k, v);
+  Object r = view.removeKey(k);
+}
+"""
+
+SYNCHRONIZED_SET = """
+class HashSet {
+  RefArray elements;
+  int count;
+  HashSet() { this.elements = new RefArray(16); this.count = 0; }
+  bool add(Object e) {
+    if (this.contains(e)) { return false; }
+    if (this.count >= this.elements.length) { return false; }
+    this.elements.set(this.count, e);
+    this.count = this.count + 1;
+    return true;
+  }
+  bool remove(Object e) {
+    int i = 0;
+    while (i < this.count) {
+      if (this.elements.get(i) == e) {
+        this.count = this.count - 1;
+        this.elements.set(i, this.elements.get(this.count));
+        this.elements.set(this.count, null);
+        return true;
+      }
+      i = i + 1;
+    }
+    return false;
+  }
+  bool contains(Object e) {
+    int i = 0;
+    while (i < this.count) {
+      if (this.elements.get(i) == e) { return true; }
+      i = i + 1;
+    }
+    return false;
+  }
+  int size() { return this.count; }
+  void clear() { this.count = 0; }
+}
+
+class SynchronizedSet {
+  HashSet s;
+  Object mutex;
+  SynchronizedSet(HashSet backing) {
+    this.s = backing;
+    this.mutex = this;
+  }
+  bool add(Object e) { synchronized (this.mutex) { return this.s.add(e); } }
+  bool remove(Object e) {
+    synchronized (this.mutex) { return this.s.remove(e); }
+  }
+  bool contains(Object e) {
+    synchronized (this.mutex) { return this.s.contains(e); }
+  }
+  int size() { synchronized (this.mutex) { return this.s.size(); } }
+  void clear() { synchronized (this.mutex) { this.s.clear(); } }
+}
+
+class SetFactory {
+  SynchronizedSet synchronizedSet(HashSet backing) {
+    return new SynchronizedSet(backing);
+  }
+}
+
+test SeedSet {
+  SetFactory factory = new SetFactory();
+  HashSet backing = new HashSet();
+  SynchronizedSet view = factory.synchronizedSet(backing);
+  Opaque e = rand();
+  int n = view.size();
+  bool has = view.contains(e);
+  view.clear();
+  bool added = view.add(e);
+  bool removed = view.remove(e);
+}
+"""
+
+
+@dataclass(frozen=True)
+class ExtraWrapper:
+    """One extension subject from the openjdk wrapper family."""
+
+    name: str
+    class_name: str
+    backing_class: str
+    source: str
+
+    def load(self) -> ClassTable:
+        return load(self.source)
+
+
+EXTRA_WRAPPERS = [
+    ExtraWrapper(
+        name="SynchronizedList",
+        class_name="SynchronizedList",
+        backing_class="ArrayList",
+        source=SYNCHRONIZED_LIST,
+    ),
+    ExtraWrapper(
+        name="SynchronizedMap",
+        class_name="SynchronizedMap",
+        backing_class="HashMap",
+        source=SYNCHRONIZED_MAP,
+    ),
+    ExtraWrapper(
+        name="SynchronizedSet",
+        class_name="SynchronizedSet",
+        backing_class="HashSet",
+        source=SYNCHRONIZED_SET,
+    ),
+]

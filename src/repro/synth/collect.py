@@ -1,0 +1,114 @@
+"""``collectObjects`` (Algorithm 1, lines 1-4).
+
+The synthesizer materializes plan slots by re-running seed tests and
+*suspending* execution just before a method invocation of interest, then
+storing references to the receiver and arguments of that pending
+invocation.  Suspension matters: the objects are captured in exactly the
+state the seed test drove them to at that point, and the rest of the
+seed test never runs (so it cannot disturb them).
+
+In VM terms: drive the seed test's main thread event by event and stop
+at the (ordinal+1)-th client-level InvokeEvent — receiver and arguments
+are already evaluated and are carried on the event itself; the method
+body has not executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.errors import SynthesisError
+from repro.runtime.values import ObjRef, Value
+from repro.runtime.vm import Execution, ThreadStatus, VM
+from repro.trace.events import InvokeEvent
+
+#: Safety bound on collection runs.
+MAX_COLLECT_STEPS = 100_000
+
+
+@dataclass(frozen=True)
+class Capture:
+    """Receiver and arguments of a suspended seed invocation."""
+
+    receiver: ObjRef
+    args: tuple[Value, ...]
+    class_name: str
+    method: str
+
+    def arg_ref(self, index: int) -> ObjRef:
+        value = self.args[index]
+        if not isinstance(value, ObjRef):
+            raise SynthesisError(
+                f"argument {index} of collected {self.class_name}.{self.method} "
+                f"is not an object (got {value!r})"
+            )
+        return value
+
+
+class SeedCollector:
+    """Collects object references from partial seed-test executions.
+
+    All collections share one VM, so objects captured from different
+    runs coexist on one heap — that is what lets ``shareObjects``
+    rearrange them into a single racy test.
+    """
+
+    def __init__(self, vm: VM) -> None:
+        self._vm = vm
+
+    def collect(self, test_name: str, ordinal: int) -> Capture:
+        """Run ``test_name`` until just before its ``ordinal``-th client
+        invocation and capture that invocation's receiver/arguments.
+
+        Raises:
+            SynthesisError: when the seed test ends or faults before the
+                requested invocation is reached.
+        """
+        test = self._vm.table.program.test_decl(test_name)
+        if test is None:
+            raise SynthesisError(f"unknown seed test {test_name}")
+
+        captured: list[Capture] = []
+        invocation_count = [0]
+
+        class _Watcher:
+            def on_event(self, event):
+                if isinstance(event, InvokeEvent) and event.from_client:
+                    if invocation_count[0] == ordinal:
+                        captured.append(
+                            Capture(
+                                receiver=ObjRef(event.receiver, event.class_name),
+                                args=event.args,
+                                class_name=event.class_name,
+                                method=event.method,
+                            )
+                        )
+                    invocation_count[0] += 1
+
+        env: dict[str, Value] = {}
+        execution = Execution(self._vm, listeners=(_Watcher(),))
+        tid = execution.spawn(
+            lambda ctx: self._vm.interp.run_client_stmts(test.body.stmts, ctx, env),
+            name=f"collect:{test_name}#{ordinal}",
+        )
+        thread = execution.thread(tid)
+        steps = 0
+        while not captured and thread.status in (
+            ThreadStatus.RUNNABLE,
+            ThreadStatus.BLOCKED,
+        ):
+            if steps >= MAX_COLLECT_STEPS:
+                raise SynthesisError(
+                    f"collection of {test_name}#{ordinal} exceeded step budget"
+                )
+            execution.step(tid)
+            steps += 1
+        if not captured:
+            raise SynthesisError(
+                f"seed test {test_name} ended before client invocation #{ordinal}"
+                + (f" (thread {thread.status.value})" if thread.fault is None else
+                   f" (fault: {thread.fault})")
+            )
+        # Suspend: the generator is simply abandoned here, leaving the
+        # captured objects in their pre-invocation state.
+        return captured[0]

@@ -1,0 +1,354 @@
+"""Emit synthesized tests as standalone MiniJ programs.
+
+A materialized test references *collected heap objects* — references
+captured by suspending seed executions.  That is faithful to Algorithm 1
+but ties the test to a live VM.  This module instead reconstructs each
+collection as **inline code**: a slice of the seed test up to the
+suspension point, with the pending invocation's receiver and arguments
+bound to fresh variables.  The racy invocations then run in ``fork``
+blocks, producing a self-contained MiniJ test a user can check into a
+regression suite and run with ``python -m repro run``.
+
+Requirements and caveats (checked, not assumed):
+
+* seed tests must be straight-line (ours are; loops/branches would make
+  the suspension point schedule-dependent),
+* client invocations are located by walking each statement's expression
+  tree in evaluation order, mirroring the interpreter (arguments before
+  the call, constructors after their arguments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.errors import SynthesisError
+from repro.context.plan import PlannedCall, SeedArg, SlotArg
+from repro.lang import ast
+from repro.lang.classtable import ClassTable
+from repro.lang.pretty import pretty_expr, pretty_stmt
+from repro.lang.types import Type, class_type
+from repro.synth.synthesizer import SynthesizedTest
+
+
+@dataclass
+class _InvocationSite:
+    """A client invocation within a seed test body."""
+
+    stmt_index: int
+    receiver_expr: ast.Expr | None  # None for constructors
+    arg_exprs: list[ast.Expr]
+    class_name: str
+    method: str
+
+
+def client_invocation_sites(
+    test: ast.TestDecl, table: ClassTable
+) -> list[_InvocationSite]:
+    """Client invocations of a straight-line test, in dynamic order.
+
+    Mirrors the interpreter's event emission exactly: native calls on
+    builtin arrays and constructor-less ``new`` produce no InvokeEvent
+    and are therefore not counted.
+    """
+    sites: list[_InvocationSite] = []
+    var_types: dict[str, Type] = {}
+
+    def is_builtin_receiver(target: ast.Expr | None) -> bool:
+        if isinstance(target, ast.VarRef):
+            declared = var_types.get(target.name)
+            return declared is not None and declared.kind == "class" and (
+                table.is_builtin(declared.name)
+            )
+        if isinstance(target, ast.New):
+            return table.is_builtin(target.class_name)
+        return False
+
+    def walk_expr(expr: ast.Expr | None, stmt_index: int) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Call):
+            walk_expr(expr.target, stmt_index)
+            for arg in expr.args:
+                walk_expr(arg, stmt_index)
+            if not is_builtin_receiver(expr.target):
+                sites.append(
+                    _InvocationSite(
+                        stmt_index=stmt_index,
+                        receiver_expr=expr.target,
+                        arg_exprs=list(expr.args),
+                        class_name="?",  # dynamic; unused for matching
+                        method=expr.method,
+                    )
+                )
+        elif isinstance(expr, ast.New):
+            for arg in expr.args:
+                walk_expr(arg, stmt_index)
+            if not table.is_builtin(expr.class_name) and table.constructor(
+                expr.class_name
+            ):
+                sites.append(
+                    _InvocationSite(
+                        stmt_index=stmt_index,
+                        receiver_expr=None,
+                        arg_exprs=list(expr.args),
+                        class_name=expr.class_name,
+                        method=expr.class_name,
+                    )
+                )
+        elif isinstance(expr, (ast.Binary,)):
+            walk_expr(expr.left, stmt_index)
+            walk_expr(expr.right, stmt_index)
+        elif isinstance(expr, ast.Unary):
+            walk_expr(expr.operand, stmt_index)
+        elif isinstance(expr, ast.FieldGet):
+            walk_expr(expr.target, stmt_index)
+
+    for index, stmt in enumerate(test.body.stmts):
+        if isinstance(stmt, ast.VarDecl):
+            walk_expr(stmt.init, index)
+            if stmt.decl_type is not None:
+                var_types[stmt.name] = stmt.decl_type
+        elif isinstance(stmt, ast.AssignVar):
+            walk_expr(stmt.value, index)
+        elif isinstance(stmt, ast.AssignField):
+            walk_expr(stmt.target, index)
+            walk_expr(stmt.value, index)
+        elif isinstance(stmt, ast.ExprStmt):
+            walk_expr(stmt.expr, index)
+        else:
+            raise SynthesisError(
+                f"seed test {test.name} is not straight-line "
+                f"({type(stmt).__name__} at statement {index}); "
+                "standalone emission requires straight-line seeds"
+            )
+    return sites
+
+
+class _Renamer:
+    """Prefixes every variable in a statement/expression tree."""
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+
+    def name(self, original: str) -> str:
+        return f"{self._prefix}{original}"
+
+    def stmt(self, node: ast.Stmt) -> str:
+        return "\n".join(pretty_stmt(self._rename_stmt(node), indent=1))
+
+    def _rename_stmt(self, node: ast.Stmt) -> ast.Stmt:
+        import copy
+
+        clone = copy.deepcopy(node)
+        self._walk_stmt(clone)
+        return clone
+
+    def _walk_stmt(self, node: ast.Stmt) -> None:
+        if isinstance(node, ast.VarDecl):
+            node.name = self.name(node.name)
+            self._walk_expr(node.init)
+        elif isinstance(node, ast.AssignVar):
+            node.name = self.name(node.name)
+            self._walk_expr(node.value)
+        elif isinstance(node, ast.AssignField):
+            self._walk_expr(node.target)
+            self._walk_expr(node.value)
+        elif isinstance(node, ast.ExprStmt):
+            self._walk_expr(node.expr)
+
+    def _walk_expr(self, node: ast.Expr | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.VarRef):
+            node.name = self.name(node.name)
+        elif isinstance(node, ast.Call):
+            self._walk_expr(node.target)
+            for arg in node.args:
+                self._walk_expr(arg)
+        elif isinstance(node, ast.New):
+            for arg in node.args:
+                self._walk_expr(arg)
+        elif isinstance(node, ast.Binary):
+            self._walk_expr(node.left)
+            self._walk_expr(node.right)
+        elif isinstance(node, ast.Unary):
+            self._walk_expr(node.operand)
+        elif isinstance(node, ast.FieldGet):
+            self._walk_expr(node.target)
+
+    def expr(self, node: ast.Expr) -> str:
+        import copy
+
+        clone = copy.deepcopy(node)
+        self._walk_expr(clone)
+        return pretty_expr(clone)
+
+
+@dataclass
+class StandaloneEmitter:
+    """Builds standalone MiniJ test source for synthesized tests."""
+
+    table: ClassTable
+    _lines: list[str] = field(default_factory=list)
+    _bound: dict[int, str] = field(default_factory=dict)
+    _counter: int = 0
+
+    def emit(self, test: SynthesizedTest) -> str:
+        """Standalone ``test`` declaration reproducing ``test``.
+
+        Raises:
+            SynthesisError: when a seed is not straight-line or an
+                invocation cannot be located.
+        """
+        self._lines = [f"test {test.name} {{"]
+        self._bound = {}
+        self._counter = 0
+        plan = test.plan
+
+        setters = [*plan.left.setter_calls, *plan.right.setter_calls]
+        racy = [plan.left.racy_call, plan.right.racy_call]
+        captures = {}
+        # Emit collection slices + receiver bindings for every call.
+        for call in [*setters, *racy]:
+            captures[id(call)] = self._emit_collection(call)
+        # Context-setting calls run sequentially.
+        for call in setters:
+            self._lines.append("  " + self._call_source(call, captures[id(call)]) + ";")
+        # The racy invocations run concurrently.
+        for call in racy:
+            self._lines.append("  fork {")
+            self._lines.append("    " + self._call_source(call, captures[id(call)]) + ";")
+            self._lines.append("  }")
+        self._lines.append("}")
+        return "\n".join(self._lines)
+
+    # ------------------------------------------------------------------
+
+    def _fresh_prefix(self) -> str:
+        self._counter += 1
+        return f"c{self._counter}_"
+
+    def _emit_collection(self, call: PlannedCall) -> dict:
+        """Inline one collectObjects run; returns capture var names."""
+        summary = call.summary
+        test_decl = self.table.program.test_decl(summary.test_name)
+        if test_decl is None:
+            raise SynthesisError(f"unknown seed test {summary.test_name}")
+        sites = client_invocation_sites(test_decl, self.table)
+        if summary.ordinal >= len(sites):
+            raise SynthesisError(
+                f"seed {summary.test_name} has no client invocation "
+                f"#{summary.ordinal}"
+            )
+        site = sites[summary.ordinal]
+        prefix = self._fresh_prefix()
+        renamer = _Renamer(prefix)
+
+        self._lines.append(
+            f"  // collect for {summary.class_name}.{summary.method} "
+            f"(seed {summary.test_name}, invocation #{summary.ordinal})"
+        )
+        for stmt in test_decl.body.stmts[: site.stmt_index]:
+            self._lines.append(renamer.stmt(stmt))
+
+        capture = {"receiver": None, "args": []}
+        if site.receiver_expr is not None:
+            receiver_var = f"{prefix}recv"
+            receiver_type = self._spell_type(class_type(summary.class_name))
+            self._lines.append(
+                f"  {receiver_type} {receiver_var} = "
+                f"{renamer.expr(site.receiver_expr)};"
+            )
+            capture["receiver"] = receiver_var
+        arg_types = self._arg_types(summary)
+        for position, arg_expr in enumerate(site.arg_exprs):
+            arg_var = f"{prefix}a{position}"
+            arg_type = (
+                self._spell_type(arg_types[position])
+                if position < len(arg_types)
+                else "Object"
+            )
+            self._lines.append(
+                f"  {arg_type} {arg_var} = {renamer.expr(arg_expr)};"
+            )
+            capture["args"].append(arg_var)
+
+        # Bind this call's collected receiver slot (first binder wins,
+        # matching the Materializer's pre-binding).
+        receiver_slot = call.receiver
+        if (
+            receiver_slot is not None
+            and receiver_slot.origin == "collected"
+            and receiver_slot.slot_id not in self._bound
+            and capture["receiver"] is not None
+        ):
+            self._bound[receiver_slot.slot_id] = capture["receiver"]
+        return capture
+
+    def _arg_types(self, summary) -> list[Type]:
+        method = self.table.method(summary.class_name, summary.method)
+        if method is None and getattr(summary, "is_constructor", False):
+            ctor = self.table.constructor(summary.class_name)
+            method = ctor
+        if method is None:
+            return []
+        return [p.param_type for p in method.params]
+
+    def _spell_type(self, declared: Type) -> str:
+        return str(declared)
+
+    def _call_source(self, call: PlannedCall, capture: dict) -> str:
+        args = []
+        for position, spec in enumerate(call.args):
+            if isinstance(spec, SeedArg):
+                args.append(capture["args"][spec.index])
+            elif isinstance(spec, SlotArg):
+                slot = spec.slot
+                if slot.slot_id not in self._bound:
+                    # Bind from this call's own captured argument.
+                    self._bound[slot.slot_id] = capture["args"][position]
+                args.append(self._bound[slot.slot_id])
+        if call.is_constructor:
+            name = f"n{call.produces.slot_id}"
+            self._bound[call.produces.slot_id] = name
+            return (
+                f"{call.class_name} {name} = "
+                f"new {call.class_name}({', '.join(args)})"
+            )
+        receiver_slot = call.receiver
+        assert receiver_slot is not None
+        if receiver_slot.slot_id not in self._bound:
+            if capture["receiver"] is None:
+                raise SynthesisError(
+                    f"no binding for receiver slot of "
+                    f"{call.class_name}.{call.method}"
+                )
+            self._bound[receiver_slot.slot_id] = capture["receiver"]
+        receiver = self._bound[receiver_slot.slot_id]
+        invocation = f"{receiver}.{call.method}({', '.join(args)})"
+        if call.produces is not None:
+            name = f"f{call.produces.slot_id}"
+            self._bound[call.produces.slot_id] = name
+            produced_type = self._spell_type(
+                class_type(call.produces.class_name)
+            )
+            return f"{produced_type} {name} = {invocation}"
+        return invocation
+
+
+def emit_standalone_program(
+    table: ClassTable, tests: list[SynthesizedTest]
+) -> str:
+    """A complete MiniJ source: library + standalone racy tests."""
+    from repro.lang.pretty import pretty_class, pretty_interface
+
+    parts = []
+    for iface in table.program.interfaces:
+        parts.append(pretty_interface(iface))
+    for cls in table.program.classes:
+        parts.append(pretty_class(cls))
+    emitter = StandaloneEmitter(table)
+    for test in tests:
+        parts.append(emitter.emit(test))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,43 @@
+"""Trace events, recording, and formatting."""
+
+from repro.trace.events import (
+    AccessEvent,
+    AllocEvent,
+    BlockedEvent,
+    Event,
+    FaultEvent,
+    ForkEvent,
+    InvokeEvent,
+    JoinEvent,
+    LockEvent,
+    NotifyEvent,
+    ReadEvent,
+    ReturnEvent,
+    Trace,
+    UnlockEvent,
+    WaitEvent,
+    WriteEvent,
+)
+from repro.trace.recorder import Recorder, format_event, format_trace
+
+__all__ = [
+    "AccessEvent",
+    "AllocEvent",
+    "BlockedEvent",
+    "Event",
+    "FaultEvent",
+    "ForkEvent",
+    "InvokeEvent",
+    "JoinEvent",
+    "LockEvent",
+    "NotifyEvent",
+    "ReadEvent",
+    "Recorder",
+    "ReturnEvent",
+    "Trace",
+    "UnlockEvent",
+    "WaitEvent",
+    "WriteEvent",
+    "format_event",
+    "format_trace",
+]

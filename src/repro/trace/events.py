@@ -1,0 +1,219 @@
+"""Trace event model.
+
+The VM emits one event per *visible action*: method invocation, object
+allocation, field read, field write, monitor lock/unlock, method return,
+thread fork/join/block, and thread fault.  Everything downstream — the
+sequential trace analysis (Fig. 7/9 of the paper), the race detectors
+(Eraser, Djit+, FastTrack), and the RaceFuzzer-style scheduler — consumes
+this one event stream.
+
+Design notes:
+
+* ``label`` is the dynamic execution index of the event (paper §3.1:
+  "each element in a trace has a unique label").  Labels are assigned
+  globally in execution order.
+* ``node_id`` is the static site (the AST node) that produced the event;
+  races are reported between static sites.
+* ``call_index`` uniquely identifies the dynamic method invocation whose
+  body the event belongs to (paper §4: "we scope the variable names by
+  assigning unique index for each method invocation").  Client-level
+  events carry ``call_index == 0``.
+* ``locks_held`` is the multiset-free snapshot of object ids whose
+  monitors the executing thread holds at the instant of the access; both
+  the unprotectedness analysis and the lockset detector read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.values import Value
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all trace events."""
+
+    label: int
+    thread_id: int
+    node_id: int
+    call_index: int
+
+
+@dataclass(frozen=True)
+class InvokeEvent(Event):
+    """A method (or constructor) invocation.
+
+    ``from_client`` marks invocations made directly from a test body —
+    the client invocations that bootstrap controllability (Fig. 7,
+    *invoke* rule).  ``new_call_index`` is the callee's scope index.
+    """
+
+    receiver: int = -1
+    class_name: str = ""
+    method: str = ""
+    args: tuple[Value, ...] = ()
+    from_client: bool = False
+    is_constructor: bool = False
+    new_call_index: int = -1
+    depth: int = 0
+
+
+@dataclass(frozen=True)
+class ReturnEvent(Event):
+    """Return from a method invocation back to its caller."""
+
+    value: Value = None
+    to_client: bool = False
+    returning_call_index: int = -1
+    method: str = ""
+    class_name: str = ""
+
+
+@dataclass(frozen=True)
+class AllocEvent(Event):
+    """An object allocation (``new`` or ``rand()`` in a class context)."""
+
+    ref: int = -1
+    class_name: str = ""
+    in_library: bool = False
+
+
+@dataclass(frozen=True)
+class AccessEvent(Event):
+    """Common shape of field reads and writes.
+
+    ``elem_index`` is the concrete array index for accesses to the
+    ``elem`` pseudo-field of builtin arrays, and None otherwise; the
+    detectors use it to give each array slot its own address.
+    """
+
+    obj: int = -1
+    class_name: str = ""
+    field_name: str = ""
+    value: Value = None
+    locks_held: frozenset[int] = frozenset()
+    elem_index: int | None = None
+    in_constructor: bool = False
+
+    def address(self) -> tuple[int, str, int | None]:
+        """The dynamic memory address of this access."""
+        return (self.obj, self.field_name, self.elem_index)
+
+    def site(self) -> int:
+        """The static site of this access."""
+        return self.node_id
+
+
+@dataclass(frozen=True)
+class ReadEvent(AccessEvent):
+    """A field read (``x := y.f`` in the paper's trace language)."""
+
+
+@dataclass(frozen=True)
+class WriteEvent(AccessEvent):
+    """A field write (``x.f := y``)."""
+
+    old_value: Value = None
+
+
+@dataclass(frozen=True)
+class LockEvent(Event):
+    """Monitor acquired (``lock(x)``); reentrant depth after acquire."""
+
+    obj: int = -1
+    reentrancy: int = 1
+
+
+@dataclass(frozen=True)
+class UnlockEvent(Event):
+    """Monitor released (``unlock(x)``); reentrant depth after release."""
+
+    obj: int = -1
+    reentrancy: int = 0
+
+
+@dataclass(frozen=True)
+class BlockedEvent(Event):
+    """Thread failed to acquire a monitor held by another thread."""
+
+    obj: int = -1
+    owner_thread: int = -1
+
+
+@dataclass(frozen=True)
+class WaitEvent(Event):
+    """Thread entered the wait set of a monitor (released it fully)."""
+
+    obj: int = -1
+
+
+@dataclass(frozen=True)
+class NotifyEvent(Event):
+    """``notify``/``notifyAll`` on a monitor; lists the woken threads."""
+
+    obj: int = -1
+    woken: tuple[int, ...] = ()
+    notify_all: bool = False
+
+
+@dataclass(frozen=True)
+class ForkEvent(Event):
+    """Parent thread spawned ``child_thread`` (happens-before edge)."""
+
+    child_thread: int = -1
+
+
+@dataclass(frozen=True)
+class JoinEvent(Event):
+    """Parent observed termination of ``child_thread`` (HB edge)."""
+
+    child_thread: int = -1
+
+
+@dataclass(frozen=True)
+class FaultEvent(Event):
+    """A thread died with a MiniJ runtime fault."""
+
+    kind: str = ""
+    message: str = ""
+
+
+#: Events that touch shared memory.
+MEMORY_EVENTS = (ReadEvent, WriteEvent)
+
+#: Events that affect the happens-before relation.
+SYNC_EVENTS = (LockEvent, UnlockEvent, ForkEvent, JoinEvent)
+
+
+@dataclass
+class Trace:
+    """A recorded event sequence plus bookkeeping for analysis.
+
+    Attributes:
+        events: the events in execution order (labels are indices into
+            the global label space, which equals the list position when a
+            single execution is recorded from label 0).
+        test_name: the test that produced this trace, when known.
+    """
+
+    events: list[Event] = field(default_factory=list)
+    test_name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def memory_events(self) -> list[AccessEvent]:
+        """All field reads and writes, in order."""
+        return [e for e in self.events if isinstance(e, AccessEvent)]
+
+    def client_invocations(self) -> list[InvokeEvent]:
+        """Invocations made directly from the client (test body)."""
+        return [
+            e
+            for e in self.events
+            if isinstance(e, InvokeEvent) and e.from_client
+        ]

@@ -1,0 +1,92 @@
+"""Trace recording and formatting."""
+
+from __future__ import annotations
+
+from repro.runtime.values import show_value
+from repro.trace.events import (
+    AllocEvent,
+    BlockedEvent,
+    Event,
+    FaultEvent,
+    ForkEvent,
+    InvokeEvent,
+    JoinEvent,
+    LockEvent,
+    NotifyEvent,
+    ReadEvent,
+    ReturnEvent,
+    Trace,
+    UnlockEvent,
+    WaitEvent,
+    WriteEvent,
+)
+
+
+class Recorder:
+    """A listener that appends every event to a :class:`Trace`."""
+
+    def __init__(self, test_name: str = "") -> None:
+        self.trace = Trace(test_name=test_name)
+
+    def on_event(self, event: Event) -> None:
+        self.trace.events.append(event)
+
+
+def format_event(event: Event) -> str:
+    """One-line human-readable rendering of an event (for debugging and
+    the examples' trace dumps)."""
+    prefix = f"[{event.label:>5}] t{event.thread_id}"
+    if isinstance(event, InvokeEvent):
+        args = ", ".join(show_value(a) for a in event.args)
+        origin = "client " if event.from_client else ""
+        kind = "new " if event.is_constructor else ""
+        return (
+            f"{prefix} {origin}invoke {kind}"
+            f"{event.class_name}#{event.receiver}.{event.method}({args})"
+        )
+    if isinstance(event, ReturnEvent):
+        return (
+            f"{prefix} return {show_value(event.value)} from "
+            f"{event.class_name}.{event.method}"
+        )
+    if isinstance(event, AllocEvent):
+        where = "lib" if event.in_library else "client"
+        return f"{prefix} alloc {event.class_name}#{event.ref} ({where})"
+    if isinstance(event, ReadEvent):
+        index = f"[{event.elem_index}]" if event.elem_index is not None else ""
+        locks = ",".join(str(o) for o in sorted(event.locks_held)) or "-"
+        return (
+            f"{prefix} read  {event.class_name}#{event.obj}.{event.field_name}"
+            f"{index} -> {show_value(event.value)} locks={{{locks}}}"
+        )
+    if isinstance(event, WriteEvent):
+        index = f"[{event.elem_index}]" if event.elem_index is not None else ""
+        locks = ",".join(str(o) for o in sorted(event.locks_held)) or "-"
+        return (
+            f"{prefix} write {event.class_name}#{event.obj}.{event.field_name}"
+            f"{index} := {show_value(event.value)} locks={{{locks}}}"
+        )
+    if isinstance(event, LockEvent):
+        return f"{prefix} lock object #{event.obj} (depth {event.reentrancy})"
+    if isinstance(event, UnlockEvent):
+        return f"{prefix} unlock object #{event.obj} (depth {event.reentrancy})"
+    if isinstance(event, BlockedEvent):
+        return f"{prefix} blocked on #{event.obj} held by t{event.owner_thread}"
+    if isinstance(event, WaitEvent):
+        return f"{prefix} wait on #{event.obj}"
+    if isinstance(event, NotifyEvent):
+        kind = "notifyAll" if event.notify_all else "notify"
+        woken = ",".join(f"t{t}" for t in event.woken) or "nobody"
+        return f"{prefix} {kind} on #{event.obj} wakes {woken}"
+    if isinstance(event, ForkEvent):
+        return f"{prefix} fork t{event.child_thread}"
+    if isinstance(event, JoinEvent):
+        return f"{prefix} join t{event.child_thread}"
+    if isinstance(event, FaultEvent):
+        return f"{prefix} FAULT {event.kind}: {event.message}"
+    return f"{prefix} {type(event).__name__}"
+
+
+def format_trace(trace: Trace) -> str:
+    """Render a whole trace, one event per line."""
+    return "\n".join(format_event(e) for e in trace.events)

@@ -1,0 +1,261 @@
+"""The paper's worked examples, §3.1.1 (Fig. 8 / Table 1) and §3.2.
+
+These tests pin our analyzer to the exact ``A`` and ``D`` values the
+paper derives for its running example:
+
+    A : {4 -> (false,false), 5 -> (false,true), 6 -> (true,false)}
+    D : {4 -> {⊥ ↢ I1.x}, 5 -> {I1.x.o ↢ ⊥}, 6 -> {I1.y ↢ I2}}
+
+(The paper numbers the receiver I1 and the first parameter I2; we name
+them Ithis and I1 — the structure is identical.)
+"""
+
+from repro.analysis import analyze_traces, param_path, receiver_path
+from repro.lang import load
+from repro.runtime import VM
+from repro.trace import Recorder
+
+FIG8_SOURCE = """
+class X { Opaque o; }
+class Y { }
+class A {
+  X x;
+  Y y;
+  A() { this.x = new X(); }
+  void foo(Y y) {
+    synchronized (this) {
+      A b = this;
+      X t = b.x;
+      t.o = rand();
+      b.y = y;
+    }
+  }
+}
+test Seed {
+  A a = new A();
+  Y y = new Y();
+  a.foo(y);
+}
+"""
+
+
+def summaries_for(source, test="Seed"):
+    table = load(source)
+    vm = VM(table)
+    recorder = Recorder(test)
+    result, _ = vm.run_test(test, listeners=(recorder,))
+    assert result.clean, result.faults
+    return analyze_traces([recorder.trace])
+
+
+class TestFig8:
+    def get_foo(self):
+        analysis = summaries_for(FIG8_SOURCE)
+        foos = analysis.for_method("A", "foo")
+        assert len(foos) == 1
+        return foos[0]
+
+    def test_three_accesses_in_foo(self):
+        foo = self.get_foo()
+        assert [a.kind for a in foo.accesses] == ["R", "W", "W"]
+        assert [a.field_name for a in foo.accesses] == ["x", "o", "y"]
+
+    def test_access_projection_matches_paper(self):
+        foo = self.get_foo()
+        read_x, write_o, write_y = foo.accesses
+        # Label 4 in the paper: read of b.x — neither writeable (a read)
+        # nor unprotected (the receiver's monitor is held).
+        assert foo.access_projection[read_x.label] == (False, False)
+        # Label 5: t.o := rand() — not writeable (rand is NC), but
+        # unprotected (no lock held on the object t points to).
+        assert foo.access_projection[write_o.label] == (False, True)
+        # Label 6: b.y := y — writeable (both sides controllable) but
+        # protected (monitor of b is held).
+        assert foo.access_projection[write_y.label] == (True, False)
+
+    def test_access_summaries_match_paper(self):
+        foo = self.get_foo()
+        read_x, write_o, write_y = foo.accesses
+        assert foo.summaries[read_x.label] == {(None, receiver_path("x"))}
+        assert foo.summaries[write_o.label] == {(receiver_path("x", "o"), None)}
+        assert foo.summaries[write_y.label] == {(receiver_path("y"), param_path(1))}
+
+    def test_unprotected_access_path_is_receiver_x_o(self):
+        # §3.2: "the unprotected access at label 5 is I1.x.o".
+        foo = self.get_foo()
+        unprotected = foo.unprotected_accesses()
+        assert len(unprotected) == 1
+        assert unprotected[0].access_path == receiver_path("x", "o")
+        assert unprotected[0].field_id() == ("X", "o")
+
+    def test_writeable_entry_for_label_6(self):
+        foo = self.get_foo()
+        writes = [w for w in foo.writeables if w.via == "write"]
+        assert len(writes) == 1
+        assert writes[0].lhs == receiver_path("y")
+        assert writes[0].rhs == param_path(1)
+
+
+FIG13_SOURCE = """
+class X { Opaque o; }
+class Y { }
+class Z {
+  X w;
+  void baz(X x) { this.w = x; }
+}
+class A {
+  X x;
+  Y y;
+  void foo(Y y) {
+    synchronized (this) {
+      A b = this;
+      X t = b.x;
+      t.o = rand();
+      b.y = y;
+    }
+  }
+  void bar(Z z) { this.x = z.w; }
+}
+test Seed {
+  Z z = new Z();
+  X x = new X();
+  z.baz(x);
+  A a = new A();
+  a.bar(z);
+  Y y = new Y();
+  a.foo(y);
+}
+"""
+
+
+class TestFig13:
+    def get_analysis(self):
+        return summaries_for(FIG13_SOURCE)
+
+    def test_bar_detects_writeable_assignment_to_A_x(self):
+        # §3.3: "analyzing the execution trace of bar will detect the
+        # presence of a writeable assignment to A.x, i.e. the
+        # corresponding D will have (Ithis.x ↢ Iz.w)".
+        analysis = self.get_analysis()
+        bar = analysis.for_method("A", "bar")[0]
+        entries = [(w.lhs, w.rhs) for w in bar.writeables]
+        assert (receiver_path("x"), param_path(1, "w")) in entries
+
+    def test_baz_detects_writeable_assignment_to_Z_w(self):
+        analysis = self.get_analysis()
+        baz = analysis.for_method("Z", "baz")[0]
+        entries = [(w.lhs, w.rhs) for w in baz.writeables]
+        assert (receiver_path("w"), param_path(1)) in entries
+
+    def test_foo_unprotected_access_still_found(self):
+        analysis = self.get_analysis()
+        foo = analysis.for_method("A", "foo")[0]
+        unprotected = foo.unprotected_accesses()
+        assert [a.access_path for a in unprotected] == [receiver_path("x", "o")]
+
+
+class TestSrcPrecision:
+    def test_reallocation_does_not_break_parameter_identity(self):
+        # §3.2's motivating snippet: y := z; z := alloc; x := y.f — the
+        # read of y.f must resolve to the *parameter* object even though
+        # the local z was re-bound in between.  With concrete traces the
+        # read's owner simply is the entry object.
+        source = """
+        class F { Opaque g; }
+        class A {
+          F keep;
+          void foo(F z) {
+            F y = z;
+            z = new F();
+            Opaque x = y.g;
+          }
+        }
+        test Seed {
+          A a = new A();
+          F f = new F();
+          a.foo(f);
+        }
+        """
+        analysis = summaries_for(source)
+        foo = analysis.for_method("A", "foo")[0]
+        reads = [a for a in foo.accesses if a.kind == "R" and a.field_name == "g"]
+        assert len(reads) == 1
+        assert reads[0].access_path == param_path(1, "g")
+
+    def test_library_alloc_is_not_controllable(self):
+        source = """
+        class Inner { int v; }
+        class A {
+          Inner cache;
+          void refresh() {
+            this.cache = new Inner();
+            this.cache.v = 1;
+          }
+        }
+        test Seed { A a = new A(); a.refresh(); }
+        """
+        analysis = summaries_for(source)
+        refresh = analysis.for_method("A", "refresh")[0]
+        # The write installing the fresh Inner is not writeable (NC rhs).
+        install = [a for a in refresh.accesses if a.field_name == "cache" and a.is_write]
+        assert install and not install[0].writeable
+        # The write to the freshly allocated object's field is NOT
+        # unprotected: its owner is not controllable.
+        inner_writes = [a for a in refresh.accesses if a.field_name == "v"]
+        assert inner_writes and not inner_writes[0].unprotected
+
+    def test_locked_on_different_object_is_unprotected(self):
+        # The paper's conservative definition: holding *some* lock does
+        # not protect an access unless it is the owner's monitor.
+        source = """
+        class Inner { int v; }
+        class A {
+          Inner inner;
+          Object mutex;
+          A(Inner i) { this.inner = i; this.mutex = this; }
+          void touch() {
+            synchronized (this.mutex) { this.inner.v = 7; }
+          }
+        }
+        test Seed {
+          Inner i = new Inner();
+          A a = new A(i);
+          a.touch();
+        }
+        """
+        analysis = summaries_for(source)
+        touch = analysis.for_method("A", "touch")[0]
+        writes = [a for a in touch.accesses if a.field_name == "v"]
+        assert writes and writes[0].unprotected
+
+    def test_return_rule_exposes_wrapped_argument(self):
+        # Fig. 9 return rule: foo(x,y) { x.f := y; w := alloc; w.z := x;
+        # return w; } yields {Iret.z.f ↢ Iy, Iret.z ↢ Ix}.
+        source = """
+        class Box { Item f; }
+        class Item { }
+        class Wrapper { Box z; }
+        class Factory {
+          Wrapper make(Box x, Item y) {
+            x.f = y;
+            Wrapper w = new Wrapper();
+            w.z = x;
+            return w;
+          }
+        }
+        test Seed {
+          Factory fa = new Factory();
+          Box b = new Box();
+          Item i = new Item();
+          Wrapper w = fa.make(b, i);
+        }
+        """
+        from repro.analysis import return_path
+
+        analysis = summaries_for(source)
+        make = analysis.for_method("Factory", "make")[0]
+        return_entries = {
+            (w.lhs, w.rhs) for w in make.writeables if w.via == "return"
+        }
+        assert (return_path("z"), param_path(1)) in return_entries
+        assert (return_path("z", "f"), param_path(2)) in return_entries

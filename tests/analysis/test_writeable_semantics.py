@@ -1,0 +1,140 @@
+"""Focused tests for writeable-entry semantics (the setter database's
+raw material) and summary bookkeeping."""
+
+from repro.analysis import analyze_traces, param_path, receiver_path
+from repro.lang import load
+from repro.runtime import VM
+from repro.trace import Recorder
+
+
+def analysis_for(source, test="Seed"):
+    table = load(source)
+    vm = VM(table)
+    recorder = Recorder(test)
+    vm.run_test(test, listeners=(recorder,))
+    return analyze_traces([recorder.trace])
+
+
+class TestWriteableEntries:
+    def test_param_rooted_write_entry(self):
+        # m assigns one parameter's field from another parameter.
+        source = """
+        class Box { Item content; }
+        class Item { }
+        class Filler {
+          void fill(Box box, Item item) { box.content = item; }
+        }
+        test Seed {
+          Filler f = new Filler();
+          Box b = new Box();
+          Item i = new Item();
+          f.fill(b, i);
+        }
+        """
+        analysis = analysis_for(source)
+        fill = analysis.for_method("Filler", "fill")[0]
+        entries = [(w.lhs, w.rhs) for w in fill.writeables]
+        assert (param_path(1, "content"), param_path(2)) in entries
+
+    def test_rand_value_never_writeable(self):
+        source = """
+        class X { }
+        class A {
+          X slot;
+          void scramble() { this.slot = rand(); }
+        }
+        test Seed { A a = new A(); a.scramble(); }
+        """
+        analysis = analysis_for(source)
+        scramble = analysis.for_method("A", "scramble")[0]
+        assert scramble.writeables == []
+        write = scramble.accesses[0]
+        assert not write.writeable
+        assert write.unprotected  # still an unprotected write
+
+    def test_primitive_write_not_writeable(self):
+        source = """
+        class A {
+          int n;
+          void set(int v) { this.n = v; }
+        }
+        test Seed { A a = new A(); a.set(4); }
+        """
+        analysis = analysis_for(source)
+        setter = analysis.for_method("A", "set")[0]
+        assert setter.writeables == []
+        assert setter.accesses[0].unprotected
+
+    def test_return_class_recorded(self):
+        source = """
+        class Inner { }
+        class Factory {
+          Inner make() { return new Inner(); }
+        }
+        test Seed { Factory f = new Factory(); Inner i = f.make(); }
+        """
+        analysis = analysis_for(source)
+        make = analysis.for_method("Factory", "make")[0]
+        assert make.return_class == "Inner"
+
+    def test_self_referential_write(self):
+        # x.f := x — both sides are the receiver.
+        source = """
+        class Node {
+          Node next;
+          void selfLoop() { this.next = this; }
+        }
+        test Seed { Node n = new Node(); n.selfLoop(); }
+        """
+        analysis = analysis_for(source)
+        loop = analysis.for_method("Node", "selfLoop")[0]
+        entries = [(w.lhs, w.rhs) for w in loop.writeables]
+        assert (receiver_path("next"), receiver_path()) in entries
+
+
+class TestSummaryBookkeeping:
+    def test_faulted_invocation_still_summarized(self):
+        source = """
+        class A {
+          int x;
+          void boom() { this.x = 5; this.x = 1 / 0; }
+        }
+        test Seed { A a = new A(); a.boom(); }
+        """
+        analysis = analysis_for(source)
+        boom = analysis.for_method("A", "boom")[0]
+        assert boom.faulted
+        # The write before the fault was still recorded.
+        assert any(a.is_write and a.field_name == "x" for a in boom.accesses)
+
+    def test_ordinals_count_client_invocations(self):
+        source = """
+        class A { void m() { } void n() { } }
+        test Seed { A a = new A(); a.m(); a.n(); a.m(); }
+        """
+        analysis = analysis_for(source)
+        ordinals = [(s.method, s.ordinal) for s in analysis]
+        assert ordinals == [("m", 0), ("n", 1), ("m", 2)]
+
+    def test_describe_renders(self):
+        source = """
+        class A {
+          int x;
+          void m(A other) { this.x = other.x; }
+        }
+        test Seed { A a = new A(); A b = new A(); a.m(b); }
+        """
+        analysis = analysis_for(source)
+        text = analysis.for_method("A", "m")[0].describe()
+        assert "A.m" in text
+        assert "unprot" in text
+
+    def test_merge_combines_results(self):
+        from repro.analysis import AnalysisResult
+
+        source = "class A { void m() { } } test Seed { A a = new A(); a.m(); }"
+        first = analysis_for(source)
+        second = analysis_for(source)
+        merged = first.merge(second)
+        assert len(merged) == len(first) + len(second)
+        assert merged.methods_seen() == {("A", "m")}

@@ -1,0 +1,112 @@
+"""Tests for the ConTeGe random baseline."""
+
+from repro.baseline import ConTeGe
+from repro.baseline.contege import _interleavings
+from repro.lang import load
+from repro.subjects import get_subject
+
+CRASHY = """
+class Bounded {
+  IntArray data;
+  int count;
+  int capacity;
+  Bounded(int capacity) {
+    this.data = new IntArray(capacity);
+    this.capacity = capacity;
+    this.count = 0;
+  }
+  bool add(int v) {
+    if (this.count == this.capacity) { return false; }
+    this.data.set(this.count, v);
+    this.count = this.count + 1;
+    return true;
+  }
+  int size() { return this.count; }
+}
+test Seed { Bounded b = new Bounded(2); }
+"""
+
+SAFE = """
+class SafeBounded {
+  IntArray data;
+  int count;
+  int capacity;
+  SafeBounded(int capacity) {
+    this.data = new IntArray(capacity);
+    this.capacity = capacity;
+    this.count = 0;
+  }
+  synchronized bool add(int v) {
+    if (this.count == this.capacity) { return false; }
+    this.data.set(this.count, v);
+    this.count = this.count + 1;
+    return true;
+  }
+  synchronized int size() { return this.count; }
+}
+test Seed { SafeBounded b = new SafeBounded(2); }
+"""
+
+
+class TestInterleavings:
+    def test_counts_are_binomial(self):
+        left = ["a", "b"]
+        right = ["x", "y", "z"]
+        merged = list(_interleavings(left, right))
+        assert len(merged) == 10  # C(5, 2)
+
+    def test_each_preserves_per_thread_order(self):
+        left = [1, 2]
+        right = [10, 20]
+        for merged in _interleavings(left, right):
+            assert merged.index(1) < merged.index(2)
+            assert merged.index(10) < merged.index(20)
+            assert sorted(merged) == [1, 2, 10, 20]
+
+    def test_empty_sides(self):
+        assert list(_interleavings([], [1])) == [[1]]
+        assert list(_interleavings([1], [])) == [[1]]
+
+
+class TestConTeGe:
+    def test_finds_violation_in_unsafe_class(self):
+        table = load(CRASHY)
+        contege = ConTeGe(table, "Bounded", seed=3, stop_at_first=True)
+        result = contege.run(max_tests=400)
+        assert result.violation_count >= 1
+        assert result.violations[0].fault_kind == "index-out-of-bounds"
+
+    def test_no_violation_in_synchronized_class(self):
+        table = load(SAFE)
+        contege = ConTeGe(table, "SafeBounded", seed=3)
+        result = contege.run(max_tests=150)
+        assert result.violation_count == 0
+
+    def test_sequentially_crashy_class_not_reported(self):
+        # A class that crashes even in linearized runs must never be
+        # reported: the oracle requires all linearizations to pass.
+        source = """
+        class AlwaysBoom {
+          int x;
+          void boom() { this.x = 1 / 0; }
+        }
+        test Seed { AlwaysBoom b = new AlwaysBoom(); }
+        """
+        table = load(source)
+        result = ConTeGe(table, "AlwaysBoom", seed=0).run(max_tests=60)
+        assert result.violation_count == 0
+
+    def test_deterministic_given_seed(self):
+        table = load(CRASHY)
+        r1 = ConTeGe(table, "Bounded", seed=11).run(max_tests=120)
+        r2 = ConTeGe(table, "Bounded", seed=11).run(max_tests=120)
+        assert r1.tests_generated == r2.tests_generated
+        assert r1.violation_count == r2.violation_count
+
+    def test_paper_shape_wrappers_yield_nothing(self):
+        # C1's wrapper serializes both suffixes on its own monitor, so
+        # random generation cannot expose the inner races (§5).
+        subject = get_subject("C1")
+        table = subject.load()
+        result = ConTeGe(table, subject.class_name, seed=5).run(max_tests=120)
+        assert result.violation_count == 0

@@ -1,0 +1,229 @@
+"""Unit tests for the Context Deriver (§3.3, Fig. 10)."""
+
+from repro.analysis import analyze_traces
+from repro.context import ContextDeriver
+from repro.context.plan import SlotArg
+from repro.lang import load
+from repro.pairs import generate_pairs
+from repro.runtime import VM
+from repro.trace import Recorder
+
+
+def setup(source, test_names=("Seed",)):
+    table = load(source)
+    traces = []
+    for name in test_names:
+        vm = VM(table)
+        recorder = Recorder(name)
+        result, _ = vm.run_test(name, listeners=(recorder,))
+        assert result.clean, result.faults
+        traces.append(recorder.trace)
+    analysis = analyze_traces(traces)
+    pairs = generate_pairs(analysis)
+    deriver = ContextDeriver(analysis, table)
+    return table, analysis, pairs, deriver
+
+
+FIG13 = """
+class X { Opaque o; }
+class Y { }
+class Z { X w; void baz(X x) { this.w = x; } }
+class A {
+  X x; Y y;
+  void foo(Y y) {
+    synchronized (this) {
+      A b = this;
+      X t = b.x;
+      t.o = rand();
+      b.y = y;
+    }
+  }
+  void bar(Z z) { this.x = z.w; }
+}
+test Seed {
+  Z z = new Z();
+  X x = new X();
+  z.baz(x);
+  A a = new A();
+  a.bar(z);
+  Y y = new Y();
+  a.foo(y);
+}
+"""
+
+
+def find_pair(pairs, field, methods=None):
+    for pair in pairs:
+        if pair.field != field:
+            continue
+        if methods is not None:
+            got = {pair.first.method_id()[1], pair.second.method_id()[1]}
+            if got != set(methods):
+                continue
+        return pair
+    raise AssertionError(f"no pair on {field} among {[p.describe() for p in pairs]}")
+
+
+class TestFig13Derivation:
+    def test_paper_context_sequence(self):
+        # §3.3: z.baz(x); a.bar(z); a'.bar(z); then foo twice concurrently.
+        _, _, pairs, deriver = setup(FIG13)
+        pair = find_pair(pairs, ("X", "o"), methods={"foo"})
+        plan = deriver.derive(pair)
+        assert plan.shared_slot is not None
+        assert plan.shared_slot.class_name == "X"
+        for side in (plan.left, plan.right):
+            methods = [c.method for c in side.setter_calls]
+            assert methods == ["baz", "bar"]
+            assert side.full_context
+        # Receivers are distinct objects (sharing them would serialize
+        # on foo's monitor).
+        assert not plan.receivers_shared
+        assert plan.left.racy_call.receiver is not plan.right.racy_call.receiver
+
+    def test_shared_payload_is_one_slot(self):
+        _, _, pairs, deriver = setup(FIG13)
+        pair = find_pair(pairs, ("X", "o"), methods={"foo"})
+        plan = deriver.derive(pair)
+        left_payloads = [
+            arg.slot
+            for call in plan.left.setter_calls
+            for arg in call.args
+            if isinstance(arg, SlotArg)
+        ]
+        right_payloads = [
+            arg.slot
+            for call in plan.right.setter_calls
+            for arg in call.args
+            if isinstance(arg, SlotArg)
+        ]
+        assert plan.shared_slot in left_payloads
+        assert plan.shared_slot in right_payloads
+
+    def test_receiver_level_pair_shares_receiver(self):
+        # bar writes A.x (owner = receiver): the only way to share is
+        # through the receiver itself.
+        _, _, pairs, deriver = setup(FIG13)
+        pair = find_pair(pairs, ("A", "x"), methods={"bar"})
+        plan = deriver.derive(pair)
+        assert plan.receivers_shared
+        assert plan.left.racy_call.receiver is plan.right.racy_call.receiver
+
+
+class TestConstructorSetter:
+    WRAPPER = """
+    interface Q { void go(); }
+    class Inner implements Q {
+      int state;
+      void go() { this.state = this.state + 1; }
+    }
+    class Wrapper implements Q {
+      Q inner;
+      Wrapper(Q q) { this.inner = q; }
+      void go() { synchronized (this) { this.inner.go(); } }
+    }
+    test Seed {
+      Inner i = new Inner();
+      Wrapper w = new Wrapper(i);
+      w.go();
+    }
+    """
+
+    def test_constructor_used_to_set_context(self):
+        _, _, pairs, deriver = setup(self.WRAPPER)
+        pair = find_pair(pairs, ("Inner", "state"))
+        plan = deriver.derive(pair)
+        assert plan.shared_slot.class_name == "Inner"
+        for side in (plan.left, plan.right):
+            assert len(side.setter_calls) == 1
+            ctor = side.setter_calls[0]
+            assert ctor.is_constructor
+            assert ctor.class_name == "Wrapper"
+            assert ctor.produces is side.racy_call.receiver
+        # Two *different* wrappers around one shared inner object.
+        assert plan.left.racy_call.receiver is not plan.right.racy_call.receiver
+
+
+class TestFactorySetter:
+    FACTORY = """
+    interface Q { void go(); }
+    class Inner implements Q {
+      int state;
+      void go() { this.state = this.state + 1; }
+    }
+    class Wrapper implements Q {
+      Q inner;
+      Wrapper(Q q) { this.inner = q; }
+      void go() { synchronized (this) { this.inner.go(); } }
+    }
+    class Factory {
+      Q wrap(Q q) { return new Wrapper(q); }
+    }
+    test Seed {
+      Factory f = new Factory();
+      Inner i = new Inner();
+      Q w = f.wrap(i);
+      w.go();
+    }
+    """
+
+    def test_factory_return_entry_usable(self):
+        table, analysis, pairs, deriver = setup(self.FACTORY)
+        pair = find_pair(pairs, ("Inner", "state"))
+        plan = deriver.derive(pair)
+        assert plan.shared_slot.class_name == "Inner"
+        for side in (plan.left, plan.right):
+            assert len(side.setter_calls) == 1
+            call = side.setter_calls[0]
+            # Either the ctor or the factory method works; both must
+            # produce the racy receiver.
+            assert call.produces is side.racy_call.receiver
+
+
+class TestFallbacks:
+    UNSETTABLE = """
+    class Hidden { int v; }
+    class Owner {
+      Hidden secret;
+      Owner() { this.secret = new Hidden(); }
+      synchronized void poke() { this.secret.v = this.secret.v + 1; }
+    }
+    test Seed { Owner o = new Owner(); o.poke(); }
+    """
+
+    def test_unsettable_context_falls_back_to_receiver(self):
+        # The C4 phenomenon: Hidden is library-allocated (NC), no setter
+        # exists, so sharing falls back to the receiver prefix.
+        _, _, pairs, deriver = setup(self.UNSETTABLE)
+        pair = find_pair(pairs, ("Hidden", "v"))
+        plan = deriver.derive(pair)
+        assert plan.shared_slot is not None
+        assert plan.shared_slot.class_name == "Owner"
+        assert plan.receivers_shared
+        assert not plan.full_context
+
+    PARAM_OWNER = """
+    class Box { int n; }
+    class Worker {
+      void bump(Box b) { b.n = b.n + 1; }
+    }
+    test Seed {
+      Worker w = new Worker();
+      Box b = new Box();
+      w.bump(b);
+    }
+    """
+
+    def test_param_rooted_owner_shares_argument(self):
+        _, _, pairs, deriver = setup(self.PARAM_OWNER)
+        pair = find_pair(pairs, ("Box", "n"))
+        plan = deriver.derive(pair)
+        assert plan.shared_slot.class_name == "Box"
+        # The shared box is passed as the racy call's argument on both
+        # sides; receivers are distinct workers.
+        for side in (plan.left, plan.right):
+            args = side.racy_call.args
+            assert any(
+                isinstance(a, SlotArg) and a.slot is plan.shared_slot for a in args
+            )
+        assert not plan.receivers_shared

@@ -1,0 +1,88 @@
+"""Unit tests for the setter database (Fig. 10's query index)."""
+
+from repro.analysis import analyze_traces
+from repro.context.deriver import SetterDatabase
+from repro.lang import load
+from repro.runtime import VM
+from repro.trace import Recorder
+
+SOURCE = """
+class Item { }
+class Box {
+  Item content;
+  void fill(Item i) { this.content = i; }
+}
+class Crate {
+  Box inner;
+  Crate(Box b) { this.inner = b; }
+}
+class Factory {
+  Crate wrap(Box b) { return new Crate(b); }
+}
+class Mover {
+  void stuff(Box target, Item i) { target.content = i; }
+}
+test Seed {
+  Item item = new Item();
+  Box box = new Box();
+  box.fill(item);
+  Crate crate = new Crate(box);
+  Factory f = new Factory();
+  Crate viaFactory = f.wrap(box);
+  Mover m = new Mover();
+  m.stuff(box, item);
+}
+"""
+
+
+def database():
+    table = load(SOURCE)
+    vm = VM(table)
+    recorder = Recorder("Seed")
+    vm.run_test("Seed", listeners=(recorder,))
+    analysis = analyze_traces([recorder.trace])
+    return SetterDatabase(analysis)
+
+
+class TestIndexing:
+    def test_receiver_write_indexed(self):
+        db = database()
+        setters = db.receiver_writes.get(("Box", ("content",)), [])
+        methods = {s.summary.method for s in setters}
+        assert "fill" in methods
+
+    def test_constructor_indexed_as_receiver_write(self):
+        db = database()
+        setters = db.receiver_writes.get(("Crate", ("inner",)), [])
+        assert any(s.summary.is_constructor for s in setters)
+
+    def test_factory_return_indexed(self):
+        db = database()
+        returns = db.returns.get(("Crate", ("inner",)), [])
+        methods = {s.summary.method for s in returns}
+        assert "wrap" in methods
+
+    def test_param_write_indexed(self):
+        db = database()
+        setters = db.param_writes.get(("Box", ("content",)), [])
+        entries = {(s.summary.method, s.target_param) for s in setters}
+        assert ("stuff", 1) in entries
+
+    def test_entries_deduplicated_across_reruns(self):
+        table = load(SOURCE)
+        traces = []
+        for _ in range(3):
+            vm = VM(table)
+            recorder = Recorder("Seed")
+            vm.run_test("Seed", listeners=(recorder,))
+            traces.append(recorder.trace)
+        triple = SetterDatabase(analyze_traces(traces))
+        single = database()
+        assert len(triple.receiver_writes.get(("Box", ("content",)), [])) == len(
+            single.receiver_writes.get(("Box", ("content",)), [])
+        )
+
+    def test_unrelated_keys_absent(self):
+        db = database()
+        assert ("Item", ("content",)) not in db.receiver_writes
+        assert ("Box", ("inner",)) not in db.receiver_writes

@@ -1,0 +1,99 @@
+"""Property: FastTrack agrees with Djit+ up to epoch compression.
+
+FastTrack is the epoch-compressed version of Djit+.  Flanagan & Freund's
+guarantee is "at least one race per racy variable", not "every racy
+pair": after reporting a write-write race FastTrack forgets the earlier
+write epoch, so a later read may miss a pair Djit+ (full write vector
+clocks) still sees.  The faithful properties are therefore:
+
+* every race FastTrack reports, Djit+ reports too (site-pair subset),
+* both agree on *which fields* are racy (variable-level equivalence),
+* on synchronization-clean runs both report nothing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect import DjitDetector, FastTrackDetector
+from repro.lang import load
+from repro.runtime import Execution, RandomScheduler, VM
+
+SOURCE = """
+class Cell {
+  int a;
+  int b;
+  void writeA() { this.a = this.a + 1; }
+  void readA() { int t = this.a; }
+  synchronized void safeWriteA() { this.a = this.a + 1; }
+  synchronized void safeReadA() { int t = this.a; }
+  void writeB() { this.b = this.b + 1; }
+  void mixed() { this.a = this.b; }
+  synchronized void safeMixed() { this.b = this.a; }
+}
+test Seed { Cell c = new Cell(); }
+"""
+
+METHODS = [
+    "writeA",
+    "readA",
+    "safeWriteA",
+    "safeReadA",
+    "writeB",
+    "mixed",
+    "safeMixed",
+]
+
+_table = load(SOURCE)
+
+
+def run_with_detectors(thread_methods, seed):
+    vm = VM(_table)
+    _, env = vm.run_test("Seed")
+    receiver = env["c"]
+    fasttrack = FastTrackDetector()
+    djit = DjitDetector()
+    execution = Execution(vm, listeners=(fasttrack, djit))
+    for methods in thread_methods:
+        def body(ctx, methods=methods):
+            for method in methods:
+                yield from vm.interp.call_method(ctx, receiver, method, [])
+
+        execution.spawn(body)
+    execution.run(RandomScheduler(seed))
+    return fasttrack, djit
+
+
+@st.composite
+def thread_workloads(draw):
+    n_threads = draw(st.integers(min_value=2, max_value=3))
+    return [
+        draw(st.lists(st.sampled_from(METHODS), min_size=1, max_size=4))
+        for _ in range(n_threads)
+    ]
+
+
+class TestFastTrackMatchesDjit:
+    @given(thread_workloads(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_fasttrack_races_are_djit_races(self, workloads, seed):
+        fasttrack, djit = run_with_detectors(workloads, seed)
+        assert fasttrack.races.static_keys() <= djit.races.static_keys()
+
+    @given(thread_workloads(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_same_racy_fields(self, workloads, seed):
+        fasttrack, djit = run_with_detectors(workloads, seed)
+        ft_fields = {key[:2] for key in fasttrack.races.static_keys()}
+        dj_fields = {key[:2] for key in djit.races.static_keys()}
+        assert ft_fields == dj_fields
+
+    @given(thread_workloads(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_fully_synchronized_runs_are_race_free(self, workloads, seed):
+        safe_only = [
+            [m for m in methods if m.startswith("safe")] or ["safeReadA"]
+            for methods in workloads
+        ]
+        fasttrack, djit = run_with_detectors(safe_only, seed)
+        assert len(fasttrack.races) == 0
+        assert len(djit.races) == 0

@@ -1,0 +1,109 @@
+"""Vector clock and epoch laws (unit + hypothesis properties)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.detect.clock import EPOCH_ZERO, Epoch, VectorClock
+
+clock_dicts = st.dictionaries(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=100),
+    max_size=6,
+)
+
+
+class TestVectorClockBasics:
+    def test_missing_entries_are_zero(self):
+        clock = VectorClock()
+        assert clock.time_of(3) == 0
+
+    def test_tick_increments_one_component(self):
+        clock = VectorClock()
+        clock.tick(2)
+        clock.tick(2)
+        clock.tick(1)
+        assert clock.time_of(2) == 2
+        assert clock.time_of(1) == 1
+        assert clock.time_of(0) == 0
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({0: 3, 1: 1})
+        b = VectorClock({1: 5, 2: 2})
+        a.join(b)
+        assert (a.time_of(0), a.time_of(1), a.time_of(2)) == (3, 5, 2)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({0: 1})
+        b = a.copy()
+        b.tick(0)
+        assert a.time_of(0) == 1
+        assert b.time_of(0) == 2
+
+    def test_leq(self):
+        a = VectorClock({0: 1, 1: 2})
+        b = VectorClock({0: 2, 1: 2})
+        assert a.leq(b)
+        assert not b.leq(a)
+        assert a.leq(a)
+
+
+class TestEpoch:
+    def test_epoch_leq_vc(self):
+        clock = VectorClock({1: 4})
+        assert Epoch(1, 4).leq_vc(clock)
+        assert Epoch(1, 3).leq_vc(clock)
+        assert not Epoch(1, 5).leq_vc(clock)
+        assert not Epoch(2, 1).leq_vc(clock)
+
+    def test_zero_epoch_precedes_everything(self):
+        assert EPOCH_ZERO.leq_vc(VectorClock())
+
+
+class TestVectorClockProperties:
+    @given(clock_dicts, clock_dicts)
+    def test_join_commutative(self, d1, d2):
+        a1, b1 = VectorClock(d1), VectorClock(d2)
+        a1.join(b1)
+        a2, b2 = VectorClock(d2), VectorClock(d1)
+        a2.join(b2)
+        assert a1 == a2
+
+    @given(clock_dicts, clock_dicts, clock_dicts)
+    def test_join_associative(self, d1, d2, d3):
+        left = VectorClock(d1)
+        mid = VectorClock(d2)
+        mid.join(VectorClock(d3))
+        left.join(mid)
+
+        right = VectorClock(d1)
+        right.join(VectorClock(d2))
+        right.join(VectorClock(d3))
+        assert left == right
+
+    @given(clock_dicts)
+    def test_join_idempotent(self, d):
+        a = VectorClock(d)
+        a.join(VectorClock(d))
+        assert a == VectorClock(d)
+
+    @given(clock_dicts, clock_dicts)
+    def test_join_is_upper_bound(self, d1, d2):
+        a, b = VectorClock(d1), VectorClock(d2)
+        joined = a.copy()
+        joined.join(b)
+        assert a.leq(joined)
+        assert b.leq(joined)
+
+    @given(clock_dicts, clock_dicts, clock_dicts)
+    def test_leq_transitive(self, d1, d2, d3):
+        a, b, c = VectorClock(d1), VectorClock(d2), VectorClock(d3)
+        if a.leq(b) and b.leq(c):
+            assert a.leq(c)
+
+    @given(clock_dicts, st.integers(min_value=0, max_value=5))
+    def test_tick_strictly_increases(self, d, tid):
+        a = VectorClock(d)
+        before = a.copy()
+        a.tick(tid)
+        assert before.leq(a)
+        assert not a.leq(before)

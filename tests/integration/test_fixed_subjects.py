@@ -1,0 +1,91 @@
+"""No-false-positives validation: fixing the bug silences the pipeline.
+
+For each subject we apply the *actual fix* (the one the paper's bug
+reports imply — e.g. hazelcast's wrapper should use the wrapped queue as
+its mutex) and re-run synthesis + detection.  A sound pipeline must
+report no reproduced harmful races on the fixed library, even though it
+may still generate candidate pairs (the lockset-style pair criterion is
+deliberately conservative).
+"""
+
+import pytest
+
+from repro.narada import Narada
+from repro.subjects import get_subject
+
+#: Subject key -> (buggy fragment, fixed fragment).
+FIXES = {
+    # C1: the paper's headline bug — mutex must be the wrapped queue.
+    "C1": (
+        "SynchronizedWriteBehindQueue(WriteBehindQueue q) {\n    this.queue = q;\n    this.mutex = this;\n  }",
+        "SynchronizedWriteBehindQueue(WriteBehindQueue q) {\n    this.queue = q;\n    this.mutex = q;\n  }",
+    ),
+    # C2: same fix for the collection wrapper.
+    "C2": (
+        "SynchronizedCollection(Collection backing) {\n    this.c = backing;\n    this.mutex = this;\n  }",
+        "SynchronizedCollection(Collection backing) {\n    this.c = backing;\n    this.mutex = backing;\n  }",
+    ),
+    # C3: synchronize the stragglers.
+    "C3": (
+        "  /* NOT synchronized in the JDK: resets count without the lock. */\n  void reset() { this.count = 0; }\n  /* NOT synchronized in the JDK. */\n  int size() { return this.count; }",
+        "  synchronized void reset() { this.count = 0; }\n  synchronized int size() { return this.count; }",
+    ),
+    # C7: invalidate must take the pool monitor.
+    "C7": (
+        "  /* NOT synchronized: the defective invalidate path. */\n  void invalidate() {",
+        "  synchronized void invalidate() {",
+    ),
+    # C8: flush must take the sequence monitor.
+    "C8": (
+        "  /* NOT synchronized (the h2 flush path). */\n  void flush() {",
+        "  synchronized void flush() {",
+    ),
+}
+
+#: C3/C7/C8 fixes leave a couple of unlocked *readers*; those still pair
+#: but must not produce reproduced harmful WRITE-write corruption... we
+#: assert on strictly fixed classes only where the fix covers every
+#: unprotected access of the defect.
+
+
+def detection_for(source, class_name, runs=5):
+    narada = Narada(source)
+    report = narada.synthesize_for_class(class_name)
+    return report, narada.detect(report, random_runs=runs)
+
+
+@pytest.mark.parametrize("key", sorted(FIXES))
+def test_fix_silences_harmful_races(key):
+    subject = get_subject(key)
+    buggy, fixed = FIXES[key]
+    assert buggy in subject.source, f"{key}: fixture drifted from subject source"
+    fixed_source = subject.source.replace(buggy, fixed)
+
+    _, detection = detection_for(fixed_source, subject.class_name)
+    harmful_after = detection.harmful
+    if key == "C1":
+        # The wrapper fix removes every reproduced race on the wrapped
+        # state: the single mutex now covers it.
+        assert harmful_after == 0, (
+            key,
+            [r.describe() for fr in detection.fuzz_reports for r in fr.harmful()],
+        )
+    else:
+        # The other fixes are partial by design — like their real
+        # counterparts.  Fixed C2 still races when a client touches the
+        # backing collection directly, or passes an unsynchronized
+        # collection to addAll (both JDK-documented hazards our seed
+        # exercises); C3/C7/C8 keep some unlocked readers.  The fix must
+        # still strictly reduce the harmful count.
+        buggy_detection = detection_for(subject.source, subject.class_name)[1]
+        assert harmful_after < buggy_detection.harmful, key
+
+
+@pytest.mark.parametrize("key", ["C1", "C2"])
+def test_fix_preserves_functionality(key):
+    # The fixed library still passes its own seed suite.
+    subject = get_subject(key)
+    buggy, fixed = FIXES[key]
+    narada = Narada(subject.source.replace(buggy, fixed))
+    for trace in narada.run_seed_suite():
+        assert len(trace) > 0

@@ -1,0 +1,149 @@
+"""Unit tests for the class table and the resolver."""
+
+import pytest
+
+from repro._util.errors import TypeError_
+from repro.lang import ast, load
+from repro.lang.classtable import OBJECT, ClassTable
+from repro.lang.parser import parse
+from repro.lang.types import INT, class_type
+
+
+def table_for(source):
+    return ClassTable(parse(source))
+
+
+class TestClassTable:
+    def test_field_type_lookup(self):
+        table = table_for("class A { int x; B other; }")
+        assert table.field_type("A", "x") == INT
+        assert table.field_type("A", "other") == class_type("B")
+        assert table.field_type("A", "missing") is None
+
+    def test_method_lookup(self):
+        table = table_for("class A { void m() { } }")
+        assert table.method("A", "m") is not None
+        assert table.method("A", "nope") is None
+        assert table.method("Nope", "m") is None
+
+    def test_constructor_lookup(self):
+        table = table_for("class A { A() { } void m() { } } class B { }")
+        assert table.constructor("A").is_constructor
+        assert table.constructor("B") is None
+
+    def test_builtin_classes_known(self):
+        table = table_for("class A { }")
+        assert table.has_class("IntArray")
+        assert table.is_builtin("RefArray")
+        assert table.field_type("IntArray", "elem") == INT
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(TypeError_):
+            table_for("class A { } class A { }")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(TypeError_):
+            table_for("class A { int x; int x; }")
+
+    def test_duplicate_method_rejected(self):
+        with pytest.raises(TypeError_):
+            table_for("class A { void m() {} void m() {} }")
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(TypeError_):
+            table_for("class A implements Nope { }")
+
+
+class TestTypeCompatibility:
+    SOURCE = (
+        "interface Q { void go(); }"
+        "class A implements Q { void go() { } }"
+        "class B implements Q { void go() { } }"
+        "class C { }"
+    )
+
+    def test_class_matches_itself(self):
+        table = table_for(self.SOURCE)
+        assert table.value_matches("A", class_type("A"))
+        assert not table.value_matches("A", class_type("B"))
+
+    def test_class_matches_implemented_interface(self):
+        table = table_for(self.SOURCE)
+        assert table.value_matches("A", class_type("Q"))
+        assert table.value_matches("B", class_type("Q"))
+        assert not table.value_matches("C", class_type("Q"))
+
+    def test_object_matches_everything(self):
+        table = table_for(self.SOURCE)
+        assert table.value_matches("A", OBJECT)
+        assert table.value_matches("C", OBJECT)
+
+    def test_types_compatible_symmetric(self):
+        table = table_for(self.SOURCE)
+        assert table.types_compatible(class_type("A"), class_type("Q"))
+        assert table.types_compatible(class_type("Q"), class_type("A"))
+        assert not table.types_compatible(class_type("A"), class_type("B"))
+        assert not table.types_compatible(class_type("A"), INT)
+
+    def test_concrete_classes_for_interface(self):
+        table = table_for(self.SOURCE)
+        assert set(table.concrete_classes_for(class_type("Q"))) == {"A", "B"}
+        assert set(table.concrete_classes_for(OBJECT)) == {"A", "B", "C"}
+
+
+class TestResolver:
+    def test_valid_program_loads(self):
+        load(
+            "interface Q { void go(); }"
+            "class A implements Q { int x; void go() { this.x = 1; } }"
+            "test T { A a = new A(); a.go(); }"
+        )
+
+    def test_unknown_new_class(self):
+        with pytest.raises(TypeError_):
+            load("class A { void m() { B b = new B(); } }")
+
+    def test_constructor_arity_checked(self):
+        with pytest.raises(TypeError_):
+            load("class A { A(int x) { } } test T { A a = new A(); }")
+
+    def test_unknown_field_on_known_class(self):
+        with pytest.raises(TypeError_):
+            load("class A { void m() { this.missing = 1; } }")
+
+    def test_unknown_method_on_known_class(self):
+        with pytest.raises(TypeError_):
+            load("class A { void m() { this.nope(); } }")
+
+    def test_method_arity_checked(self):
+        with pytest.raises(TypeError_):
+            load("class A { void m(int x) { } void n() { this.m(); } }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(TypeError_):
+            load("class A { void m() { ghost = 1; } }")
+
+    def test_calls_through_interface_unchecked(self):
+        # Dynamic dispatch: calls on interface-typed values resolve at
+        # run time, so the resolver lets them through.
+        load(
+            "interface Q { void go(); }"
+            "class A implements Q { void go() { } }"
+            "class W { Q q; void use() { this.q.go(); } }"
+        )
+
+    def test_rand_type_from_field_context(self):
+        table = load("class X { } class A { X o; void m() { this.o = rand(); } }")
+        method = table.method("A", "m")
+        rand = method.body.stmts[0].value
+        assert isinstance(rand, ast.Rand)
+        assert rand.result_type == class_type("X")
+
+    def test_rand_type_from_int_context(self):
+        table = load("class A { void m() { int x = rand(); } }")
+        rand = table.method("A", "m").body.stmts[0].init
+        assert rand.result_type == INT
+
+    def test_array_arity_checked(self):
+        with pytest.raises(TypeError_):
+            load("class A { void m() { IntArray a = new IntArray(); } }")

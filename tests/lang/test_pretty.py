@@ -1,0 +1,121 @@
+"""Round-trip tests for the pretty printer: parse -> print -> parse."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import load, parse, pretty_program
+from repro.lang.pretty import pretty_expr, pretty_stmt
+
+EXAMPLE = """
+interface Queue { void removeFirst(); int size(); }
+
+class Coalesced implements Queue {
+  RefArray items;
+  int count = 0;
+  Coalesced() { this.items = new RefArray(8); }
+  void removeFirst() {
+    if (this.count > 0) { this.count = this.count - 1; } else { this.count = 0; }
+  }
+  int size() { return this.count; }
+  synchronized void spin() {
+    int i = 0;
+    while (i < 3) { i = i + 1; }
+    assert i == 3;
+    synchronized (this.items) { this.items.set(0, null); }
+  }
+}
+
+test Seed {
+  Coalesced c = new Coalesced();
+  c.removeFirst();
+  int n = c.size();
+}
+"""
+
+
+def normalize(program):
+    """Structural fingerprint that ignores node ids and line numbers."""
+
+    def strip(node):
+        if isinstance(node, list):
+            return [strip(n) for n in node]
+        if hasattr(node, "__dataclass_fields__"):
+            items = []
+            for name, value in sorted(vars(node).items()):
+                if name in ("line", "node_id"):
+                    continue
+                items.append((name, strip(value)))
+            return (type(node).__name__, tuple(items))
+        return node
+
+    return strip(program.interfaces) + strip(program.classes) + strip(program.tests)
+
+
+class TestRoundTrip:
+    def test_example_round_trips(self):
+        program = parse(EXAMPLE)
+        printed = pretty_program(program)
+        reparsed = parse(printed)
+        assert normalize(program) == normalize(reparsed)
+
+    def test_printed_program_still_loads(self):
+        program = parse(EXAMPLE)
+        load(pretty_program(program))
+
+    def test_idempotent(self):
+        once = pretty_program(parse(EXAMPLE))
+        twice = pretty_program(parse(once))
+        assert once == twice
+
+
+class TestFragments:
+    def test_expr_rendering(self):
+        program = parse("class A { void m(int p) { int x = (p + 1) * 2; } }")
+        expr = program.classes[0].methods[0].body.stmts[0].init
+        assert pretty_expr(expr) == "((p + 1) * 2)"
+
+    def test_stmt_rendering(self):
+        program = parse("class A { int f; void m(A q) { q.f = 3; } }")
+        stmt = program.classes[0].methods[0].body.stmts[0]
+        assert pretty_stmt(stmt) == ["q.f = 3;"]
+
+
+# ----------------------------------------------------------------------
+# Property-based round trip over generated expressions.
+
+_names = st.sampled_from(["a", "b", "c", "p", "q"])
+
+
+def _expr_source(draw_depth=3):
+    leaf = st.one_of(
+        st.integers(min_value=0, max_value=999).map(str),
+        st.just("true"),
+        st.just("false"),
+        _names,
+    )
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            st.tuples(children, st.sampled_from(["+", "-", "*"]), children).map(
+                lambda t: f"({t[0]} {t[1]} {t[2]})"
+            ),
+            st.tuples(children, st.sampled_from(["<", ">", "=="]), children).map(
+                lambda t: f"({t[0]} {t[1]} {t[2]})"
+            ),
+        ),
+        max_leaves=12,
+    )
+
+
+class TestExpressionRoundTripProperty:
+    @given(_expr_source())
+    @settings(max_examples=80, deadline=None)
+    def test_parse_print_parse_stable(self, expr_text):
+        source = (
+            "class A { void m(int a, int b, int c, int p, int q) "
+            "{ bool r = (%s) == 0; } }" % expr_text
+        )
+        program = parse(source)
+        printed = pretty_program(program)
+        reparsed = parse(printed)
+        assert normalize(program) == normalize(reparsed)

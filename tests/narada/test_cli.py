@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+COUNTER_SRC = """
+class Counter {
+  int count;
+  void inc() { int t = this.count; this.count = t + 1; }
+  int get() { return this.count; }
+}
+test Seed { Counter c = new Counter(); c.inc(); int n = c.get(); }
+"""
+
+
+@pytest.fixture()
+def counter_file(tmp_path):
+    path = tmp_path / "counter.minij"
+    path.write_text(COUNTER_SRC)
+    return str(path)
+
+
+class TestSubjectsCommand:
+    def test_lists_nine_subjects(self, capsys):
+        assert main(["subjects"]) == 0
+        out = capsys.readouterr().out
+        for key in [f"C{i}" for i in range(1, 10)]:
+            assert f"{key}:" in out
+
+    def test_json_output(self, capsys):
+        assert main(["subjects", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 9
+        assert rows[0]["key"] == "C1"
+
+
+class TestAnalyzeCommand:
+    def test_analyze_file(self, capsys, counter_file):
+        assert main(["analyze", counter_file]) == 0
+        out = capsys.readouterr().out
+        assert "Counter.inc" in out
+        assert "unprot" in out
+
+    def test_analyze_json(self, capsys, counter_file):
+        assert main(["analyze", counter_file, "--json"]) == 0
+        summaries = json.loads(capsys.readouterr().out)
+        methods = {s["method"] for s in summaries}
+        assert {"inc", "get"} <= methods
+
+    def test_analyze_subject(self, capsys):
+        assert main(["analyze", "--subject", "C9"]) == 0
+        assert "CharArrayReader" in capsys.readouterr().out
+
+
+class TestPairsCommand:
+    def test_pairs_file(self, capsys, counter_file):
+        assert main(["pairs", counter_file]) == 0
+        out = capsys.readouterr().out
+        assert "Counter.count" in out
+        assert "racing pair(s)" in out
+
+    def test_pairs_json(self, capsys, counter_file):
+        assert main(["pairs", counter_file, "--json"]) == 0
+        pairs = json.loads(capsys.readouterr().out)
+        assert pairs
+        assert all(p["field"] == "Counter.count" for p in pairs)
+
+
+class TestSynthCommand:
+    def test_synth_renders_tests(self, capsys, counter_file):
+        assert main(["synth", counter_file]) == 0
+        out = capsys.readouterr().out
+        assert "Thread t1" in out
+        assert "t1.start(); t2.start();" in out
+
+    def test_synth_json(self, capsys, counter_file):
+        assert main(["synth", counter_file, "--json", "--all"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["class"] == "Counter"
+        assert data["tests"] == len(data["rendered"])
+
+
+class TestFuzzCommand:
+    def test_fuzz_finds_counter_race(self, capsys, counter_file):
+        assert main(["fuzz", counter_file, "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "race(s) detected" in out
+        assert "harmful" in out
+
+    def test_fuzz_json(self, capsys, counter_file):
+        assert main(["fuzz", counter_file, "--runs", "3", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["detected"] >= 1
+        assert data["harmful"] >= 1
+
+
+class TestChessCommand:
+    def test_chess_exhausts_and_certifies(self, capsys, counter_file):
+        assert main(["chess", counter_file, "--tests", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "exhausted" in out
+        assert "certificate=" in out
+
+
+class TestConTeGeCommand:
+    def test_contege_runs(self, capsys, counter_file):
+        assert main(["contege", counter_file, "--budget", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "random tests" in out
+
+
+class TestErrors:
+    def test_missing_target(self):
+        with pytest.raises(SystemExit):
+            main(["pairs"])
+
+    def test_ambiguous_class(self, tmp_path):
+        path = tmp_path / "two.minij"
+        path.write_text("class A { } class B { } test T { A a = new A(); }")
+        with pytest.raises(SystemExit):
+            main(["pairs", str(path)])

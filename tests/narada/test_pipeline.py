@@ -1,0 +1,83 @@
+"""Tests for the end-to-end Narada pipeline object."""
+
+import pytest
+
+from repro.narada import Narada
+from repro.subjects import get_subject
+
+
+@pytest.fixture(scope="module")
+def c1():
+    subject = get_subject("C1")
+    narada = Narada(subject.load())
+    report = narada.synthesize_for_class(subject.class_name)
+    return subject, narada, report
+
+
+class TestSynthesisReport:
+    def test_counts_consistent(self, c1):
+        _, _, report = c1
+        assert report.pair_count == len(report.pairs)
+        assert report.test_count == len(report.tests)
+        assert len(report.plans) == report.pair_count
+
+    def test_tests_cover_all_pairs(self, c1):
+        _, _, report = c1
+        covered = sum(len(t.covered_pairs) for t in report.tests)
+        assert covered == report.pair_count
+
+    def test_method_count_and_loc(self, c1):
+        subject, _, report = c1
+        assert report.method_count == 14
+        assert report.loc > 0
+
+    def test_accepts_source_string(self):
+        narada = Narada(
+            "class A { int x; void m() { this.x = this.x + 1; } }"
+            " test T { A a = new A(); a.m(); }"
+        )
+        report = narada.synthesize_for_class("A")
+        assert report.pair_count >= 1
+
+    def test_seed_suite_cached(self, c1):
+        _, narada, _ = c1
+        first = narada.run_seed_suite()
+        second = narada.run_seed_suite()
+        assert first is second
+
+    def test_synthesize_all_covers_seeded_classes(self):
+        subject = get_subject("C7")
+        narada = Narada(subject.load())
+        reports = narada.synthesize_all()
+        classes = {r.class_name for r in reports}
+        assert "PooledExecutorWithInvalidate" in classes
+        assert "Task" in classes  # helper class also exercised by seeds
+
+
+class TestDetectionReport:
+    def test_detect_c7_finds_harmful_races(self):
+        subject = get_subject("C7")
+        narada = Narada(subject.load())
+        report = narada.synthesize_for_class(subject.class_name)
+        detection = narada.detect(report, random_runs=4)
+        assert detection.detected >= 1
+        assert detection.harmful >= 1
+        assert detection.reproduced <= detection.detected
+        assert detection.harmful + detection.benign == detection.reproduced
+
+    def test_manual_columns_partition_unreproduced(self):
+        subject = get_subject("C7")
+        narada = Narada(subject.load())
+        report = narada.synthesize_for_class(subject.class_name)
+        detection = narada.detect(report, random_runs=4)
+        assert (
+            detection.manual_tp + detection.manual_fp
+            == detection.detected - detection.reproduced
+        )
+
+    def test_races_per_test_matches_test_count(self):
+        subject = get_subject("C8")
+        narada = Narada(subject.load())
+        report = narada.synthesize_for_class(subject.class_name)
+        detection = narada.detect(report, random_runs=3)
+        assert len(detection.races_per_test()) == report.test_count

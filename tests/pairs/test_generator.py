@@ -1,0 +1,166 @@
+"""Unit tests for the Pair Generator (§3.3)."""
+
+from repro.analysis import analyze_traces
+from repro.lang import load
+from repro.pairs import generate_pairs
+from repro.runtime import VM
+from repro.trace import Recorder
+
+SOURCE = """
+class Item { int payload; }
+class Store {
+  int count;
+  Item slot;
+  Store() { this.count = 0; }
+  void put(Item e) {
+    this.slot = e;
+    this.count = this.count + 1;
+  }
+  int size() { return this.count; }
+  synchronized int safeSize() { return this.count; }
+  Item take() {
+    this.count = this.count - 1;
+    return this.slot;
+  }
+  int peekPayload() { return this.slot.payload; }
+}
+test Seed {
+  Store s = new Store();
+  Item i = new Item();
+  s.put(i);
+  int n = s.size();
+  int m = s.safeSize();
+  Item got = s.take();
+  s.put(i);
+  int p = s.peekPayload();
+}
+"""
+
+
+def pairs_for(source=SOURCE, target=None):
+    table = load(source)
+    vm = VM(table)
+    recorder = Recorder("Seed")
+    result, _ = vm.run_test("Seed", listeners=(recorder,))
+    assert result.clean
+    analysis = analyze_traces([recorder.trace])
+    return generate_pairs(analysis, target_class=target)
+
+
+class TestPairGeneration:
+    def test_pairs_found(self):
+        pairs = pairs_for()
+        assert pairs
+
+    def test_same_method_pair_exists_for_each_written_field(self):
+        # Two threads running put() race on both fields it writes.
+        pairs = pairs_for()
+        same_method = {
+            p.field
+            for p in pairs
+            if p.first.method_id() == p.second.method_id() == ("Store", "put")
+        }
+        assert ("Store", "count") in same_method
+        assert ("Store", "slot") in same_method
+
+    def test_same_site_pair_exists(self):
+        pairs = pairs_for()
+        same = [p for p in pairs if p.same_site]
+        assert same
+        assert all(p.first.access.is_write for p in same)
+
+    def test_every_pair_has_a_write(self):
+        for pair in pairs_for():
+            assert pair.involves_write()
+
+    def test_first_side_always_unprotected(self):
+        for pair in pairs_for():
+            assert pair.first.access.unprotected
+
+    def test_read_read_pairs_excluded(self):
+        # size() vs safeSize(): both only read count -> no pair between
+        # them (but each may pair with writers).
+        for pair in pairs_for():
+            methods = {pair.first.method_id()[1], pair.second.method_id()[1]}
+            if methods == {"size", "safeSize"}:
+                raise AssertionError(f"read-read pair generated: {pair.describe()}")
+
+    def test_protected_access_can_be_second_side(self):
+        # safeSize reads under the monitor; it still pairs with put's
+        # unprotected write (the paper pairs unprotected with
+        # "(un)protected accesses on the same object").
+        pairs = pairs_for()
+        assert any(
+            {p.first.method_id()[1], p.second.method_id()[1]} == {"put", "safeSize"}
+            for p in pairs
+        )
+
+    def test_constructor_accesses_discarded(self):
+        # Store() writes count in the constructor; no pair may have a
+        # constructor side.
+        for pair in pairs_for():
+            assert not pair.first.summary.is_constructor
+            assert not pair.second.summary.is_constructor
+            assert not pair.first.access.in_constructor
+            assert not pair.second.access.in_constructor
+
+    def test_pairs_deduplicated_across_seed_reruns(self):
+        table = load(SOURCE)
+        traces = []
+        for _ in range(3):
+            vm = VM(table)
+            recorder = Recorder("Seed")
+            vm.run_test("Seed", listeners=(recorder,))
+            traces.append(recorder.trace)
+        analysis = analyze_traces(traces)
+        once = pairs_for()
+        thrice = generate_pairs(analysis)
+        assert {p.static_id() for p in thrice} == {p.static_id() for p in once}
+
+    def test_site_pairs_accumulate(self):
+        pairs = pairs_for()
+        for pair in pairs:
+            assert pair.site_pairs
+            for low, high in pair.site_pairs:
+                assert low <= high
+
+    def test_target_class_filters_both_sides(self):
+        source = SOURCE + """
+        class Outside {
+          int count;
+          void bump() { this.count = this.count + 1; }
+        }
+        test SeedOutside { Outside o = new Outside(); o.bump(); }
+        """
+        table = load(source)
+        traces = []
+        for name in ("Seed", "SeedOutside"):
+            vm = VM(table)
+            recorder = Recorder(name)
+            vm.run_test(name, listeners=(recorder,))
+            traces.append(recorder.trace)
+        analysis = analyze_traces(traces)
+        pairs = generate_pairs(analysis, target_class="Store")
+        for pair in pairs:
+            assert pair.first.summary.class_name == "Store"
+            assert pair.second.summary.class_name == "Store"
+
+    def test_field_identity_separates_classes(self):
+        # Store.count must not pair with Outside.count even untargeted.
+        source = SOURCE + """
+        class Outside {
+          int count;
+          void bump() { this.count = this.count + 1; }
+        }
+        test SeedOutside { Outside o = new Outside(); o.bump(); }
+        """
+        table = load(source)
+        traces = []
+        for name in ("Seed", "SeedOutside"):
+            vm = VM(table)
+            recorder = Recorder(name)
+            vm.run_test(name, listeners=(recorder,))
+            traces.append(recorder.trace)
+        pairs = generate_pairs(analyze_traces(traces))
+        for pair in pairs:
+            assert pair.first.access.class_name == pair.second.access.class_name

@@ -1,0 +1,213 @@
+"""Concurrency semantics: monitors, blocking, deadlock, interleavings."""
+
+import pytest
+
+from repro._util.errors import MiniJRuntimeError
+from repro.lang import load
+from repro.runtime import (
+    Execution,
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ThreadStatus,
+    VM,
+)
+from repro.runtime.heap import Monitor
+from repro.trace import BlockedEvent, LockEvent, Recorder, UnlockEvent
+
+COUNTER = """
+class Counter {
+  int count;
+  void inc() { int t = this.count; this.count = t + 1; }
+  synchronized void safeInc() { int t = this.count; this.count = t + 1; }
+}
+test Seed { Counter c = new Counter(); }
+"""
+
+
+def make_vm(source=COUNTER):
+    return VM(load(source))
+
+
+def spawn_calls(vm, execution, receiver, method, count):
+    for _ in range(count):
+        execution.spawn(
+            lambda ctx: vm.interp.call_method(ctx, receiver, method, []),
+            parent=None,
+        )
+
+
+class TestMonitor:
+    def test_acquire_release(self):
+        monitor = Monitor()
+        assert monitor.can_acquire(1)
+        assert monitor.acquire(1) == 1
+        assert not monitor.can_acquire(2)
+        assert monitor.release(1) == 0
+        assert monitor.can_acquire(2)
+
+    def test_reentrancy(self):
+        monitor = Monitor()
+        monitor.acquire(1)
+        assert monitor.acquire(1) == 2
+        assert monitor.release(1) == 1
+        assert monitor.owner == 1
+        monitor.release(1)
+        assert monitor.owner is None
+
+    def test_foreign_release_rejected(self):
+        monitor = Monitor()
+        monitor.acquire(1)
+        with pytest.raises(AssertionError):
+            monitor.release(2)
+
+
+class TestMutualExclusion:
+    def test_unsynchronized_increment_can_lose_updates(self):
+        lost = False
+        for seed in range(40):
+            vm = make_vm()
+            _, env = vm.run_test("Seed")
+            c = env["c"]
+            ex = Execution(vm)
+            spawn_calls(vm, ex, c, "inc", 2)
+            ex.run(RandomScheduler(seed))
+            if vm.heap.get(c.ref).fields["count"] < 2:
+                lost = True
+                break
+        assert lost, "expected at least one schedule to lose an update"
+
+    def test_synchronized_increment_never_loses_updates(self):
+        for seed in range(40):
+            vm = make_vm()
+            _, env = vm.run_test("Seed")
+            c = env["c"]
+            ex = Execution(vm)
+            spawn_calls(vm, ex, c, "safeInc", 2)
+            result = ex.run(RandomScheduler(seed))
+            assert result.clean
+            assert vm.heap.get(c.ref).fields["count"] == 2
+
+    def test_blocked_thread_waits_for_release(self):
+        src = """
+        class Holder {
+          int x;
+          synchronized void slow() {
+            int i = 0;
+            while (i < 5) { this.x = this.x + 1; i = i + 1; }
+          }
+        }
+        test Seed { Holder h = new Holder(); }
+        """
+        vm = make_vm(src)
+        _, env = vm.run_test("Seed")
+        h = env["h"]
+        recorder = Recorder()
+        ex = Execution(vm, listeners=(recorder,))
+        spawn_calls(vm, ex, h, "slow", 2)
+        result = ex.run(RoundRobinScheduler())
+        assert result.clean
+        assert vm.heap.get(h.ref).fields["x"] == 10
+        # Round-robin forces contention: the second thread must block.
+        assert any(isinstance(e, BlockedEvent) for e in recorder.trace)
+        # Lock/unlock events balance.
+        locks = sum(1 for e in recorder.trace if isinstance(e, LockEvent))
+        unlocks = sum(1 for e in recorder.trace if isinstance(e, UnlockEvent))
+        assert locks == unlocks == 2
+
+
+class TestDeadlock:
+    SRC = """
+    class Pair {
+      Pair other;
+      synchronized void hit() { this.other.poke(); }
+      synchronized void poke() { }
+    }
+    test Seed {
+      Pair a = new Pair();
+      Pair b = new Pair();
+      a.other = b;
+      b.other = a;
+    }
+    """
+
+    def test_abba_deadlock_detected(self):
+        vm = make_vm(self.SRC)
+        _, env = vm.run_test("Seed")
+        a, b = env["a"], env["b"]
+        ex = Execution(vm)
+        t1 = ex.spawn(lambda ctx: vm.interp.call_method(ctx, a, "hit", []))
+        t2 = ex.spawn(lambda ctx: vm.interp.call_method(ctx, b, "hit", []))
+        # Alternate threads strictly so both take their first lock before
+        # either attempts the second.
+        result = ex.run(FixedScheduler([t1, t2] * 50))
+        assert result.deadlocked
+        assert set(result.blocked) == {t1, t2}
+
+    def test_deadlock_avoided_when_serialized(self):
+        vm = make_vm(self.SRC)
+        _, env = vm.run_test("Seed")
+        a, b = env["a"], env["b"]
+        ex = Execution(vm)
+        t1 = ex.spawn(lambda ctx: vm.interp.call_method(ctx, a, "hit", []))
+        t2 = ex.spawn(lambda ctx: vm.interp.call_method(ctx, b, "hit", []))
+        result = ex.run(FixedScheduler([t1] * 100 + [t2] * 100))
+        assert result.completed and not result.deadlocked
+
+
+class TestFaultIsolation:
+    def test_fault_releases_monitors(self):
+        src = """
+        class Boom {
+          int x;
+          synchronized void explode() { this.x = 1 / 0; }
+          synchronized void ok() { this.x = 7; }
+        }
+        test Seed { Boom b = new Boom(); }
+        """
+        vm = make_vm(src)
+        _, env = vm.run_test("Seed")
+        b = env["b"]
+        ex = Execution(vm)
+        t1 = ex.spawn(lambda ctx: vm.interp.call_method(ctx, b, "explode", []))
+        t2 = ex.spawn(lambda ctx: vm.interp.call_method(ctx, b, "ok", []))
+        result = ex.run(RoundRobinScheduler())
+        # The faulting thread must not wedge the other one.
+        assert not result.deadlocked
+        assert len(result.faults) == 1
+        assert result.faults[0][1].kind == "division-by-zero"
+        assert vm.heap.get(b.ref).fields["x"] == 7
+        assert ex.thread(t1).status is ThreadStatus.FAULTED
+        assert ex.thread(t2).status is ThreadStatus.DONE
+
+
+class TestDeterminism:
+    def test_same_seed_same_execution(self):
+        def final_count(seed):
+            vm = make_vm()
+            _, env = vm.run_test("Seed")
+            c = env["c"]
+            recorder = Recorder()
+            ex = Execution(vm, listeners=(recorder,))
+            spawn_calls(vm, ex, c, "inc", 3)
+            ex.run(RandomScheduler(seed))
+            return (
+                vm.heap.get(c.ref).fields["count"],
+                [(e.label, e.thread_id, type(e).__name__) for e in recorder.trace],
+            )
+
+        assert final_count(123) == final_count(123)
+
+    def test_step_budget_stops_runaway_loops(self):
+        src = """
+        class Spin { bool stop; void go() { while (!this.stop) { } } }
+        test Seed { Spin s = new Spin(); }
+        """
+        vm = make_vm(src)
+        _, env = vm.run_test("Seed")
+        s = env["s"]
+        ex = Execution(vm)
+        ex.spawn(lambda ctx: vm.interp.call_method(ctx, s, "go", []))
+        result = ex.run(RoundRobinScheduler(), max_steps=500)
+        assert result.timed_out
+        assert result.steps == 500

@@ -1,0 +1,263 @@
+"""Unit tests for the interpreter: sequential semantics."""
+
+import pytest
+
+from repro._util.errors import MiniJRuntimeError
+from repro.lang import load
+from repro.runtime import VM
+from repro.trace import ReadEvent, Recorder, WriteEvent
+
+
+def run(source, test="T", seed=0):
+    table = load(source)
+    vm = VM(table, seed=seed)
+    recorder = Recorder(test)
+    result, env = vm.run_test(test, listeners=(recorder,))
+    return vm, result, env, recorder.trace
+
+
+def field_of(vm, ref, name):
+    return vm.heap.get(ref.ref).fields[name]
+
+
+class TestArithmetic:
+    def test_basic_arithmetic(self):
+        src = "class A { int m() { return 2 + 3 * 4 - 1; } } \
+               test T { A a = new A(); int r = a.m(); }"
+        _, result, env, _ = run(src)
+        assert result.clean
+        assert env["r"] == 13
+
+    def test_division_truncates_toward_zero(self):
+        src = "class A { int m(int x, int y) { return x / y; } } \
+               test T { A a = new A(); int p = a.m(7, 2); int q = a.m(0 - 7, 2); }"
+        _, result, env, _ = run(src)
+        assert env["p"] == 3
+        assert env["q"] == -3  # Java semantics, not Python floor division
+
+    def test_modulo_sign_follows_dividend(self):
+        src = "class A { int m(int x, int y) { return x % y; } } \
+               test T { A a = new A(); int p = a.m(0 - 7, 2); }"
+        _, _, env, _ = run(src)
+        assert env["p"] == -1
+
+    def test_division_by_zero_faults(self):
+        src = "class A { int m() { return 1 / 0; } } test T { A a = new A(); a.m(); }"
+        _, result, _, _ = run(src)
+        assert not result.clean
+        assert result.faults[0][1].kind == "division-by-zero"
+
+    def test_comparisons_and_logic(self):
+        src = (
+            "class A { bool m(int x) { return x > 0 && x < 10 || x == 100; } }"
+            "test T { A a = new A(); bool p = a.m(5); bool q = a.m(100);"
+            " bool r = a.m(50); }"
+        )
+        _, _, env, _ = run(src)
+        assert env["p"] is True
+        assert env["q"] is True
+        assert env["r"] is False
+
+    def test_short_circuit_avoids_fault(self):
+        src = (
+            "class A { bool m(int x) { return x != 0 && 10 / x > 1; } }"
+            "test T { A a = new A(); bool p = a.m(0); }"
+        )
+        _, result, env, _ = run(src)
+        assert result.clean
+        assert env["p"] is False
+
+
+class TestObjects:
+    def test_field_defaults(self):
+        src = "class A { int x; bool b; A next; } test T { A a = new A(); }"
+        vm, _, env, _ = run(src)
+        obj = vm.heap.get(env["a"].ref)
+        assert obj.fields == {"x": 0, "b": False, "next": None}
+
+    def test_field_initializers_run_at_alloc(self):
+        src = "class A { int x = 41; } test T { A a = new A(); }"
+        vm, _, env, _ = run(src)
+        assert field_of(vm, env["a"], "x") == 41
+
+    def test_constructor_runs_after_initializers(self):
+        src = (
+            "class A { int x = 1; A() { this.x = this.x + 1; } }"
+            "test T { A a = new A(); }"
+        )
+        vm, _, env, _ = run(src)
+        assert field_of(vm, env["a"], "x") == 2
+
+    def test_constructor_params(self):
+        src = (
+            "class A { int x; A(int v) { this.x = v; } }"
+            "test T { A a = new A(9); }"
+        )
+        vm, _, env, _ = run(src)
+        assert field_of(vm, env["a"], "x") == 9
+
+    def test_reference_identity_equality(self):
+        src = (
+            "class A { }"
+            "test T { A a = new A(); A b = new A(); A c = a;"
+            " bool same = a == c; bool diff = a == b; }"
+        )
+        _, _, env, _ = run(src)
+        assert env["same"] is True
+        assert env["diff"] is False
+
+    def test_null_dereference_faults(self):
+        src = "class A { A next; int m() { return this.next.m(); } } \
+               test T { A a = new A(); a.m(); }"
+        _, result, _, _ = run(src)
+        assert result.faults[0][1].kind == "null-dereference"
+
+    def test_dynamic_dispatch_through_interface(self):
+        src = (
+            "interface Q { int tag(); }"
+            "class A implements Q { int tag() { return 1; } }"
+            "class B implements Q { int tag() { return 2; } }"
+            "class User { int use(Q q) { return q.tag(); } }"
+            "test T { User u = new User(); int p = u.use(new A());"
+            " int q = u.use(new B()); }"
+        )
+        _, _, env, _ = run(src)
+        assert env["p"] == 1
+        assert env["q"] == 2
+
+    def test_recursion_depth_bounded(self):
+        src = "class A { int m(int n) { return this.m(n + 1); } } \
+               test T { A a = new A(); a.m(0); }"
+        _, result, _, _ = run(src)
+        assert result.faults[0][1].kind == "stack-overflow"
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        src = (
+            "class A { int sum(int n) { int s = 0; int i = 1;"
+            " while (i <= n) { s = s + i; i = i + 1; } return s; } }"
+            "test T { A a = new A(); int r = a.sum(10); }"
+        )
+        _, _, env, _ = run(src)
+        assert env["r"] == 55
+
+    def test_return_exits_loop_and_method(self):
+        src = (
+            "class A { int find(int n) { int i = 0;"
+            " while (true) { if (i == n) { return i; } i = i + 1; } } }"
+            "test T { A a = new A(); int r = a.find(4); }"
+        )
+        _, _, env, _ = run(src)
+        assert env["r"] == 4
+
+    def test_assert_pass_and_fail(self):
+        ok = "class A { void m() { assert 1 < 2; } } test T { A a = new A(); a.m(); }"
+        _, result, _, _ = run(ok)
+        assert result.clean
+
+        bad = "class A { void m() { assert 2 < 1; } } test T { A a = new A(); a.m(); }"
+        _, result, _, _ = run(bad)
+        assert result.faults[0][1].kind == "assertion-failed"
+
+
+class TestArrays:
+    def test_int_array_get_set(self):
+        src = (
+            "class A { IntArray buf; A() { this.buf = new IntArray(4); }"
+            " void put(int i, int v) { this.buf.set(i, v); }"
+            " int at(int i) { return this.buf.get(i); } }"
+            "test T { A a = new A(); a.put(2, 99); int r = a.at(2); int n = a.buf.length; }"
+        )
+        _, result, env, _ = run(src)
+        assert result.clean
+        assert env["r"] == 99
+
+    def test_ref_array_holds_objects(self):
+        src = (
+            "class Item { }"
+            "class A { RefArray buf; A() { this.buf = new RefArray(2); } }"
+            "test T { A a = new A(); Item i = new Item();"
+            " a.buf.set(0, i); Object got = a.buf.get(0); bool same = got == i; }"
+        )
+        _, _, env, _ = run(src)
+        assert env["same"] is True
+
+    def test_out_of_bounds_faults(self):
+        src = (
+            "class A { IntArray buf; A() { this.buf = new IntArray(2); } }"
+            "test T { A a = new A(); a.buf.get(5); }"
+        )
+        _, result, _, _ = run(src)
+        assert result.faults[0][1].kind == "index-out-of-bounds"
+
+    def test_negative_size_faults(self):
+        src = "test T { IntArray a = new IntArray(0 - 3); }"
+        _, result, _, _ = run(src)
+        assert result.faults[0][1].kind == "negative-array-size"
+
+    def test_array_events_carry_elem_index(self):
+        src = (
+            "class A { IntArray buf; A() { this.buf = new IntArray(4); }"
+            " void put() { this.buf.set(3, 7); int x = this.buf.get(3); } }"
+            "test T { A a = new A(); a.put(); }"
+        )
+        _, _, _, trace = run(src)
+        writes = [e for e in trace if isinstance(e, WriteEvent) and e.field_name == "elem"]
+        reads = [e for e in trace if isinstance(e, ReadEvent) and e.field_name == "elem"]
+        assert writes[0].elem_index == 3
+        assert reads[0].elem_index == 3
+        assert writes[0].address() == reads[0].address()
+
+
+class TestRand:
+    def test_rand_int_deterministic_per_seed(self):
+        src = "class A { int m() { return rand(); } } \
+               test T { A a = new A(); int r = a.m(); }"
+        _, _, env1, _ = run(src, seed=7)
+        _, _, env2, _ = run(src, seed=7)
+        assert env1["r"] == env2["r"]
+
+    def test_rand_object_is_library_allocated(self):
+        src = (
+            "class X { }"
+            "class A { X o; void m() { this.o = rand(); } }"
+            "test T { A a = new A(); a.m(); }"
+        )
+        vm, _, env, _ = run(src)
+        obj_ref = field_of(vm, env["a"], "o")
+        assert vm.heap.get(obj_ref.ref).lib_allocated
+
+
+class TestTraceShape:
+    def test_trace_labels_strictly_increasing(self):
+        src = (
+            "class A { int x; synchronized void m() { this.x = this.x + 1; } }"
+            "test T { A a = new A(); a.m(); a.m(); }"
+        )
+        _, _, _, trace = run(src)
+        labels = [e.label for e in trace]
+        assert labels == sorted(labels)
+        assert len(set(labels)) == len(labels)
+
+    def test_locks_held_snapshot(self):
+        src = (
+            "class A { int x; synchronized void m() { this.x = 5; } "
+            " void n() { this.x = 6; } }"
+            "test T { A a = new A(); a.m(); a.n(); }"
+        )
+        _, _, env, trace = run(src)
+        writes = [e for e in trace if isinstance(e, WriteEvent)]
+        locked, unlocked = writes[0], writes[1]
+        assert env["a"].ref in locked.locks_held
+        assert not unlocked.locks_held
+
+    def test_constructor_accesses_flagged(self):
+        src = (
+            "class A { int x; A() { this.x = 1; } void m() { this.x = 2; } }"
+            "test T { A a = new A(); a.m(); }"
+        )
+        _, _, _, trace = run(src)
+        writes = [e for e in trace if isinstance(e, WriteEvent)]
+        assert writes[0].in_constructor
+        assert not writes[1].in_constructor

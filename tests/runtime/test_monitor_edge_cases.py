@@ -1,0 +1,174 @@
+"""Monitor bookkeeping edge cases: early returns, nesting, faults."""
+
+from repro.lang import load
+from repro.runtime import Execution, RoundRobinScheduler, VM
+from repro.trace import LockEvent, Recorder, UnlockEvent
+
+
+def balanced(trace):
+    depth: dict[int, int] = {}
+    for event in trace:
+        if isinstance(event, LockEvent):
+            depth[event.obj] = depth.get(event.obj, 0) + 1
+        elif isinstance(event, UnlockEvent):
+            depth[event.obj] = depth.get(event.obj, 0) - 1
+    return all(v == 0 for v in depth.values())
+
+
+def run(source, test="T"):
+    table = load(source)
+    vm = VM(table)
+    recorder = Recorder(test)
+    result, env = vm.run_test(test, listeners=(recorder,))
+    return vm, result, env, recorder.trace
+
+
+class TestEarlyReturns:
+    def test_return_inside_sync_block_releases(self):
+        source = """
+        class A {
+          int x;
+          int m() {
+            synchronized (this) {
+              this.x = 1;
+              return this.x;
+            }
+          }
+        }
+        test T { A a = new A(); int r = a.m(); int r2 = a.m(); }
+        """
+        vm, result, env, trace = run(source)
+        assert result.clean
+        assert env["r"] == 1 and env["r2"] == 1
+        assert balanced(trace)
+        assert vm.heap.get(env["a"].ref).monitor.owner is None
+
+    def test_return_from_nested_sync_blocks_releases_all(self):
+        source = """
+        class B { }
+        class A {
+          B gate;
+          A() { this.gate = new B(); }
+          int m() {
+            synchronized (this) {
+              synchronized (this.gate) {
+                return 7;
+              }
+            }
+          }
+        }
+        test T { A a = new A(); int r = a.m(); }
+        """
+        vm, result, env, trace = run(source)
+        assert result.clean
+        assert balanced(trace)
+
+    def test_return_inside_loop_inside_sync(self):
+        source = """
+        class A {
+          int m(int n) {
+            synchronized (this) {
+              int i = 0;
+              while (true) {
+                if (i == n) { return i; }
+                i = i + 1;
+              }
+            }
+          }
+        }
+        test T { A a = new A(); int r = a.m(5); }
+        """
+        _, result, env, trace = run(source)
+        assert result.clean
+        assert env["r"] == 5
+        assert balanced(trace)
+
+    def test_synchronized_method_early_return_releases(self):
+        source = """
+        class A {
+          int x;
+          synchronized int m(bool quick) {
+            if (quick) { return 0; }
+            this.x = 9;
+            return this.x;
+          }
+        }
+        test T { A a = new A(); int r1 = a.m(true); int r2 = a.m(false); }
+        """
+        vm, result, env, trace = run(source)
+        assert result.clean
+        assert (env["r1"], env["r2"]) == (0, 9)
+        assert balanced(trace)
+
+
+class TestReentrancyDepth:
+    def test_triple_reentrant_acquire(self):
+        source = """
+        class A {
+          int hits;
+          synchronized void outer() { this.middle(); }
+          synchronized void middle() { this.inner(); }
+          synchronized void inner() { this.hits = this.hits + 1; }
+        }
+        test T { A a = new A(); a.outer(); }
+        """
+        vm, result, env, trace = run(source)
+        assert result.clean
+        locks = [e for e in trace if isinstance(e, LockEvent)]
+        assert [e.reentrancy for e in locks] == [1, 2, 3]
+        unlocks = [e for e in trace if isinstance(e, UnlockEvent)]
+        assert [e.reentrancy for e in unlocks] == [2, 1, 0]
+
+    def test_contention_only_blocks_at_depth_zero(self):
+        # A reentrant holder never blocks on itself.
+        source = """
+        class A {
+          int x;
+          synchronized void m() { synchronized (this) { this.x = 1; } }
+        }
+        test Seed { A a = new A(); }
+        """
+        table = load(source)
+        vm = VM(table)
+        _, env = vm.run_test("Seed")
+        a = env["a"]
+        execution = Execution(vm)
+        execution.spawn(lambda ctx: vm.interp.call_method(ctx, a, "m", []))
+        execution.spawn(lambda ctx: vm.interp.call_method(ctx, a, "m", []))
+        result = execution.run(RoundRobinScheduler())
+        assert result.completed
+
+
+class TestFaultsUnderLocks:
+    def test_fault_in_nested_sync_releases_everything(self):
+        source = """
+        class B { }
+        class A {
+          B gate;
+          int x;
+          A() { this.gate = new B(); }
+          void boom() {
+            synchronized (this) {
+              synchronized (this.gate) {
+                this.x = 1 / 0;
+              }
+            }
+          }
+          synchronized void ok() { this.x = 5; }
+        }
+        test Seed { A a = new A(); }
+        """
+        table = load(source)
+        vm = VM(table)
+        _, env = vm.run_test("Seed")
+        a = env["a"]
+        execution = Execution(vm)
+        execution.spawn(lambda ctx: vm.interp.call_method(ctx, a, "boom", []))
+        execution.spawn(lambda ctx: vm.interp.call_method(ctx, a, "ok", []))
+        result = execution.run(RoundRobinScheduler())
+        assert not result.deadlocked
+        assert len(result.faults) == 1
+        assert vm.heap.get(a.ref).fields["x"] == 5
+        assert vm.heap.get(a.ref).monitor.owner is None
+        gate_ref = vm.heap.get(a.ref).fields["gate"]
+        assert vm.heap.get(gate_ref.ref).monitor.owner is None

@@ -1,0 +1,184 @@
+"""Property-based tests for VM invariants.
+
+These check the properties everything downstream relies on:
+
+* monitor mutual exclusion holds under every schedule,
+* executions are deterministic functions of (program, VM seed, schedule),
+* schedules cannot change the outcome of thread-local computation,
+* MiniJ integer division/modulo match Java semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import load
+from repro.runtime import Execution, RandomScheduler, VM
+from repro.trace.events import LockEvent, UnlockEvent
+
+WORKLOAD_SOURCE = """
+class Shared {
+  int a;
+  int b;
+  void plain() { this.a = this.a + 1; }
+  synchronized void locked() { this.b = this.b + 1; }
+  synchronized void nested() {
+    synchronized (this) { this.b = this.b + 2; }
+  }
+  int look() { return this.a + this.b; }
+}
+test Seed { Shared s = new Shared(); }
+"""
+
+_workload_table = load(WORKLOAD_SOURCE)
+METHODS = ["plain", "locked", "nested", "look"]
+
+
+class MutualExclusionChecker:
+    """Listener asserting at most one owner per monitor at all times."""
+
+    def __init__(self):
+        self.owners: dict[int, int] = {}
+        self.depths: dict[int, int] = {}
+        self.violations: list[str] = []
+
+    def on_event(self, event):
+        if isinstance(event, LockEvent):
+            owner = self.owners.get(event.obj)
+            if owner is not None and owner != event.thread_id:
+                self.violations.append(
+                    f"t{event.thread_id} locked #{event.obj} owned by t{owner}"
+                )
+            self.owners[event.obj] = event.thread_id
+            self.depths[event.obj] = self.depths.get(event.obj, 0) + 1
+            if self.depths[event.obj] != event.reentrancy:
+                self.violations.append(
+                    f"reentrancy mismatch on #{event.obj}"
+                )
+        elif isinstance(event, UnlockEvent):
+            if self.owners.get(event.obj) != event.thread_id:
+                self.violations.append(
+                    f"t{event.thread_id} unlocked #{event.obj} it did not own"
+                )
+            self.depths[event.obj] -= 1
+            if self.depths[event.obj] == 0:
+                del self.owners[event.obj]
+                del self.depths[event.obj]
+
+
+def run_workload(thread_methods, seed, listeners=()):
+    vm = VM(_workload_table)
+    _, env = vm.run_test("Seed")
+    shared = env["s"]
+    execution = Execution(vm, listeners=tuple(listeners))
+    for methods in thread_methods:
+        def body(ctx, methods=methods):
+            for method in methods:
+                yield from vm.interp.call_method(ctx, shared, method, [])
+
+        execution.spawn(body)
+    result = execution.run(RandomScheduler(seed))
+    obj = vm.heap.get(shared.ref)
+    return result, (obj.fields["a"], obj.fields["b"])
+
+
+workloads = st.lists(
+    st.lists(st.sampled_from(METHODS), min_size=1, max_size=4),
+    min_size=2,
+    max_size=3,
+)
+
+
+class TestMonitorInvariants:
+    @given(workloads, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_mutual_exclusion_under_any_schedule(self, threads, seed):
+        checker = MutualExclusionChecker()
+        result, _ = run_workload(threads, seed, listeners=[checker])
+        assert result.completed
+        assert not checker.violations
+
+    @given(workloads, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_locked_counter_never_loses_updates(self, threads, seed):
+        _, (_, b) = run_workload(threads, seed)
+        expected = sum(
+            (1 if m == "locked" else 2 if m == "nested" else 0)
+            for methods in threads
+            for m in methods
+        )
+        assert b == expected
+
+
+class TestDeterminism:
+    @given(workloads, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_runs_identical_outcomes(self, threads, seed):
+        assert run_workload(threads, seed)[1] == run_workload(threads, seed)[1]
+
+    @given(
+        st.lists(st.sampled_from(METHODS), min_size=1, max_size=4),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_thread_schedule_independent(self, methods, seed1, seed2):
+        # With one thread, the scheduler has no freedom: outcomes match.
+        assert (
+            run_workload([methods], seed1)[1]
+            == run_workload([methods], seed2)[1]
+        )
+
+
+class TestJavaArithmetic:
+    DIV_SOURCE = """
+    class M {
+      int div(int x, int y) { return x / y; }
+      int mod(int x, int y) { return x % y; }
+    }
+    test Seed { M m = new M(); }
+    """
+    _table = load(DIV_SOURCE)
+
+    @staticmethod
+    def _java_div(x, y):
+        q = abs(x) // abs(y)
+        return -q if (x < 0) != (y < 0) else q
+
+    @given(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000).filter(lambda y: y != 0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_division_matches_java(self, x, y):
+        vm = VM(self._table)
+        _, env = vm.run_test("Seed")
+        m = env["m"]
+        execution = Execution(vm)
+        tid = execution.spawn(
+            lambda ctx: vm.interp.call_method(ctx, m, "div", [x, y])
+        )
+        execution.run(RandomScheduler(0))
+        assert execution.thread(tid).result == self._java_div(x, y)
+
+    @given(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000).filter(lambda y: y != 0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_modulo_identity(self, x, y):
+        # Java guarantees (x / y) * y + (x % y) == x.
+        vm = VM(self._table)
+        _, env = vm.run_test("Seed")
+        m = env["m"]
+        execution = Execution(vm)
+        div_tid = execution.spawn(
+            lambda ctx: vm.interp.call_method(ctx, m, "div", [x, y])
+        )
+        mod_tid = execution.spawn(
+            lambda ctx: vm.interp.call_method(ctx, m, "mod", [x, y])
+        )
+        execution.run(RandomScheduler(0))
+        quotient = execution.thread(div_tid).result
+        remainder = execution.thread(mod_tid).result
+        assert quotient * y + remainder == x
+        assert abs(remainder) < abs(y)

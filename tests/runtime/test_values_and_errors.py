@@ -1,0 +1,101 @@
+"""Unit coverage for the value model and the error hierarchy."""
+
+import pytest
+
+from repro._util.errors import (
+    DeadlockError,
+    LexError,
+    MiniJRuntimeError,
+    ParseError,
+    ReproError,
+    SourceError,
+    SynthesisError,
+    TypeError_,
+)
+from repro.runtime.values import (
+    ObjRef,
+    default_value,
+    is_null,
+    is_ref,
+    show_value,
+    values_equal,
+)
+
+
+class TestValues:
+    def test_obj_ref_identity_semantics(self):
+        a = ObjRef(1, "A")
+        same = ObjRef(1, "A")
+        other = ObjRef(2, "A")
+        assert values_equal(a, same)
+        assert not values_equal(a, other)
+        assert not values_equal(a, None)
+        assert not values_equal(None, a)
+
+    def test_null_equality(self):
+        assert values_equal(None, None)
+        assert not values_equal(None, 0)
+        assert not values_equal(False, None)
+
+    def test_primitive_equality(self):
+        assert values_equal(3, 3)
+        assert not values_equal(3, 4)
+        assert values_equal(True, True)
+
+    def test_is_ref_and_is_null(self):
+        assert is_ref(ObjRef(5, "X"))
+        assert not is_ref(None)
+        assert not is_ref(7)
+        assert is_null(None)
+        assert not is_null(0)
+
+    def test_default_values(self):
+        assert default_value("int") == 0
+        assert default_value("bool") is False
+        assert default_value("class") is None
+
+    def test_show_value(self):
+        assert show_value(None) == "null"
+        assert show_value(True) == "true"
+        assert show_value(False) == "false"
+        assert show_value(42) == "42"
+        assert show_value(ObjRef(3, "Counter")) == "Counter#3"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc_type in (
+            LexError,
+            ParseError,
+            TypeError_,
+            MiniJRuntimeError,
+            DeadlockError,
+            SynthesisError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_source_errors_carry_positions(self):
+        error = ParseError("boom", line=4, column=7)
+        assert error.line == 4
+        assert error.column == 7
+        assert "4:7" in str(error)
+
+    def test_source_error_without_position(self):
+        error = SourceError("plain")
+        assert str(error) == "plain"
+
+    def test_runtime_error_kind_and_thread(self):
+        error = MiniJRuntimeError("null-dereference", "x.f", thread_id=3)
+        assert error.kind == "null-dereference"
+        assert error.thread_id == 3
+        assert "null-dereference" in str(error)
+
+    def test_deadlock_error_lists_threads(self):
+        error = DeadlockError({1: 10, 2: 11})
+        assert error.blocked == {1: 10, 2: 11}
+        assert "thread 1" in str(error)
+        assert "thread 2" in str(error)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise SynthesisError("nope")

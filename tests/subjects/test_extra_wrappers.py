@@ -1,0 +1,68 @@
+"""The wrapper family generalizes (paper §5, footnote 5).
+
+For each extra openjdk-style wrapper the pipeline must, without any
+per-class tuning: find inner-state racing pairs, derive the
+two-wrappers-one-backing context, and expose harmful races.
+"""
+
+import pytest
+
+from repro.fuzz import RaceFuzzer
+from repro.narada import Narada
+from repro.subjects.extra_wrappers import EXTRA_WRAPPERS
+
+WRAPPERS = {w.name: w for w in EXTRA_WRAPPERS}
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    built = {}
+    for wrapper in EXTRA_WRAPPERS:
+        narada = Narada(wrapper.load())
+        report = narada.synthesize_for_class(wrapper.class_name)
+        built[wrapper.name] = (wrapper, narada, report)
+    return built
+
+
+class TestWrapperFamily:
+    @pytest.mark.parametrize("name", sorted(WRAPPERS))
+    def test_inner_state_pairs_found(self, name, pipelines):
+        wrapper, _, report = pipelines[name]
+        inner_pairs = [
+            p for p in report.pairs if p.field[0] == wrapper.backing_class
+        ]
+        assert inner_pairs, name
+
+    @pytest.mark.parametrize("name", sorted(WRAPPERS))
+    def test_shared_backing_context_derived(self, name, pipelines):
+        wrapper, _, report = pipelines[name]
+        shared_backing = [
+            plan
+            for plan in report.plans
+            if plan.shared_slot is not None
+            and plan.shared_slot.class_name == wrapper.backing_class
+            and plan.full_context
+        ]
+        assert shared_backing, name
+        for plan in shared_backing:
+            # Distinct wrapper receivers around the shared backing.
+            assert plan.left.racy_call.receiver is not plan.right.racy_call.receiver
+
+    @pytest.mark.parametrize("name", sorted(WRAPPERS))
+    def test_harmful_races_exposed(self, name, pipelines):
+        wrapper, narada, report = pipelines[name]
+        fuzzer = RaceFuzzer(narada.table, random_runs=4)
+        harmful = 0
+        for test in report.tests[:12]:
+            fuzz = fuzzer.fuzz(test)
+            harmful += len(fuzz.harmful())
+            if harmful:
+                break
+        assert harmful >= 1, name
+
+    def test_family_summary(self, pipelines):
+        # All three wrappers show the same defect signature: pairs on the
+        # backing container's count field.
+        for name, (wrapper, _, report) in pipelines.items():
+            fields = {p.field for p in report.pairs}
+            assert (wrapper.backing_class, "count") in fields, name

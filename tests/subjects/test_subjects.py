@@ -1,0 +1,150 @@
+"""Subject sanity: all nine classes load, seed suites run clean, and the
+per-subject defect patterns are present in the analysis output."""
+
+import pytest
+
+from repro.analysis import analyze_traces
+from repro.lang import load
+from repro.narada import Narada
+from repro.runtime import VM
+from repro.subjects import all_subjects, get_subject
+from repro.trace import Recorder
+
+SUBJECT_KEYS = [s.key for s in all_subjects()]
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    return {s.key: (s, s.load()) for s in all_subjects()}
+
+
+class TestRegistry:
+    def test_nine_subjects(self):
+        assert SUBJECT_KEYS == [f"C{i}" for i in range(1, 10)]
+
+    def test_get_subject_round_trips(self):
+        for key in SUBJECT_KEYS:
+            assert get_subject(key).key == key
+
+    def test_unknown_subject_raises(self):
+        with pytest.raises(KeyError):
+            get_subject("C42")
+
+    def test_metadata_complete(self):
+        for subject in all_subjects():
+            assert subject.benchmark
+            assert subject.class_name
+            assert subject.description
+            assert subject.paper.methods > 0
+            assert subject.paper.race_pairs > 0
+
+
+class TestSeedSuites:
+    @pytest.mark.parametrize("key", SUBJECT_KEYS)
+    def test_seed_tests_run_clean(self, key, loaded):
+        subject, table = loaded[key]
+        for test in table.program.tests:
+            vm = VM(table)
+            result, _ = vm.run_test(test.name)
+            assert result.clean, (key, test.name, result.faults)
+
+    @pytest.mark.parametrize("key", SUBJECT_KEYS)
+    def test_every_subject_method_invoked_once(self, key, loaded):
+        # §5: "each method in the class is invoked exactly once".
+        subject, table = loaded[key]
+        decl = table.program.class_decl(subject.class_name)
+        traces = []
+        for test in table.program.tests:
+            vm = VM(table)
+            recorder = Recorder(test.name)
+            vm.run_test(test.name, listeners=(recorder,))
+            traces.append(recorder.trace)
+        invoked = set()
+        for trace in traces:
+            for event in trace.client_invocations():
+                if event.class_name == subject.class_name:
+                    invoked.add(event.method)
+        # Constructors may run nested inside factory methods (C1's
+        # wrappers are created via WriteBehindQueues), so only ordinary
+        # methods must appear as client invocations.
+        declared = {m.name for m in decl.methods if not m.is_constructor}
+        assert declared <= invoked, (
+            key,
+            sorted(declared - invoked),
+        )
+
+    @pytest.mark.parametrize("key", SUBJECT_KEYS)
+    def test_analysis_finds_unprotected_accesses(self, key, loaded):
+        subject, table = loaded[key]
+        traces = []
+        for test in table.program.tests:
+            vm = VM(table)
+            recorder = Recorder(test.name)
+            vm.run_test(test.name, listeners=(recorder,))
+            traces.append(recorder.trace)
+        analysis = analyze_traces(traces)
+        unprotected = [
+            a
+            for summary in analysis.for_class(subject.class_name)
+            for a in summary.unprotected_accesses()
+        ]
+        assert unprotected, key
+
+
+class TestDefectPatterns:
+    def test_c1_wrapper_mutex_is_wrapper(self):
+        # The defining bug: delegated accesses hold the wrapper's lock,
+        # not the inner queue's.
+        subject, table = get_subject("C1"), get_subject("C1").load()
+        narada = Narada(table)
+        report = narada.synthesize_for_class(subject.class_name)
+        inner_pairs = [
+            p for p in report.pairs if p.field[0] == "CoalescedWriteBehindQueue"
+        ]
+        assert inner_pairs
+        # The context for inner-state pairs wraps a shared coalesced queue.
+        full = [
+            plan
+            for plan in report.plans
+            if plan.shared_slot is not None
+            and plan.shared_slot.class_name == "CoalescedWriteBehindQueue"
+            and plan.full_context
+        ]
+        assert full
+
+    def test_c4_context_mostly_underivable(self):
+        subject = get_subject("C4")
+        narada = Narada(subject.load())
+        report = narada.synthesize_for_class(subject.class_name)
+        fallback = [p for p in report.plans if not p.full_context]
+        assert len(fallback) > len(report.plans) / 2
+
+    def test_c5_everything_unprotected(self):
+        subject = get_subject("C5")
+        narada = Narada(subject.load())
+        analysis = narada.analysis()
+        for summary in analysis.for_class(subject.class_name):
+            if summary.is_constructor:
+                continue
+            for access in summary.accesses:
+                if access.in_constructor:
+                    continue
+                assert access.unprotected, (summary.method, access.describe())
+
+    def test_c6_reset_writes_constants(self):
+        from repro.detect import collect_constant_write_sites
+
+        subject = get_subject("C6")
+        table = subject.load()
+        sites = collect_constant_write_sites(table.program)
+        reset = table.method("Scanner", "reset")
+        reset_sites = {stmt.node_id for stmt in reset.body.stmts}
+        assert reset_sites <= sites
+
+    def test_c9_smallest_pair_count(self):
+        counts = {}
+        for key in ("C5", "C9"):
+            subject = get_subject(key)
+            narada = Narada(subject.load())
+            counts[key] = narada.synthesize_for_class(subject.class_name).pair_count
+        assert counts["C9"] < counts["C5"]

@@ -1,0 +1,154 @@
+"""Unit tests for trace events, Trace helpers, and formatting."""
+
+from repro.lang import load
+from repro.runtime import VM
+from repro.runtime.values import ObjRef
+from repro.trace import (
+    AllocEvent,
+    ForkEvent,
+    InvokeEvent,
+    ReadEvent,
+    Recorder,
+    Trace,
+    WriteEvent,
+    format_event,
+    format_trace,
+)
+
+SOURCE = """
+class Pair {
+  int x;
+  Pair other;
+  synchronized void bump() { this.x = this.x + 1; }
+  void link(Pair p) { this.other = p; }
+}
+test Seed {
+  Pair a = new Pair();
+  Pair b = new Pair();
+  a.link(b);
+  a.bump();
+}
+"""
+
+
+def record():
+    table = load(SOURCE)
+    vm = VM(table)
+    recorder = Recorder("Seed")
+    result, env = vm.run_test("Seed", listeners=(recorder,))
+    assert result.clean
+    return recorder.trace, env
+
+
+class TestTraceHelpers:
+    def test_memory_events_are_accesses(self):
+        trace, _ = record()
+        for event in trace.memory_events():
+            assert isinstance(event, (ReadEvent, WriteEvent))
+        assert len(trace.memory_events()) >= 3
+
+    def test_client_invocations_in_order(self):
+        trace, _ = record()
+        methods = [e.method for e in trace.client_invocations()]
+        assert methods == ["link", "bump"]
+        assert all(e.from_client for e in trace.client_invocations())
+
+    def test_len_and_iter_agree(self):
+        trace, _ = record()
+        assert len(trace) == len(list(trace))
+
+    def test_addresses_distinguish_objects(self):
+        trace, env = record()
+        writes = [e for e in trace if isinstance(e, WriteEvent)]
+        x_writes = [w for w in writes if w.field_name == "x"]
+        other_writes = [w for w in writes if w.field_name == "other"]
+        assert x_writes and other_writes
+        assert x_writes[0].address() != other_writes[0].address()
+        assert x_writes[0].address()[0] == env["a"].ref
+
+
+class TestEventContent:
+    def test_write_event_carries_old_value(self):
+        trace, _ = record()
+        x_write = next(
+            e
+            for e in trace
+            if isinstance(e, WriteEvent) and e.field_name == "x"
+        )
+        assert x_write.old_value == 0
+        assert x_write.value == 1
+
+    def test_locks_held_during_synchronized_body(self):
+        trace, env = record()
+        x_write = next(
+            e
+            for e in trace
+            if isinstance(e, WriteEvent) and e.field_name == "x"
+        )
+        assert env["a"].ref in x_write.locks_held
+
+    def test_link_write_carries_ref_value(self):
+        trace, env = record()
+        other_write = next(
+            e
+            for e in trace
+            if isinstance(e, WriteEvent) and e.field_name == "other"
+        )
+        assert isinstance(other_write.value, ObjRef)
+        assert other_write.value.ref == env["b"].ref
+
+    def test_invoke_event_linkage(self):
+        trace, _ = record()
+        invoke = trace.client_invocations()[0]
+        assert isinstance(invoke, InvokeEvent)
+        assert invoke.new_call_index > 0
+        returns = [
+            e
+            for e in trace.events
+            if getattr(e, "returning_call_index", None) == invoke.new_call_index
+        ]
+        assert len(returns) == 1
+        assert returns[0].to_client
+
+
+class TestFormatting:
+    def test_every_event_formats(self):
+        trace, _ = record()
+        for event in trace:
+            line = format_event(event)
+            assert line.startswith(f"[{event.label:>5}]")
+
+    def test_format_trace_one_line_per_event(self):
+        trace, _ = record()
+        assert len(format_trace(trace).splitlines()) == len(trace)
+
+    def test_specific_renderings(self):
+        trace, _ = record()
+        text = format_trace(trace)
+        assert "alloc Pair#" in text
+        assert "client invoke" in text
+        assert "lock object" in text
+        assert "unlock object" in text
+        assert ":= 1" in text  # the bump write
+
+    def test_fork_event_formats(self):
+        event = ForkEvent(
+            label=1, thread_id=0, node_id=-1, call_index=0, child_thread=2
+        )
+        assert "fork t2" in format_event(event)
+
+    def test_alloc_event_library_flag(self):
+        event = AllocEvent(
+            label=0,
+            thread_id=0,
+            node_id=1,
+            call_index=3,
+            ref=9,
+            class_name="X",
+            in_library=True,
+        )
+        assert "(lib)" in format_event(event)
+
+    def test_empty_trace(self):
+        assert format_trace(Trace()) == ""
+        assert Trace().memory_events() == []
