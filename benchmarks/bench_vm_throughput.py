@@ -2,51 +2,18 @@
 
 Not a paper table — engineering context for Table 4's synthesis times:
 how fast the substrate parses, executes, and how much the detectors add
-per event.
+per event.  The workload definitions live in :mod:`vm_scenarios`, shared
+with the ``perf_regression.py`` gate so both measure the same thing.
 """
 
 from conftest import report_table
+from vm_scenarios import HOT_LOOP, SCENARIOS, run_scenario
 
 from repro.detect import DjitDetector, EraserDetector, FastTrackDetector
-from repro.lang import load, parse
-from repro.runtime import Execution, RoundRobinScheduler, VM
+from repro.lang import parse
 from repro.trace import Recorder
 
-HOT_LOOP = """
-class Worker {
-  int acc;
-  void spin(int n) {
-    int i = 0;
-    while (i < n) {
-      this.acc = this.acc + i;
-      i = i + 1;
-    }
-  }
-  synchronized void spinLocked(int n) {
-    int i = 0;
-    while (i < n) {
-      this.acc = this.acc + i;
-      i = i + 1;
-    }
-  }
-}
-test Seed { Worker w = new Worker(); }
-"""
-
-_table = load(HOT_LOOP)
-LOOP_N = 300
-
-
-def _run(listeners=(), threads=2, method="spin"):
-    vm = VM(_table)
-    _, env = vm.run_test("Seed")
-    worker = env["w"]
-    execution = Execution(vm, listeners=listeners)
-    for _ in range(threads):
-        execution.spawn(
-            lambda ctx: vm.interp.call_method(ctx, worker, method, [LOOP_N])
-        )
-    return execution.run(RoundRobinScheduler())
+_run = run_scenario
 
 
 def test_parse_throughput(benchmark):
@@ -75,6 +42,13 @@ def test_execution_with_all_detectors(benchmark):
         lambda: _run(
             listeners=(FastTrackDetector(), EraserDetector(), DjitDetector())
         )
+    )
+    assert result.completed
+
+
+def test_locked_loop_with_fasttrack(benchmark):
+    result = benchmark(
+        lambda: _run(listeners=(FastTrackDetector(),), method="spinLocked")
     )
     assert result.completed
 
@@ -116,3 +90,27 @@ def test_throughput_table(benchmark):
             ]
         ),
     )
+
+
+def test_perf_regression_gate(benchmark):
+    """Run the BENCH_vm.json gate as part of the bench suite."""
+    import perf_regression
+
+    payload = benchmark.pedantic(
+        lambda: perf_regression.collect(rounds=3), rounds=1, iterations=1
+    )
+    path = perf_regression.write_report(payload)
+    report_table(
+        "vm_perf_gate",
+        "\n".join(
+            [
+                f"perf gate ({path.name}): {'PASS' if payload['pass'] else 'FAIL'}",
+                *[
+                    f"  {name:<16}{payload['current'][name]['events_per_sec']:>12,.0f}"
+                    f" ev/s  {payload['speedup'].get(name, '-')}x"
+                    for name in sorted(SCENARIOS)
+                ],
+            ]
+        ),
+    )
+    assert payload["pass"], payload["failures"]

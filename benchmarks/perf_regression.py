@@ -1,0 +1,108 @@
+"""Perf-regression gate: measure VM throughput, write BENCH_vm.json.
+
+Runs the shared :mod:`vm_scenarios` workloads (the same ones
+``bench_vm_throughput.py`` times) and compares events/sec against the
+pre-optimization baselines recorded below.  Results land in
+``benchmarks/out/BENCH_vm.json``; the process exits non-zero if the
+hot-path overhaul's acceptance ratios regress.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_regression.py [--rounds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from vm_scenarios import LOOP_N, SCENARIOS, measure  # noqa: E402
+
+#: Pre-overhaul throughput (events/sec, best-of-3) on the same scenarios,
+#: measured at the seed revision before the VM hot-path PR.
+BASELINE_EVENTS_PER_SEC = {
+    "bare": 78_990.0,
+    "recorder": 70_387.0,
+    "fasttrack": 40_911.0,
+    "djit": 39_796.0,
+    "all_detectors": 21_255.0,
+}
+
+#: Minimum speedup over baseline the overhaul must hold on to.
+REQUIRED_SPEEDUP = {
+    "bare": 2.0,
+    "fasttrack": 1.5,
+}
+
+
+def collect(rounds: int) -> dict:
+    """Measure every scenario and assemble the BENCH_vm.json payload."""
+    current = {name: measure(name, rounds=rounds) for name in SCENARIOS}
+    speedup = {
+        name: round(current[name]["events_per_sec"] / baseline, 2)
+        for name, baseline in BASELINE_EVENTS_PER_SEC.items()
+    }
+    failures = [
+        f"{name}: {speedup[name]}x < required {required}x"
+        for name, required in REQUIRED_SPEEDUP.items()
+        if speedup[name] < required
+    ]
+    return {
+        "scenario": {
+            "program": "Worker.spin hot loop",
+            "loop_n": LOOP_N,
+            "threads": 2,
+            "scheduler": "RoundRobinScheduler",
+        },
+        "python": platform.python_version(),
+        "baseline_events_per_sec": BASELINE_EVENTS_PER_SEC,
+        "current": current,
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "failures": failures,
+        "pass": not failures,
+    }
+
+
+def write_report(payload: dict, out_dir: pathlib.Path | None = None) -> pathlib.Path:
+    out_dir = out_dir or pathlib.Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    path = out_dir / "BENCH_vm.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    def _positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("--rounds must be >= 1")
+        return value
+
+    parser.add_argument(
+        "--rounds", type=_positive_int, default=5,
+        help="measurement rounds per scenario (best-of-N)",
+    )
+    args = parser.parse_args(argv)
+    payload = collect(rounds=args.rounds)
+    path = write_report(payload)
+    for name, stats in sorted(payload["current"].items()):
+        ratio = payload["speedup"].get(name)
+        suffix = f"  ({ratio}x baseline)" if ratio is not None else ""
+        print(f"{name:18s} {stats['events_per_sec']:>12,.0f} ev/s{suffix}")
+    print(f"report: {path}")
+    if payload["failures"]:
+        print("PERF REGRESSION:", "; ".join(payload["failures"]))
+        return 1
+    print("perf gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

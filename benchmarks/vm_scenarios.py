@@ -1,0 +1,86 @@
+"""Shared VM throughput scenarios for benchmarks and the perf harness.
+
+One place defines the hot-loop workload, the listener configurations,
+and the measurement loop, so ``bench_vm_throughput.py`` (pytest-benchmark
+timings) and ``perf_regression.py`` (BENCH_vm.json regression gate)
+measure exactly the same thing.
+"""
+
+from __future__ import annotations
+
+from repro.detect import DjitDetector, EraserDetector, FastTrackDetector
+from repro.lang import load
+from repro.runtime import Execution, RoundRobinScheduler, VM
+from repro.trace import Recorder
+
+HOT_LOOP = """
+class Worker {
+  int acc;
+  void spin(int n) {
+    int i = 0;
+    while (i < n) {
+      this.acc = this.acc + i;
+      i = i + 1;
+    }
+  }
+  synchronized void spinLocked(int n) {
+    int i = 0;
+    while (i < n) {
+      this.acc = this.acc + i;
+      i = i + 1;
+    }
+  }
+}
+test Seed { Worker w = new Worker(); }
+"""
+
+LOOP_N = 300
+
+_table = load(HOT_LOOP)
+
+
+def run_scenario(listeners=(), threads=2, method="spin"):
+    """Run the hot loop on ``threads`` threads; returns the ExecResult."""
+    vm = VM(_table)
+    _, env = vm.run_test("Seed")
+    worker = env["w"]
+    execution = Execution(vm, listeners=listeners)
+    for _ in range(threads):
+        execution.spawn(
+            lambda ctx: vm.interp.call_method(ctx, worker, method, [LOOP_N])
+        )
+    return execution.run(RoundRobinScheduler())
+
+
+#: name -> (listener factory, method). Factories build fresh listeners
+#: per run so detector state never carries over between rounds.
+SCENARIOS = {
+    "bare": (lambda: (), "spin"),
+    "recorder": (lambda: (Recorder(),), "spin"),
+    "fasttrack": (lambda: (FastTrackDetector(),), "spin"),
+    "djit": (lambda: (DjitDetector(),), "spin"),
+    "eraser": (lambda: (EraserDetector(),), "spin"),
+    "all_detectors": (
+        lambda: (FastTrackDetector(), EraserDetector(), DjitDetector()),
+        "spin",
+    ),
+    "fasttrack_locked": (lambda: (FastTrackDetector(),), "spinLocked"),
+}
+
+
+def measure(name: str, rounds: int = 5) -> dict:
+    """Best-of-``rounds`` events/sec for one named scenario."""
+    import time
+
+    factory, method = SCENARIOS[name]
+    best = 0.0
+    steps = 0
+    for _ in range(rounds):
+        listeners = factory()
+        start = time.perf_counter()
+        result = run_scenario(listeners=listeners, method=method)
+        elapsed = time.perf_counter() - start
+        assert result.completed
+        steps = result.steps
+        best = max(best, result.steps / elapsed)
+    return {"events_per_sec": round(best, 1), "steps": steps, "rounds": rounds}

@@ -61,6 +61,17 @@ class MiniJRuntimeError(ReproError):
         super().__init__(f"{kind}: {message}")
 
 
+class StaleExecutionError(ReproError):
+    """Raised when a finished :class:`~repro.runtime.vm.Execution` is reused.
+
+    Once ``run`` has driven an execution to quiescence (every thread
+    done), spawning another thread into it is almost certainly a bug:
+    the new thread would never be scheduled unless ``run`` were called
+    again, and listeners would see a trace with a silent gap.  Create a
+    fresh Execution on the same VM instead.
+    """
+
+
 class DeadlockError(ReproError):
     """Raised when every live VM thread is blocked on a monitor."""
 

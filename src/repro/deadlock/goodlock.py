@@ -58,6 +58,8 @@ class PotentialDeadlock:
 class GoodLockDetector:
     """Listener building the lock-order graph and reporting 2-cycles."""
 
+    interests = (LockEvent, UnlockEvent)
+
     edges: list[LockOrderEdgeObs] = field(default_factory=list)
     _held: dict[int, list[int]] = field(default_factory=dict)
     _reported: set[tuple] = field(default_factory=set)

@@ -4,6 +4,14 @@ Shared by the Djit+ and FastTrack detectors.  A :class:`VectorClock` is
 a sparse mapping thread-id -> logical time; an :class:`Epoch` is the
 FastTrack compression of "one thread's time" (c@t in the paper's
 notation).
+
+Clocks are copy-on-write: :meth:`VectorClock.snapshot` returns an O(1)
+frozen view sharing the underlying dict, and the next mutation of
+either side copies.  Detectors snapshot a thread clock at every lock
+release, so this turns the per-release deep copy into a no-op except
+when the thread's clock actually advances afterwards — which it does
+via ``tick``, but a snapshot that is immediately replaced by a newer
+one (the common re-release pattern) never pays for a copy of its own.
 """
 
 from __future__ import annotations
@@ -14,35 +22,82 @@ from dataclasses import dataclass
 class VectorClock:
     """A sparse vector clock over thread ids.
 
-    Missing entries are zero.  Instances are mutable; use :meth:`copy`
-    before storing snapshots (e.g. lock release clocks).
+    Missing entries are zero.  Instances are mutable; use
+    :meth:`snapshot` (O(1), copy-on-write) or :meth:`copy` (eager) to
+    store an immutable point-in-time view (e.g. lock release clocks).
     """
 
-    __slots__ = ("_times",)
+    __slots__ = ("_times", "_frozen")
 
     def __init__(self, times: dict[int, int] | None = None) -> None:
         self._times = dict(times) if times else {}
+        self._frozen = False
 
     def time_of(self, tid: int) -> int:
         return self._times.get(tid, 0)
 
+    def _thaw(self) -> None:
+        """Make this clock safely mutable (copy a shared dict)."""
+        if self._frozen:
+            self._times = dict(self._times)
+            self._frozen = False
+
     def tick(self, tid: int) -> None:
         """Increment this clock's component for ``tid``."""
+        self._thaw()
         self._times[tid] = self._times.get(tid, 0) + 1
 
+    def set_time(self, tid: int, time: int) -> None:
+        """Set one component directly (detector bookkeeping)."""
+        self._thaw()
+        self._times[tid] = time
+
     def join(self, other: "VectorClock") -> None:
-        """Pointwise maximum, in place."""
-        for tid, time in other._times.items():
-            if time > self._times.get(tid, 0):
-                self._times[tid] = time
+        """Pointwise maximum, in place.
+
+        Skips the copy-on-write materialization entirely when ``other``
+        adds nothing — the common case when a thread reacquires a lock
+        it released last.
+        """
+        other_times = other._times
+        mine = self._times
+        if mine is other_times:
+            return
+        for tid, time in other_times.items():
+            if time > mine.get(tid, 0):
+                break
+        else:
+            return
+        if self._frozen:
+            mine = self._times = dict(mine)
+            self._frozen = False
+        for tid, time in other_times.items():
+            if time > mine.get(tid, 0):
+                mine[tid] = time
+
+    def snapshot(self) -> "VectorClock":
+        """An O(1) frozen view of the current state.
+
+        Both this clock and the returned view keep sharing the backing
+        dict until one of them is mutated, at which point the mutating
+        side copies.
+        """
+        self._frozen = True
+        view = VectorClock.__new__(VectorClock)
+        view._times = self._times
+        view._frozen = True
+        return view
 
     def copy(self) -> "VectorClock":
         return VectorClock(self._times)
 
     def leq(self, other: "VectorClock") -> bool:
         """Pointwise <= (the happens-before test)."""
+        other_times = other._times
+        if self._times is other_times:
+            return True
         return all(
-            time <= other._times.get(tid, 0) for tid, time in self._times.items()
+            time <= other_times.get(tid, 0) for tid, time in self._times.items()
         )
 
     def items(self):

@@ -6,11 +6,13 @@ read vector clock and write vector clock.  Kept as an independent
 detector both for the ablation benchmark (FastTrack must report exactly
 the same races, faster bookkeeping) and as an oracle in the detector
 equivalence property tests.
+
+The same hot-path treatment as FastTrack applies (handler table, raw
+events until report time, copy-on-write release snapshots) — but the
+per-variable state intentionally stays full vector clocks.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 from repro.detect.clock import VectorClock
 from repro.detect.report import AccessInfo, RaceRecord, RaceSet
@@ -26,12 +28,14 @@ from repro.trace.events import (
 )
 
 
-@dataclass
 class _VarState:
-    reads: VectorClock = field(default_factory=VectorClock)
-    writes: VectorClock = field(default_factory=VectorClock)
-    last_writes: dict[int, AccessInfo] = field(default_factory=dict)
-    last_reads: dict[int, AccessInfo] = field(default_factory=dict)
+    __slots__ = ("reads", "writes", "last_writes", "last_reads")
+
+    def __init__(self) -> None:
+        self.reads = VectorClock()
+        self.writes = VectorClock()
+        self.last_writes: dict[int, AccessEvent] = {}
+        self.last_reads: dict[int, AccessEvent] = {}
 
 
 class DjitDetector:
@@ -39,11 +43,23 @@ class DjitDetector:
 
     name = "djit+"
 
+    #: Event kinds this detector consumes (see Listener.interests).
+    interests = (ReadEvent, WriteEvent, LockEvent, UnlockEvent,
+                 ForkEvent, JoinEvent)
+
     def __init__(self) -> None:
         self.races = RaceSet()
         self._threads: dict[int, VectorClock] = {}
         self._locks: dict[int, VectorClock] = {}
         self._vars: dict[tuple[int, str, int | None], _VarState] = {}
+        self._handlers = {
+            ReadEvent: self._on_read,
+            WriteEvent: self._on_write,
+            LockEvent: self._on_lock,
+            UnlockEvent: self._on_unlock,
+            ForkEvent: self._on_fork,
+            JoinEvent: self._on_join,
+        }
 
     def _clock(self, tid: int) -> VectorClock:
         clock = self._threads.get(tid)
@@ -53,84 +69,84 @@ class DjitDetector:
         return clock
 
     def on_event(self, event: Event) -> None:
-        if isinstance(event, ReadEvent):
-            self._on_read(event)
-        elif isinstance(event, WriteEvent):
-            self._on_write(event)
-        elif isinstance(event, LockEvent):
-            lock_clock = self._locks.get(event.obj)
-            if lock_clock is not None:
-                self._clock(event.thread_id).join(lock_clock)
-        elif isinstance(event, UnlockEvent):
-            clock = self._clock(event.thread_id)
-            self._locks[event.obj] = clock.copy()
-            clock.tick(event.thread_id)
-        elif isinstance(event, ForkEvent):
-            parent = self._clock(event.thread_id)
-            self._clock(event.child_thread).join(parent)
-            parent.tick(event.thread_id)
-        elif isinstance(event, JoinEvent):
-            self._clock(event.thread_id).join(self._clock(event.child_thread))
-            self._clock(event.child_thread).tick(event.child_thread)
+        handler = self._handlers.get(event.__class__)
+        if handler is not None:
+            handler(event)
+
+    def _on_lock(self, event: LockEvent) -> None:
+        lock_clock = self._locks.get(event.obj)
+        if lock_clock is not None:
+            self._clock(event.thread_id).join(lock_clock)
+
+    def _on_unlock(self, event: UnlockEvent) -> None:
+        clock = self._clock(event.thread_id)
+        self._locks[event.obj] = clock.snapshot()
+        clock.tick(event.thread_id)
+
+    def _on_fork(self, event: ForkEvent) -> None:
+        parent = self._clock(event.thread_id)
+        self._clock(event.child_thread).join(parent)
+        parent.tick(event.thread_id)
+
+    def _on_join(self, event: JoinEvent) -> None:
+        self._clock(event.thread_id).join(self._clock(event.child_thread))
+        self._clock(event.child_thread).tick(event.child_thread)
 
     # ------------------------------------------------------------------
 
     def _on_read(self, event: ReadEvent) -> None:
         tid = event.thread_id
         clock = self._clock(tid)
-        var = self._vars.setdefault(event.address(), _VarState())
-        info = _info(event, "R")
+        var = self._vars.get(event.address())
+        if var is None:
+            var = self._vars[event.address()] = _VarState()
+        time_of = clock.time_of
         # A read races with every write not ordered before us.
         for writer_tid, write_time in var.writes.items():
-            if writer_tid != tid and write_time > clock.time_of(writer_tid):
+            if writer_tid != tid and write_time > time_of(writer_tid):
                 previous = var.last_writes.get(writer_tid)
                 if previous is not None:
-                    self._report(event, previous, info)
-        var.reads._times[tid] = clock.time_of(tid)  # noqa: SLF001
-        var.last_reads[tid] = info
+                    self._report(event, previous, event)
+        var.reads.set_time(tid, time_of(tid))
+        var.last_reads[tid] = event
 
     def _on_write(self, event: WriteEvent) -> None:
         tid = event.thread_id
         clock = self._clock(tid)
-        var = self._vars.setdefault(event.address(), _VarState())
-        info = _info(event, "W")
+        var = self._vars.get(event.address())
+        if var is None:
+            var = self._vars[event.address()] = _VarState()
+        time_of = clock.time_of
         for writer_tid, write_time in var.writes.items():
-            if writer_tid != tid and write_time > clock.time_of(writer_tid):
+            if writer_tid != tid and write_time > time_of(writer_tid):
                 previous = var.last_writes.get(writer_tid)
                 if previous is not None:
-                    self._report(event, previous, info)
+                    self._report(event, previous, event)
         for reader_tid, read_time in var.reads.items():
-            if reader_tid != tid and read_time > clock.time_of(reader_tid):
+            if reader_tid != tid and read_time > time_of(reader_tid):
                 previous = var.last_reads.get(reader_tid)
                 if previous is not None:
-                    self._report(event, previous, info)
-        var.writes._times[tid] = clock.time_of(tid)  # noqa: SLF001
-        var.last_writes[tid] = info
+                    self._report(event, previous, event)
+        var.writes.set_time(tid, time_of(tid))
+        var.last_writes[tid] = event
 
     def _report(
-        self, event: AccessEvent, previous: AccessInfo, current: AccessInfo
+        self, event: AccessEvent, previous: AccessEvent, current: AccessEvent
     ) -> None:
+        if self.races.count_duplicate(
+            event.class_name, event.field_name, previous.node_id, current.node_id
+        ):
+            return
         self.races.add(
             RaceRecord(
                 detector=self.name,
                 class_name=event.class_name,
                 field_name=event.field_name,
                 address=event.address(),
-                first=previous,
-                second=current,
+                first=AccessInfo.from_event(previous),
+                second=AccessInfo.from_event(current),
             )
         )
-
-
-def _info(event: AccessEvent, kind: str) -> AccessInfo:
-    return AccessInfo(
-        thread_id=event.thread_id,
-        node_id=event.node_id,
-        label=event.label,
-        kind=kind,
-        value=event.value,
-        old_value=event.old_value if isinstance(event, WriteEvent) else None,
-    )
 
 
 __all__ = ["DjitDetector"]

@@ -12,15 +12,18 @@ Lockset refinement ``C(v) := C(v) ∩ locks_held`` starts when the second
 thread touches the variable; an empty lockset in SHARED_MODIFIED reports
 a race.  Because our access events carry the held-lock snapshot, no lock
 bookkeeping is needed here.
+
+On the hot path the detector keeps raw access events and defers all
+AccessInfo construction to report time; the owner-thread EXCLUSIVE case
+returns after two comparisons.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 from repro.detect.report import AccessInfo, RaceRecord, RaceSet
-from repro.trace.events import AccessEvent, Event, WriteEvent
+from repro.trace.events import AccessEvent, Event, ReadEvent, WriteEvent
 
 
 class _State(enum.Enum):
@@ -30,17 +33,21 @@ class _State(enum.Enum):
     SHARED_MODIFIED = "shared-modified"
 
 
-@dataclass
-class _VarState:
-    state: _State = _State.VIRGIN
-    owner: int = -1
-    lockset: frozenset[int] | None = None
-    #: Most recent access per thread, for reporting racy pairs.
-    last_by_thread: dict[int, AccessInfo] = None  # type: ignore[assignment]
+_VIRGIN = _State.VIRGIN
+_EXCLUSIVE = _State.EXCLUSIVE
+_SHARED = _State.SHARED
+_SHARED_MODIFIED = _State.SHARED_MODIFIED
 
-    def __post_init__(self) -> None:
-        if self.last_by_thread is None:
-            self.last_by_thread = {}
+
+class _VarState:
+    __slots__ = ("state", "owner", "lockset", "last_by_thread")
+
+    def __init__(self) -> None:
+        self.state = _VIRGIN
+        self.owner = -1
+        self.lockset: frozenset[int] | None = None
+        #: Most recent access event per thread, for reporting racy pairs.
+        self.last_by_thread: dict[int, AccessEvent] = {}
 
 
 class EraserDetector:
@@ -48,67 +55,69 @@ class EraserDetector:
 
     name = "eraser"
 
+    #: Event kinds this detector consumes (see Listener.interests).
+    interests = (ReadEvent, WriteEvent)
+
     def __init__(self) -> None:
         self.races = RaceSet()
         self._vars: dict[tuple[int, str, int | None], _VarState] = {}
 
     def on_event(self, event: Event) -> None:
-        if not isinstance(event, AccessEvent):
+        cls = event.__class__
+        if cls is not ReadEvent and cls is not WriteEvent:
             return
-        address = event.address()
-        var = self._vars.setdefault(address, _VarState())
-        info = AccessInfo(
-            thread_id=event.thread_id,
-            node_id=event.node_id,
-            label=event.label,
-            kind="W" if isinstance(event, WriteEvent) else "R",
-            value=event.value,
-            old_value=event.old_value if isinstance(event, WriteEvent) else None,
-        )
-        self._transition(var, event, info)
-        var.last_by_thread[event.thread_id] = info
+        var = self._vars.get(event.address())
+        if var is None:
+            var = self._vars[event.address()] = _VarState()
+        self._transition(var, event, cls is WriteEvent)
+        var.last_by_thread[event.thread_id] = event
 
     # ------------------------------------------------------------------
 
-    def _transition(self, var: _VarState, event: AccessEvent, info: AccessInfo) -> None:
-        is_write = isinstance(event, WriteEvent)
+    def _transition(self, var: _VarState, event: AccessEvent, is_write: bool) -> None:
         tid = event.thread_id
+        state = var.state
 
-        if var.state is _State.VIRGIN:
-            var.state = _State.EXCLUSIVE
-            var.owner = tid
-            return
-        if var.state is _State.EXCLUSIVE:
+        if state is _EXCLUSIVE:
             if tid == var.owner:
                 return
             # Second thread: start refining the lockset.
             var.lockset = event.locks_held
-            var.state = _State.SHARED_MODIFIED if is_write else _State.SHARED
-            self._check(var, event, info)
+            var.state = _SHARED_MODIFIED if is_write else _SHARED
+            self._check(var, event, is_write)
+            return
+        if state is _VIRGIN:
+            var.state = _EXCLUSIVE
+            var.owner = tid
             return
 
         assert var.lockset is not None
         var.lockset = var.lockset & event.locks_held
-        if var.state is _State.SHARED and is_write:
-            var.state = _State.SHARED_MODIFIED
-        self._check(var, event, info)
+        if state is _SHARED and is_write:
+            var.state = _SHARED_MODIFIED
+        self._check(var, event, is_write)
 
-    def _check(self, var: _VarState, event: AccessEvent, info: AccessInfo) -> None:
-        if var.state is not _State.SHARED_MODIFIED:
+    def _check(self, var: _VarState, event: AccessEvent, is_write: bool) -> None:
+        if var.state is not _SHARED_MODIFIED:
             return
         if var.lockset:
             return
         # Pair the empty-lockset access with the most recent conflicting
         # access made by any *other* thread.
-        previous = None
-        for tid, access in var.last_by_thread.items():
-            if tid == info.thread_id:
+        tid = event.thread_id
+        previous: AccessEvent | None = None
+        for other_tid, access in var.last_by_thread.items():
+            if other_tid == tid:
                 continue
-            if access.kind == "R" and info.kind == "R":
+            if not is_write and access.__class__ is ReadEvent:
                 continue
             if previous is None or access.label > previous.label:
                 previous = access
         if previous is None:
+            return
+        if self.races.count_duplicate(
+            event.class_name, event.field_name, previous.node_id, event.node_id
+        ):
             return
         self.races.add(
             RaceRecord(
@@ -116,8 +125,8 @@ class EraserDetector:
                 class_name=event.class_name,
                 field_name=event.field_name,
                 address=event.address(),
-                first=previous,
-                second=info,
+                first=AccessInfo.from_event(previous),
+                second=AccessInfo.from_event(event),
             )
         )
 

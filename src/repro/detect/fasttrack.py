@@ -13,13 +13,20 @@ Implements the epoch-optimized happens-before algorithm:
 Races are reported with both access sites; the auxiliary per-variable
 "last writer / last readers" bookkeeping exists only to make reports
 informative (the algorithm itself needs just the epochs).
+
+Hot-path notes (see DESIGN.md, "Performance architecture"): epochs are
+stored as two plain ints (tid, time) rather than Epoch objects, so the
+same-epoch case — by far the most frequent in real traces — is a pair
+of int comparisons with zero allocation.  Raw access events stand in
+for AccessInfo until a race is actually reported, and lock-release
+clocks are O(1) copy-on-write snapshots.  The reported race set is
+bit-for-bit the same as the unoptimized detector's: every check and
+every last-access pointer update is preserved, only their cost changed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.detect.clock import EPOCH_ZERO, Epoch, VectorClock
+from repro.detect.clock import VectorClock
 from repro.detect.report import AccessInfo, RaceRecord, RaceSet
 from repro.trace.events import (
     AccessEvent,
@@ -33,13 +40,20 @@ from repro.trace.events import (
 )
 
 
-@dataclass
 class _VarState:
-    write_epoch: Epoch = EPOCH_ZERO
-    read_epoch: Epoch = EPOCH_ZERO
-    read_clock: VectorClock | None = None  # inflated read-shared state
-    last_write: AccessInfo | None = None
-    last_reads: dict[int, AccessInfo] = field(default_factory=dict)
+    """Per-address detector state; epochs unpacked into plain ints."""
+
+    __slots__ = ("write_tid", "write_time", "read_tid", "read_time",
+                 "read_clock", "last_write", "last_reads")
+
+    def __init__(self) -> None:
+        self.write_tid = -1
+        self.write_time = 0
+        self.read_tid = -1
+        self.read_time = 0
+        self.read_clock: VectorClock | None = None  # inflated read-shared state
+        self.last_write: AccessEvent | None = None
+        self.last_reads: dict[int, AccessEvent] = {}
 
 
 class FastTrackDetector:
@@ -47,11 +61,23 @@ class FastTrackDetector:
 
     name = "fasttrack"
 
+    #: Event kinds this detector consumes (see Listener.interests).
+    interests = (ReadEvent, WriteEvent, LockEvent, UnlockEvent,
+                 ForkEvent, JoinEvent)
+
     def __init__(self) -> None:
         self.races = RaceSet()
         self._threads: dict[int, VectorClock] = {}
         self._locks: dict[int, VectorClock] = {}
         self._vars: dict[tuple[int, str, int | None], _VarState] = {}
+        self._handlers = {
+            ReadEvent: self._on_read,
+            WriteEvent: self._on_write,
+            LockEvent: self._on_lock,
+            UnlockEvent: self._on_unlock,
+            ForkEvent: self._on_fork,
+            JoinEvent: self._on_join,
+        }
 
     # ------------------------------------------------------------------
     # Clock plumbing.
@@ -64,102 +90,114 @@ class FastTrackDetector:
         return clock
 
     def on_event(self, event: Event) -> None:
-        if isinstance(event, ReadEvent):
-            self._on_read(event)
-        elif isinstance(event, WriteEvent):
-            self._on_write(event)
-        elif isinstance(event, LockEvent):
-            lock_clock = self._locks.get(event.obj)
-            if lock_clock is not None:
-                self._clock(event.thread_id).join(lock_clock)
-        elif isinstance(event, UnlockEvent):
-            clock = self._clock(event.thread_id)
-            self._locks[event.obj] = clock.copy()
-            clock.tick(event.thread_id)
-        elif isinstance(event, ForkEvent):
-            parent = self._clock(event.thread_id)
-            child = self._clock(event.child_thread)
-            child.join(parent)
-            parent.tick(event.thread_id)
-        elif isinstance(event, JoinEvent):
-            child = self._clock(event.child_thread)
-            self._clock(event.thread_id).join(child)
-            child.tick(event.child_thread)
+        handler = self._handlers.get(event.__class__)
+        if handler is not None:
+            handler(event)
+
+    def _on_lock(self, event: LockEvent) -> None:
+        lock_clock = self._locks.get(event.obj)
+        if lock_clock is not None:
+            self._clock(event.thread_id).join(lock_clock)
+
+    def _on_unlock(self, event: UnlockEvent) -> None:
+        clock = self._clock(event.thread_id)
+        self._locks[event.obj] = clock.snapshot()
+        clock.tick(event.thread_id)
+
+    def _on_fork(self, event: ForkEvent) -> None:
+        parent = self._clock(event.thread_id)
+        child = self._clock(event.child_thread)
+        child.join(parent)
+        parent.tick(event.thread_id)
+
+    def _on_join(self, event: JoinEvent) -> None:
+        child = self._clock(event.child_thread)
+        self._clock(event.thread_id).join(child)
+        child.tick(event.child_thread)
 
     # ------------------------------------------------------------------
     # Access rules.
 
     def _on_read(self, event: ReadEvent) -> None:
         tid = event.thread_id
-        clock = self._clock(tid)
-        var = self._vars.setdefault(event.address(), _VarState())
-        info = self._info(event, "R")
+        clock = self._threads.get(tid)
+        if clock is None:
+            clock = self._clock(tid)
+        var = self._vars.get(event.address())
+        if var is None:
+            var = self._vars[event.address()] = _VarState()
+        time_of = clock.time_of
 
-        if not var.write_epoch.leq_vc(clock) and var.last_write is not None:
-            self._report(event, var.last_write, info)
+        # Write-read check first: W_x ⪯ C_t, as two int lookups.
+        if var.write_time > time_of(var.write_tid) and var.last_write is not None:
+            self._report(event, var.last_write, event)
 
-        my_epoch = Epoch(tid, clock.time_of(tid))
+        my_time = time_of(tid)
         if var.read_clock is not None:
-            var.read_clock._times[tid] = my_epoch.time  # noqa: SLF001
-        elif var.read_epoch.tid == tid or var.read_epoch.leq_vc(clock):
-            var.read_epoch = my_epoch
+            var.read_clock.set_time(tid, my_time)
+        elif var.read_tid == tid:
+            # Same-epoch / same-thread fast path: R_x stays an epoch.
+            var.read_time = my_time
+        elif var.read_time <= time_of(var.read_tid):
+            var.read_tid = tid
+            var.read_time = my_time
         else:
             # Concurrent reads: inflate to a read vector clock.
             var.read_clock = VectorClock(
-                {var.read_epoch.tid: var.read_epoch.time, tid: my_epoch.time}
+                {var.read_tid: var.read_time, tid: my_time}
             )
-        var.last_reads[tid] = info
+        var.last_reads[tid] = event
 
     def _on_write(self, event: WriteEvent) -> None:
         tid = event.thread_id
-        clock = self._clock(tid)
-        var = self._vars.setdefault(event.address(), _VarState())
-        info = self._info(event, "W")
+        clock = self._threads.get(tid)
+        if clock is None:
+            clock = self._clock(tid)
+        var = self._vars.get(event.address())
+        if var is None:
+            var = self._vars[event.address()] = _VarState()
+        time_of = clock.time_of
 
-        if not var.write_epoch.leq_vc(clock) and var.last_write is not None:
-            self._report(event, var.last_write, info)
+        if var.write_time > time_of(var.write_tid) and var.last_write is not None:
+            self._report(event, var.last_write, event)
 
         if var.read_clock is not None:
             if not var.read_clock.leq(clock):
-                for reader_tid, read_info in var.last_reads.items():
+                for reader_tid, read_event in var.last_reads.items():
                     if reader_tid == tid:
                         continue
-                    if var.read_clock.time_of(reader_tid) > clock.time_of(reader_tid):
-                        self._report(event, read_info, info)
+                    if var.read_clock.time_of(reader_tid) > time_of(reader_tid):
+                        self._report(event, read_event, event)
             var.read_clock = None
-            var.last_reads = {info.thread_id: var.last_reads[tid]} if tid in var.last_reads else {}
-        elif not var.read_epoch.leq_vc(clock):
-            previous = var.last_reads.get(var.read_epoch.tid)
+            var.last_reads = (
+                {tid: var.last_reads[tid]} if tid in var.last_reads else {}
+            )
+        elif var.read_time > time_of(var.read_tid):
+            previous = var.last_reads.get(var.read_tid)
             if previous is not None and previous.thread_id != tid:
-                self._report(event, previous, info)
+                self._report(event, previous, event)
 
-        var.write_epoch = Epoch(tid, clock.time_of(tid))
-        var.last_write = info
+        var.write_tid = tid
+        var.write_time = time_of(tid)
+        var.last_write = event
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _info(event: AccessEvent, kind: str) -> AccessInfo:
-        return AccessInfo(
-            thread_id=event.thread_id,
-            node_id=event.node_id,
-            label=event.label,
-            kind=kind,
-            value=event.value,
-            old_value=event.old_value if isinstance(event, WriteEvent) else None,
-        )
-
     def _report(
-        self, event: AccessEvent, previous: AccessInfo, current: AccessInfo
+        self, event: AccessEvent, previous: AccessEvent, current: AccessEvent
     ) -> None:
+        if self.races.count_duplicate(
+            event.class_name, event.field_name, previous.node_id, current.node_id
+        ):
+            return
         self.races.add(
             RaceRecord(
                 detector=self.name,
                 class_name=event.class_name,
                 field_name=event.field_name,
                 address=event.address(),
-                first=previous,
-                second=current,
+                first=AccessInfo.from_event(previous),
+                second=AccessInfo.from_event(current),
             )
         )
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.lang import ast
 from repro.runtime.values import Value, show_value, values_equal
+from repro.trace.events import WriteEvent
 
 
 def collect_constant_write_sites(program: ast.Program) -> set[int]:
@@ -56,6 +57,23 @@ class AccessInfo:
     kind: str  # "R" | "W"
     value: Value = None
     old_value: Value = None
+
+    @classmethod
+    def from_event(cls, event) -> "AccessInfo":
+        """Build the report-side view of a raw access event.
+
+        The detectors keep raw events on their hot paths and only
+        materialize AccessInfo when a race is actually reported.
+        """
+        is_write = isinstance(event, WriteEvent)
+        return cls(
+            thread_id=event.thread_id,
+            node_id=event.node_id,
+            label=event.label,
+            kind="W" if is_write else "R",
+            value=event.value,
+            old_value=event.old_value if is_write else None,
+        )
 
 
 @dataclass(frozen=True)
@@ -123,6 +141,23 @@ class RaceSet:
         self._seen.add(key)
         self.races.append(record)
         return True
+
+    def count_duplicate(
+        self, class_name: str, field_name: str, site_a: int, site_b: int
+    ) -> bool:
+        """Hot-path dedup check, avoiding record construction.
+
+        When a race with this static identity has already been recorded,
+        count the dynamic occurrence and return True; the caller can then
+        skip materializing AccessInfo/RaceRecord objects entirely.  On
+        heavily racy traces nearly every access re-reports the same
+        static race, so this is the common case for the detectors.
+        """
+        sites = (site_a, site_b) if site_a <= site_b else (site_b, site_a)
+        if (class_name, field_name, sites) in self._seen:
+            self.dynamic_count += 1
+            return True
+        return False
 
     def __len__(self) -> int:
         return len(self.races)

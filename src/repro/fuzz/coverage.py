@@ -35,6 +35,8 @@ InterleavingUnit = tuple[str, str, int, int]
 class InterleavingCoverageProbe:
     """Listener collecting observed inter-thread dependency units."""
 
+    interests = (AccessEvent,)
+
     units: set[InterleavingUnit] = field(default_factory=set)
     _last_by_address: dict[tuple, AccessEvent] = field(default_factory=dict)
 

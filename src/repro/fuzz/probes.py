@@ -23,6 +23,8 @@ from repro.trace.events import AccessEvent, Event, WriteEvent
 class AdjacencyProbe:
     """Records site pairs of adjacent conflicting same-address accesses."""
 
+    interests = (AccessEvent,)
+
     #: (class_name, field_name, sorted site pair) for each manifestation.
     confirmed: set[tuple] = field(default_factory=set)
     _last_by_address: dict[tuple, AccessEvent] = field(default_factory=dict)
@@ -48,6 +50,8 @@ class AdjacencyProbe:
 @dataclass
 class SiteWatcher:
     """Remembers the most recent access per static site (directed runs)."""
+
+    interests = (AccessEvent,)
 
     last_by_site: dict[int, AccessEvent] = field(default_factory=dict)
     last_event: AccessEvent | None = None

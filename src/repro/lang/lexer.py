@@ -7,6 +7,8 @@ and the operator/punctuation set listed in :mod:`repro.lang.tokens`.
 
 from __future__ import annotations
 
+import sys
+
 from repro._util.errors import LexError
 from repro.lang.tokens import KEYWORDS, Token, TokenKind
 
@@ -138,7 +140,11 @@ class Lexer:
         start = self._pos
         while not self._at_end() and (self._peek().isalnum() or self._peek() == "_"):
             self._advance()
-        text = self._source[start : self._pos]
+        # Intern identifiers: every field/method/class name string in the
+        # AST (and hence every hot dict key on the interpreter's field
+        # and method lookups) shares one object per spelling, making
+        # those lookups pointer comparisons in the common case.
+        text = sys.intern(self._source[start : self._pos])
         kind = KEYWORDS.get(text, TokenKind.IDENT)
         return Token(kind, text, line, column)
 

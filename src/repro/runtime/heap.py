@@ -13,7 +13,7 @@ from repro._util.errors import MiniJRuntimeError
 from repro.runtime.values import ObjRef, Value, default_value
 
 
-@dataclass
+@dataclass(slots=True)
 class Monitor:
     """A reentrant per-object monitor with a wait set.
 
@@ -52,7 +52,7 @@ class Monitor:
         return self.depth
 
 
-@dataclass
+@dataclass(slots=True)
 class HeapObject:
     """One object on the VM heap.
 
@@ -68,9 +68,14 @@ class HeapObject:
     elements: list[Value] | None = None
     monitor: Monitor = field(default_factory=Monitor)
     lib_allocated: bool = False
+    _handle: ObjRef | None = None
 
     def handle(self) -> ObjRef:
-        return ObjRef(self.ref, self.class_name)
+        """The (cached) immutable reference naming this object."""
+        handle = self._handle
+        if handle is None:
+            handle = self._handle = ObjRef(self.ref, self.class_name)
+        return handle
 
 
 class Heap:

@@ -10,6 +10,24 @@ A single VM can host several executions in sequence — exactly what the
 synthesized tests need: run seed-test prefixes to collect objects, run
 the context-setting calls, then run the racy methods from two threads,
 all against one heap.
+
+Hot-path architecture (see DESIGN.md, "Performance architecture"):
+
+* **Pre-bound dispatch** — instead of walking the listener list and
+  calling every ``on_event`` for every event, the Execution builds a
+  per-event-class tuple of the bound callbacks that actually subscribe
+  to that class (listeners may declare an ``interests`` tuple of event
+  classes; no declaration means "everything").
+* **Event elision** — while :meth:`Execution.run` or
+  :meth:`Execution.run_single` drives the loop, the interpreter is told
+  which event kinds have a subscriber and skips *constructing* the
+  rest, yielding :data:`~repro.trace.events.SKIPPED_EVENT` after
+  burning the label.  The schedule, labels, and every delivered event
+  are bit-identical to an unfiltered run.  Manual :meth:`Execution.step`
+  driving (the fuzzers inspect returned events) never elides.
+* **Runnable cache** — the runnable-thread list is rebuilt only when
+  some thread's status actually changes, in thread-creation order so
+  seeded random schedules are unchanged.
 """
 
 from __future__ import annotations
@@ -20,7 +38,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Protocol
 
-from repro._util.errors import DeadlockError, MiniJRuntimeError
+from repro._util.errors import (
+    DeadlockError,
+    MiniJRuntimeError,
+    StaleExecutionError,
+)
 from repro.lang import ast
 from repro.lang.classtable import ClassTable
 from repro.runtime.heap import Heap
@@ -28,6 +50,7 @@ from repro.runtime.interp import ForkRequest, Interpreter, ThreadContext
 from repro.runtime.scheduler import Scheduler, SequentialScheduler
 from repro.runtime.values import Value
 from repro.trace.events import (
+    SKIPPED_EVENT,
     BlockedEvent,
     Event,
     FaultEvent,
@@ -42,7 +65,15 @@ DEFAULT_MAX_STEPS = 200_000
 
 
 class Listener(Protocol):
-    """Anything that observes the event stream of an execution."""
+    """Anything that observes the event stream of an execution.
+
+    A listener may additionally declare an ``interests`` attribute — a
+    tuple of event classes (base classes allowed) it wants delivered.
+    Listeners without the attribute (or with ``interests = None``)
+    receive every event.  Declaring interests lets the Execution skip
+    both dispatch *and construction* of unobserved high-volume events,
+    so only declare kinds the listener genuinely never reads.
+    """
 
     def on_event(self, event: Event) -> None: ...  # pragma: no cover
 
@@ -52,6 +83,10 @@ class ThreadStatus(enum.Enum):
     BLOCKED = "blocked"
     DONE = "done"
     FAULTED = "faulted"
+
+
+_RUNNABLE = ThreadStatus.RUNNABLE
+_BLOCKED = ThreadStatus.BLOCKED
 
 
 @dataclass
@@ -163,6 +198,12 @@ class Execution:
         self._threads: dict[int, VMThread] = {}
         self._last_scheduled: int | None = None
         self.steps = 0
+        # Per-event-class tuples of subscribed on_event callbacks.
+        self._dispatch_map: dict[type, tuple[Callable[[Event], None], ...]] = {}
+        # Runnable tids in thread-creation order; None = needs rebuild.
+        self._runnable_cache: list[int] | None = None
+        self._running = False
+        self._quiescent = False
 
     # ------------------------------------------------------------------
     # Thread management.
@@ -177,10 +218,20 @@ class Execution:
 
         When ``parent`` is given, a ForkEvent (a happens-before edge for
         the detectors) is dispatched on the parent's behalf.
+
+        Raises:
+            StaleExecutionError: when the execution already ran to
+                quiescence; a new thread could never be scheduled.
         """
+        if self._quiescent:
+            raise StaleExecutionError(
+                "spawn() on an Execution that already ran to quiescence; "
+                "create a new Execution on the same VM instead"
+            )
         ctx = self._vm.new_thread_ctx()
         thread = VMThread(ctx=ctx, body=make_body(ctx), name=name or f"t{ctx.thread_id}")
         self._threads[ctx.thread_id] = thread
+        self._runnable_cache = None
         if parent is not None:
             self._dispatch(
                 ForkEvent(
@@ -212,11 +263,19 @@ class Execution:
         return list(self._threads)
 
     def runnable_threads(self) -> list[int]:
-        return [
-            tid
-            for tid, thread in self._threads.items()
-            if thread.status is ThreadStatus.RUNNABLE
-        ]
+        """Runnable thread ids in creation order.
+
+        The returned list is cached until some thread changes status;
+        callers must not mutate it.
+        """
+        cache = self._runnable_cache
+        if cache is None:
+            cache = self._runnable_cache = [
+                tid
+                for tid, thread in self._threads.items()
+                if thread.status is _RUNNABLE
+            ]
+        return cache
 
     def live_threads(self) -> list[int]:
         return [
@@ -227,6 +286,9 @@ class Execution:
 
     def add_listener(self, listener: Listener) -> None:
         self._listeners.append(listener)
+        self._dispatch_map.clear()
+        if self._running:
+            self._vm.interp.set_emit_filter(self._wanted_kinds())
 
     # ------------------------------------------------------------------
     # Stepping.
@@ -240,8 +302,9 @@ class Execution:
         (mirroring monitor release during Java exception unwinding).
         """
         thread = self._threads[tid]
-        if thread.status not in (ThreadStatus.RUNNABLE, ThreadStatus.BLOCKED):
-            raise AssertionError(f"stepping {thread.status.value} thread {tid}")
+        prev_status = thread.status
+        if prev_status is not _RUNNABLE and prev_status is not _BLOCKED:
+            raise AssertionError(f"stepping {prev_status.value} thread {tid}")
         self.steps += 1
         self._last_scheduled = tid
         try:
@@ -249,10 +312,12 @@ class Execution:
         except StopIteration as stop:
             thread.status = ThreadStatus.DONE
             thread.result = stop.value
+            self._runnable_cache = None
             return None
         except MiniJRuntimeError as fault:
             thread.status = ThreadStatus.FAULTED
             thread.fault = fault
+            self._runnable_cache = None
             self._force_release_monitors(thread)
             fault_event = FaultEvent(
                 label=self._vm.next_label(),
@@ -265,7 +330,18 @@ class Execution:
             self._dispatch(fault_event)
             return fault_event
 
-        if isinstance(event, ForkRequest):
+        if event is SKIPPED_EVENT:
+            # An elided event: label burned, scheduling point taken, but
+            # nobody subscribed — nothing to dispatch.  Elided kinds are
+            # never synchronization events, so the thread stays runnable.
+            if prev_status is not _RUNNABLE:
+                thread.status = _RUNNABLE
+                thread.blocked_on = None
+                self._runnable_cache = None
+            return event
+
+        cls = event.__class__
+        if cls is ForkRequest:
             # Client-level `fork {}`: spawn the child (which dispatches
             # the real ForkEvent) and keep the parent runnable.
             self.spawn(
@@ -275,17 +351,26 @@ class Execution:
                 name=f"fork@{event.node_id}",
                 parent=tid,
             )
-            thread.status = ThreadStatus.RUNNABLE
+            if prev_status is not _RUNNABLE:
+                thread.status = _RUNNABLE
+                thread.blocked_on = None
             return None
 
-        if isinstance(event, BlockedEvent):
-            thread.status = ThreadStatus.BLOCKED
+        if cls is BlockedEvent:
+            thread.status = _BLOCKED
             thread.blocked_on = event.obj
-        else:
-            thread.status = ThreadStatus.RUNNABLE
+            if prev_status is not _BLOCKED:
+                self._runnable_cache = None
+        elif prev_status is not _RUNNABLE:
+            thread.status = _RUNNABLE
             thread.blocked_on = None
-        self._dispatch(event)
-        if isinstance(event, UnlockEvent) and event.reentrancy == 0:
+            self._runnable_cache = None
+        handlers = self._dispatch_map.get(cls)
+        if handlers is None:
+            handlers = self._bind(cls)
+        for handler in handlers:
+            handler(event)
+        if cls is UnlockEvent and event.reentrancy == 0:
             self._wake_waiters(event.obj)
         return event
 
@@ -294,29 +379,39 @@ class Execution:
     ) -> ExecutionResult:
         """Drive all threads under ``scheduler`` until quiescence."""
         result = ExecutionResult()
-        while True:
-            runnable = self.runnable_threads()
-            if not runnable:
-                live = self.live_threads()
-                if live:
-                    result.deadlocked = True
-                    result.blocked = {
-                        tid: self._threads[tid].blocked_on or -1 for tid in live
-                    }
-                else:
-                    result.completed = True
-                break
-            if self.steps >= max_steps:
-                result.timed_out = True
-                break
-            tid = scheduler.pick(runnable, self._last_scheduled)
-            self.step(tid)
+        interp = self._vm.interp
+        step = self.step
+        pick = scheduler.pick
+        self._running = True
+        interp.set_emit_filter(self._wanted_kinds())
+        try:
+            while True:
+                runnable = self.runnable_threads()
+                if not runnable:
+                    live = self.live_threads()
+                    if live:
+                        result.deadlocked = True
+                        result.blocked = {
+                            tid: self._threads[tid].blocked_on or -1 for tid in live
+                        }
+                    else:
+                        result.completed = True
+                    break
+                if self.steps >= max_steps:
+                    result.timed_out = True
+                    break
+                step(pick(runnable, self._last_scheduled))
+        finally:
+            self._running = False
+            interp.set_emit_filter(None)
         result.steps = self.steps
         result.faults = [
             (tid, thread.fault)
             for tid, thread in self._threads.items()
             if thread.fault is not None
         ]
+        if result.completed:
+            self._quiescent = True
         return result
 
     def run_single(self, tid: int, max_steps: int = DEFAULT_MAX_STEPS) -> VMThread:
@@ -326,28 +421,65 @@ class Execution:
             DeadlockError: if the thread blocks with nobody to unblock it.
         """
         thread = self._threads[tid]
-        steps = 0
-        while thread.status in (ThreadStatus.RUNNABLE, ThreadStatus.BLOCKED):
-            if thread.status is ThreadStatus.BLOCKED:
-                raise DeadlockError({tid: thread.blocked_on or -1})
-            if steps >= max_steps:
-                raise MiniJRuntimeError("step-budget", f"thread {tid} exceeded budget")
-            self.step(tid)
-            steps += 1
+        interp = self._vm.interp
+        self._running = True
+        interp.set_emit_filter(self._wanted_kinds())
+        try:
+            steps = 0
+            while thread.status in (ThreadStatus.RUNNABLE, ThreadStatus.BLOCKED):
+                if thread.status is ThreadStatus.BLOCKED:
+                    raise DeadlockError({tid: thread.blocked_on or -1})
+                if steps >= max_steps:
+                    raise MiniJRuntimeError(
+                        "step-budget", f"thread {tid} exceeded budget"
+                    )
+                self.step(tid)
+                steps += 1
+        finally:
+            self._running = False
+            interp.set_emit_filter(None)
         return thread
 
     # ------------------------------------------------------------------
     # Internals.
 
-    def _dispatch(self, event: Event) -> None:
+    def _wanted_kinds(self) -> set[type] | None:
+        """Union of listener interests, or None when someone wants all."""
+        wanted: set[type] = set()
         for listener in self._listeners:
-            listener.on_event(event)
+            interests = getattr(listener, "interests", None)
+            if interests is None:
+                return None
+            wanted.update(interests)
+        return wanted
+
+    def _bind(self, cls: type) -> tuple[Callable[[Event], None], ...]:
+        """Build (and memoize) the subscriber tuple for one event class."""
+        handlers = []
+        for listener in self._listeners:
+            interests = getattr(listener, "interests", None)
+            if interests is None or any(
+                issubclass(cls, interest) for interest in interests
+            ):
+                handlers.append(listener.on_event)
+        bound = tuple(handlers)
+        self._dispatch_map[cls] = bound
+        return bound
+
+    def _dispatch(self, event: Event) -> None:
+        cls = event.__class__
+        handlers = self._dispatch_map.get(cls)
+        if handlers is None:
+            handlers = self._bind(cls)
+        for handler in handlers:
+            handler(event)
 
     def _wake_waiters(self, obj_ref: int) -> None:
         for thread in self._threads.values():
-            if thread.status is ThreadStatus.BLOCKED and thread.blocked_on == obj_ref:
-                thread.status = ThreadStatus.RUNNABLE
+            if thread.status is _BLOCKED and thread.blocked_on == obj_ref:
+                thread.status = _RUNNABLE
                 thread.blocked_on = None
+                self._runnable_cache = None
 
     def _force_release_monitors(self, thread: VMThread) -> None:
         for obj_ref, count in list(thread.ctx.held.items()):
@@ -356,3 +488,4 @@ class Execution:
                 obj.monitor.release(thread.ctx.thread_id)
             self._wake_waiters(obj_ref)
         thread.ctx.held.clear()
+        thread.ctx.locks_cache = None

