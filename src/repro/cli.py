@@ -18,6 +18,13 @@ writing Python:
 
 ``FILE`` is a MiniJ source file containing the library classes and its
 sequential seed tests.
+
+Pipeline-running commands share three orchestration flags: ``--jobs N``
+fans the per-subject pipeline and the per-test fuzz loop out over a
+process pool (results are bit-identical to ``--jobs 1``), ``--no-cache``
+disables the persistent content-addressed artifact cache, and
+``--cache-dir`` points the cache somewhere other than
+``$REPRO_CACHE_DIR`` / ``~/.cache/repro-narada``.
 """
 
 from __future__ import annotations
@@ -29,21 +36,29 @@ import sys
 from repro.baseline import ConTeGe
 from repro.fuzz import explore_test
 from repro.lang import ClassTable, load
-from repro.narada import Narada
+from repro.narada import (
+    ArtifactCache,
+    Narada,
+    PipelineConfig,
+    PipelineOrchestrator,
+    SubjectSpec,
+    subject_specs,
+)
 from repro.runtime import VM
 from repro.subjects import all_subjects, get_subject
 from repro.synth import materialize
 
 
-def _load_target(args) -> tuple[ClassTable, str]:
-    """Resolve --subject/FILE into a class table and target class."""
+def _load_target(args) -> tuple[ClassTable, str, str]:
+    """Resolve --subject/FILE into (class table, target class, source)."""
     if args.subject:
         subject = get_subject(args.subject)
-        return subject.load(), subject.class_name
+        return subject.load(), subject.class_name, subject.source
     if not args.file:
         raise SystemExit("error: provide --subject C1..C9 or a MiniJ file")
     with open(args.file) as handle:
-        table = load(handle.read())
+        source = handle.read()
+    table = load(source)
     target = args.target_class
     if target is None:
         candidates = table.class_names()
@@ -52,7 +67,24 @@ def _load_target(args) -> tuple[ClassTable, str]:
                 f"error: --class needed, file defines {', '.join(candidates)}"
             )
         target = candidates[0]
-    return table, target
+    return table, target, source
+
+
+def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    """Orchestration flags shared by every pipeline-running command."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes; 1 runs inline with no pool (default)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every stage instead of using the artifact cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact cache root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-narada)",
+    )
 
 
 def _add_target_args(parser: argparse.ArgumentParser) -> None:
@@ -65,6 +97,28 @@ def _add_target_args(parser: argparse.ArgumentParser) -> None:
         "--class", dest="target_class", help="class under analysis"
     )
     parser.add_argument("--json", action="store_true", help="JSON output")
+    _add_pipeline_args(parser)
+
+
+def _cache_from(args) -> ArtifactCache | None:
+    if args.no_cache:
+        return None
+    return ArtifactCache(args.cache_dir)
+
+
+def _orchestrator(args, **config) -> PipelineOrchestrator:
+    return PipelineOrchestrator(
+        jobs=args.jobs,
+        cache=_cache_from(args),
+        config=PipelineConfig(**config),
+    )
+
+
+def _synthesize(args, target: str, source: str):
+    """Run (or replay from cache) the synthesis pipeline for a target."""
+    spec = SubjectSpec(name=target, source=source, target_class=target)
+    with _orchestrator(args) as orch:
+        return orch.synthesize(spec)
 
 
 def cmd_subjects(args) -> int:
@@ -90,9 +144,20 @@ def cmd_subjects(args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    table, target = _load_target(args)
-    narada = Narada(table)
+    from repro.narada.cache import stage_key, table_digest
+    from repro.narada.serial import decode_analysis, encode_analysis
+
+    table, target, source = _load_target(args)
+    narada = Narada(source)
+    cache = _cache_from(args)
+    if cache is not None:
+        key = stage_key(table_digest(narada.table), "analysis", {"vm_seed": 0})
+        cached = cache.get("analysis", key)
+        if cached is not None:
+            narada.use_analysis(decode_analysis(cached))
     analysis = narada.analysis()
+    if cache is not None and cached is None:
+        cache.put("analysis", key, encode_analysis(analysis))
     summaries = analysis.for_class(target)
     if args.json:
         print(json.dumps([_summary_json(s) for s in summaries], indent=2))
@@ -104,9 +169,8 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_pairs(args) -> int:
-    table, target = _load_target(args)
-    narada = Narada(table)
-    report = narada.synthesize_for_class(target)
+    table, target, source = _load_target(args)
+    report = _synthesize(args, target, source)
     if args.json:
         print(json.dumps([_pair_json(p) for p in report.pairs], indent=2))
         return 0
@@ -117,9 +181,8 @@ def cmd_pairs(args) -> int:
 
 
 def cmd_synth(args) -> int:
-    table, target = _load_target(args)
-    narada = Narada(table)
-    report = narada.synthesize_for_class(target)
+    table, target, source = _load_target(args)
+    report = _synthesize(args, target, source)
     tests = report.tests if args.all else report.tests[: args.show]
     if args.json:
         print(
@@ -149,12 +212,13 @@ def cmd_synth(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
-    table, target = _load_target(args)
-    narada = Narada(table)
-    report = narada.synthesize_for_class(target)
-    detection = narada.detect(
-        report, random_runs=args.runs, directed=not args.no_directed
-    )
+    table, target, source = _load_target(args)
+    spec = SubjectSpec(name=target, source=source, target_class=target)
+    with _orchestrator(
+        args, random_runs=args.runs, directed=not args.no_directed
+    ) as orch:
+        outcome = orch.run([spec])[0]
+    report, detection = outcome.synthesis, outcome.detection
     if args.json:
         print(json.dumps(_detection_json(target, report, detection), indent=2))
         return 0
@@ -172,9 +236,8 @@ def cmd_fuzz(args) -> int:
 
 
 def cmd_chess(args) -> int:
-    table, target = _load_target(args)
-    narada = Narada(table)
-    report = narada.synthesize_for_class(target)
+    table, target, source = _load_target(args)
+    report = _synthesize(args, target, source)
     tests = report.tests[: args.tests]
     total_races = 0
     for test in tests:
@@ -197,9 +260,8 @@ def cmd_chess(args) -> int:
 def cmd_emit(args) -> int:
     from repro.synth.emit import emit_standalone_program
 
-    table, target = _load_target(args)
-    narada = Narada(table)
-    report = narada.synthesize_for_class(target)
+    table, target, source = _load_target(args)
+    report = _synthesize(args, target, source)
     tests = report.tests if args.all else report.tests[: args.count]
     source = emit_standalone_program(table, tests)
     if args.output:
@@ -258,7 +320,7 @@ def cmd_deadlock(args) -> int:
     from repro.runtime import VM as _VM
     from repro.synth import materialize as _materialize
 
-    table, target = _load_target(args)
+    table, target, _ = _load_target(args)
     pipeline = DeadlockPipeline(table)
     report = pipeline.synthesize(target_class=None if args.all_classes else target)
     print(
@@ -276,7 +338,7 @@ def cmd_deadlock(args) -> int:
 
 
 def cmd_contege(args) -> int:
-    table, target = _load_target(args)
+    table, target, _ = _load_target(args)
     contege = ConTeGe(table, target, seed=args.seed)
     result = contege.run(max_tests=args.budget)
     print(
@@ -296,17 +358,18 @@ def cmd_tables(args) -> int:
     subjects = all_subjects()
     print(format_table3(subjects))
     print()
-    rows = []
-    for subject in subjects:
-        narada = Narada(subject.load())
-        rows.append((subject, narada.synthesize_for_class(subject.class_name)))
+    with _orchestrator(args, random_runs=args.runs) as orch:
+        outcomes = orch.run(subject_specs(subjects), detect=args.detect)
+    rows = [
+        (subject, outcome.synthesis)
+        for subject, outcome in zip(subjects, outcomes)
+    ]
     print(format_table4(rows))
     if args.detect:
-        detections = []
-        for subject, report in rows:
-            narada = Narada(subject.load())
-            fresh = narada.synthesize_for_class(subject.class_name)
-            detections.append((subject, narada.detect(fresh, random_runs=args.runs)))
+        detections = [
+            (subject, outcome.detection)
+            for subject, outcome in zip(subjects, outcomes)
+        ]
         print()
         print(format_table5(detections))
     return 0
@@ -437,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tables", help="regenerate evaluation tables")
     p.add_argument("--detect", action="store_true", help="include Table 5")
     p.add_argument("--runs", type=int, default=4)
+    _add_pipeline_args(p)
     p.set_defaults(func=cmd_tables)
 
     return parser

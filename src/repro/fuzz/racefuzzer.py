@@ -19,6 +19,7 @@ Our analogue does the same over the MiniJ VM:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.detect.eraser import EraserDetector
@@ -34,6 +35,21 @@ from repro.trace.events import AccessEvent
 
 #: Step budget for each phase of a directed confirmation attempt.
 DIRECTED_PHASE_STEPS = 20_000
+
+
+def schedule_seed(test_name: str, run_index: int) -> int:
+    """Deterministic schedule seed for one fuzz run of one test.
+
+    Derived purely from content — never from loop position, process
+    identity, or pool scheduling — so a test fuzzes identically whether
+    the run happens serially or on any worker of a process pool.  (A
+    plain ``hash()`` would not do: Python randomizes string hashing per
+    process.)
+    """
+    digest = hashlib.sha256(
+        f"{test_name}\x1f{run_index}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass
@@ -88,6 +104,18 @@ class FuzzReport:
             lines.append(f" {marker} {record.describe(self.constant_sites)}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """Canonical dict form (see :mod:`repro.narada.serial`)."""
+        from repro.narada.serial import encode_fuzz_bundle
+
+        return encode_fuzz_bundle(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzReport":
+        from repro.narada.serial import decode_fuzz_bundle
+
+        return decode_fuzz_bundle(data)
+
 
 class RaceFuzzer:
     """Detects and confirms races in synthesized multithreaded tests."""
@@ -135,7 +163,9 @@ class RaceFuzzer:
                 vm_seed=self._vm_seed,
                 listeners=(fasttrack, eraser, probe),
             )
-            outcome = runner.run(test, RandomScheduler(seed=run_index * 7919 + 1))
+            outcome = runner.run(
+                test, RandomScheduler(seed=schedule_seed(test.name, run_index))
+            )
             report.random_runs += 1
             self._absorb(report, outcome, fasttrack, eraser, probe)
 
@@ -167,7 +197,11 @@ class RaceFuzzer:
             (record.first.node_id, record.second.node_id): record
             for record in candidates
         }
-        for sites in test.target_sites():
+        # Sorted: set iteration order depends on insertion history, and a
+        # test rebuilt from its serialized form inserts sites in a
+        # different order than the synthesizer did.  Attempt order must be
+        # a function of content only.
+        for sites in sorted(test.target_sites()):
             site_targets.setdefault(sites, None)
 
         def settled(sites: tuple[int, int], record) -> bool:

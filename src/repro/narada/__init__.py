@@ -1,5 +1,23 @@
 """The end-to-end Narada pipeline."""
 
+from repro.narada.cache import ArtifactCache, default_cache_dir, table_digest
+from repro.narada.orchestrator import (
+    PipelineConfig,
+    PipelineOrchestrator,
+    SubjectSpec,
+    subject_specs,
+)
 from repro.narada.pipeline import DetectionReport, Narada, SynthesisReport
 
-__all__ = ["DetectionReport", "Narada", "SynthesisReport"]
+__all__ = [
+    "ArtifactCache",
+    "DetectionReport",
+    "Narada",
+    "PipelineConfig",
+    "PipelineOrchestrator",
+    "SubjectSpec",
+    "SynthesisReport",
+    "default_cache_dir",
+    "subject_specs",
+    "table_digest",
+]

@@ -1,0 +1,150 @@
+"""Persistent content-addressed cache of pipeline artifacts.
+
+Every pipeline stage output (analysis, synthesis, detection) is a
+deterministic function of three inputs, and the cache key is a digest of
+exactly those:
+
+* the **pretty-printed class table** — canonical program text, so
+  formatting/comment changes in a source file do not invalidate, while
+  any semantic change does;
+* the **pipeline config** for the stage (VM seed, fuzz budget, directed
+  phase on/off, ...), so e.g. raising ``--runs`` invalidates detection
+  but leaves the cached synthesis artifact valid — a rerun skips
+  straight to the first invalidated stage;
+* a **code version salt** (:data:`CODE_SALT` + the serial format
+  version), bumped whenever pipeline semantics or encoding change, so
+  artifacts from older code are never reused.
+
+Entries are JSON files under ``<root>/<stage>/<digest[:2]>/<digest>.json``.
+Writes are crash-safe: content goes to a same-directory temp file first
+and is published with ``os.replace`` (atomic on POSIX), so a reader can
+never observe a half-written entry.  A corrupted or truncated entry
+(killed writer predating this scheme, disk trouble) is treated as a
+cache miss and evicted, never as an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.lang import ClassTable, load
+from repro.lang.pretty import pretty_program
+from repro.narada.serial import SERIAL_VERSION, canonical_json
+
+#: Bump to invalidate every cached artifact after a semantic change to
+#: any pipeline stage (analysis rules, synthesis, fuzz seed derivation).
+CODE_SALT = "narada-pipeline-v2"
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-narada``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-narada"
+
+
+def table_digest(source_or_table: str | ClassTable) -> str:
+    """Digest of the canonical (pretty-printed) program text."""
+    if isinstance(source_or_table, ClassTable):
+        table = source_or_table
+    else:
+        table = load(source_or_table)
+    text = pretty_program(table.program)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def stage_key(table_dig: str, stage: str, config: dict) -> str:
+    """Content address of one stage artifact for one program."""
+    payload = {
+        "table": table_dig,
+        "stage": stage,
+        "config": config,
+        "salt": CODE_SALT,
+        "serial_version": SERIAL_VERSION,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class ArtifactCache:
+    """Digest-keyed JSON artifact store with atomic, crash-safe writes."""
+
+    root: pathlib.Path
+    stats: CacheStats = field(default_factory=CacheStats)
+    _tmp_counter: int = 0
+
+    def __init__(self, root: str | pathlib.Path | None = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+        self._tmp_counter = 0
+
+    def _path(self, stage: str, key: str) -> pathlib.Path:
+        return self.root / stage / key[:2] / f"{key}.json"
+
+    def get(self, stage: str, key: str) -> dict | None:
+        """Load an entry; any unreadable/corrupt entry is a miss."""
+        path = self._path(stage, key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError("cache entry is not an object")
+        except (ValueError, UnicodeDecodeError):
+            # Truncated or garbled entry: evict and report a miss so the
+            # pipeline recomputes instead of crashing.
+            self.stats.evictions += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return data
+
+    def put(self, stage: str, key: str, data: dict) -> None:
+        """Publish an entry atomically (write temp file, then rename)."""
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp_counter += 1
+        tmp = path.parent / f".tmp-{os.getpid()}-{self._tmp_counter}"
+        try:
+            tmp.write_text(canonical_json(data))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def clear(self) -> None:
+        """Remove every entry (directories are left in place)."""
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.rglob("*.json")):
+            try:
+                path.unlink()
+            except OSError:
+                pass

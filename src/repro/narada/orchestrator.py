@@ -1,0 +1,426 @@
+"""Parallel pipeline orchestrator with stage-level artifact caching.
+
+The Fig. 6 pipeline is embarrassingly parallel at two granularities:
+
+* **per subject** — seed execution, analysis, pair generation, context
+  derivation and synthesis of one program are independent of every other
+  program, and
+* **per test** — the RaceFuzzer loop treats each synthesized test as an
+  independent work unit.
+
+The orchestrator fans both out over a ``concurrent.futures`` process
+pool while keeping results **bit-identical to the serial order**:
+
+* work units are pure functions of ``(source text, target class,
+  config)`` — never of pool scheduling.  Every fuzz schedule seed is
+  derived from ``(test name, run index)`` (see
+  :func:`repro.fuzz.racefuzzer.schedule_seed`), so a test fuzzes the
+  same way whichever worker picks it up;
+* tasks are submitted and collected in deterministic (subject, test)
+  order, and reports cross the process boundary in the canonical dict
+  form of :mod:`repro.narada.serial`;
+* ``jobs=1`` bypasses the pool entirely — no pickling, no subprocesses —
+  which keeps single-job runs debuggable and exactly as cheap as the old
+  serial pipeline.
+
+Every stage is backed by the persistent content-addressed
+:class:`~repro.narada.cache.ArtifactCache`: analysis, synthesis, and
+detection artifacts are keyed by (table digest, stage config, code
+salt), so a rerun with unchanged subjects skips straight to the first
+invalidated stage.
+"""
+
+from __future__ import annotations
+
+import functools
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.fuzz import RaceFuzzer
+from repro.lang import ClassTable, load
+from repro.narada.cache import ArtifactCache, stage_key, table_digest
+from repro.narada.pipeline import DetectionReport, Narada, SynthesisReport
+from repro.narada.serial import (
+    decode_analysis,
+    decode_fuzz_bundle,
+    decode_synthesis,
+    encode_analysis,
+    encode_detection,
+    encode_fuzz_bundle,
+    encode_synthesis,
+    encode_test_bundle,
+    report_digest,
+)
+
+
+@dataclass(frozen=True)
+class SubjectSpec:
+    """One unit of per-subject work: a program and its analyzed class."""
+
+    name: str
+    source: str
+    target_class: str
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything a work unit's result may depend on (and nothing else)."""
+
+    vm_seed: int = 0
+    rng_seed: int | None = None
+    random_runs: int = 8
+    directed: bool = True
+
+    def analysis_config(self) -> dict:
+        return {"vm_seed": self.vm_seed}
+
+    def synthesis_config(self, target_class: str) -> dict:
+        return {
+            "vm_seed": self.vm_seed,
+            "rng_seed": self.rng_seed,
+            "target_class": target_class,
+        }
+
+    def detection_config(self, target_class: str) -> dict:
+        return {
+            "synthesis": self.synthesis_config(target_class),
+            "random_runs": self.random_runs,
+            "directed": self.directed,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "vm_seed": self.vm_seed,
+            "rng_seed": self.rng_seed,
+            "random_runs": self.random_runs,
+            "directed": self.directed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineConfig":
+        return cls(**data)
+
+
+@dataclass
+class SubjectOutcome:
+    """Pipeline results for one subject, plus cache provenance."""
+
+    spec: SubjectSpec
+    synthesis: SynthesisReport
+    detection: DetectionReport | None = None
+    synthesis_cached: bool = False
+    detection_cached: bool = False
+    _synthesis_dict: dict | None = field(default=None, repr=False)
+    _detection_dict: dict | None = field(default=None, repr=False)
+
+    @property
+    def synthesis_dict(self) -> dict:
+        if self._synthesis_dict is None:
+            self._synthesis_dict = encode_synthesis(self.synthesis)
+        return self._synthesis_dict
+
+    @property
+    def detection_dict(self) -> dict | None:
+        if self._detection_dict is None and self.detection is not None:
+            self._detection_dict = encode_detection(self.detection)
+        return self._detection_dict
+
+    def digest(self) -> str:
+        """Content digest of this subject's serialized reports."""
+        parts = [report_digest(self.synthesis_dict)]
+        if self.detection is not None:
+            parts.append(report_digest(self.detection_dict))
+        return "/".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Work units.  Module-level so they are picklable by the process pool;
+# the inline (jobs=1) path calls the *_unit functions directly and never
+# serializes anything.
+
+
+@functools.lru_cache(maxsize=16)
+def _load_table(source: str) -> ClassTable:
+    """Per-process table cache: pool workers are reused across tasks, so
+    each worker parses a subject once however many tests it fuzzes."""
+    return load(source)
+
+
+def _synthesize_unit(
+    source: str,
+    target_class: str,
+    config: PipelineConfig,
+    cache_root: str | None,
+) -> SynthesisReport:
+    """Stages 0-3 for one subject, reusing a cached analysis if valid."""
+    table = _load_table(source)
+    narada = Narada(table, seed=config.vm_seed, rng_seed=config.rng_seed)
+    cache = ArtifactCache(cache_root) if cache_root is not None else None
+    if cache is not None:
+        key = stage_key(
+            table_digest(table), "analysis", config.analysis_config()
+        )
+        cached = cache.get("analysis", key)
+        if cached is not None:
+            narada.use_analysis(decode_analysis(cached))
+        report = narada.synthesize_for_class(target_class)
+        if cached is None:
+            cache.put("analysis", key, encode_analysis(narada.analysis()))
+        return report
+    return narada.synthesize_for_class(target_class)
+
+
+def _synthesize_worker(
+    source: str, target_class: str, config: dict, cache_root: str | None
+) -> dict:
+    report = _synthesize_unit(
+        source, target_class, PipelineConfig.from_dict(config), cache_root
+    )
+    return encode_synthesis(report)
+
+
+def _fuzz_unit(table: ClassTable, test, config: PipelineConfig):
+    fuzzer = RaceFuzzer(
+        table,
+        random_runs=config.random_runs,
+        vm_seed=config.vm_seed,
+        directed=config.directed,
+    )
+    return fuzzer.fuzz(test)
+
+
+def _fuzz_worker(source: str, test_bundle: dict, config: dict) -> dict:
+    from repro.narada.serial import decode_test_bundle
+
+    table = _load_table(source)
+    test = decode_test_bundle(test_bundle)
+    report = _fuzz_unit(table, test, PipelineConfig.from_dict(config))
+    return encode_fuzz_bundle(report)
+
+
+# ----------------------------------------------------------------------
+# The orchestrator.
+
+
+class PipelineOrchestrator:
+    """Runs subject pipelines with fan-out, memoization, and determinism.
+
+    Args:
+        jobs: worker process count; ``1`` runs everything inline in this
+            process with no pool and no serialization round-trips.
+        cache: persistent artifact cache, or None to always recompute.
+        config: the deterministic pipeline parameters.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ArtifactCache | None = None,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.cache = cache
+        self.config = config if config is not None else PipelineConfig()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "PipelineOrchestrator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- cache plumbing ------------------------------------------------
+
+    @property
+    def _cache_root(self) -> str | None:
+        return None if self.cache is None else str(self.cache.root)
+
+    def _get(self, stage: str, key: str) -> dict | None:
+        return None if self.cache is None else self.cache.get(stage, key)
+
+    def _put(self, stage: str, key: str, data: dict) -> None:
+        if self.cache is not None:
+            self.cache.put(stage, key, data)
+
+    # -- synthesis phase -----------------------------------------------
+
+    def synthesize(self, spec: SubjectSpec) -> SynthesisReport:
+        """Synthesis for one subject (inline, cache-backed)."""
+        return self.run([spec], detect=False)[0].synthesis
+
+    def _synthesis_phase(
+        self, specs: list[SubjectSpec], keys: list[str]
+    ) -> list[tuple[SynthesisReport, dict | None, bool]]:
+        """Per spec: (report, encoded dict when one exists, cache hit?)."""
+        results: list = [None] * len(specs)
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            cached = self._get("synthesis", keys[i])
+            if cached is not None:
+                results[i] = (decode_synthesis(cached), cached, True)
+            else:
+                pending.append(i)
+        if pending and self.jobs == 1:
+            for i in pending:
+                report = _synthesize_unit(
+                    specs[i].source,
+                    specs[i].target_class,
+                    self.config,
+                    self._cache_root,
+                )
+                results[i] = (report, None, False)
+        elif pending:
+            futures: list[tuple[int, Future]] = [
+                (
+                    i,
+                    self._executor().submit(
+                        _synthesize_worker,
+                        specs[i].source,
+                        specs[i].target_class,
+                        self.config.to_dict(),
+                        self._cache_root,
+                    ),
+                )
+                for i in pending
+            ]
+            for i, future in futures:
+                data = future.result()
+                results[i] = (decode_synthesis(data), data, False)
+        for i in pending:
+            report, data, _ = results[i]
+            if data is None:
+                data = encode_synthesis(report)
+                results[i] = (report, data, False)
+            self._put("synthesis", keys[i], data)
+        return results
+
+    # -- detection phase -----------------------------------------------
+
+    def _detection_phase(
+        self,
+        specs: list[SubjectSpec],
+        keys: list[str],
+        syntheses: list[SynthesisReport],
+    ) -> list[tuple[DetectionReport, dict | None, bool]]:
+        results: list = [None] * len(specs)
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            cached = self._get("detection", keys[i])
+            if cached is not None:
+                from repro.narada.serial import decode_detection
+
+                results[i] = (decode_detection(cached), cached, True)
+            else:
+                pending.append(i)
+        if pending and self.jobs == 1:
+            for i in pending:
+                table = _load_table(specs[i].source)
+                detection = DetectionReport(class_name=specs[i].target_class)
+                for test in syntheses[i].tests:
+                    detection.add(_fuzz_unit(table, test, self.config))
+                results[i] = (detection, None, False)
+        elif pending:
+            # One task per synthesized test, submitted and joined in
+            # (subject, test) order — scheduling cannot reorder results.
+            futures: list[tuple[int, list[Future]]] = []
+            config_dict = self.config.to_dict()
+            for i in pending:
+                per_test = [
+                    self._executor().submit(
+                        _fuzz_worker,
+                        specs[i].source,
+                        encode_test_bundle(test),
+                        config_dict,
+                    )
+                    for test in syntheses[i].tests
+                ]
+                futures.append((i, per_test))
+            for i, per_test in futures:
+                detection = DetectionReport(class_name=specs[i].target_class)
+                for future in per_test:
+                    detection.add(decode_fuzz_bundle(future.result()))
+                results[i] = (detection, None, False)
+        for i in pending:
+            detection, data, _ = results[i]
+            if data is None:
+                data = encode_detection(detection)
+                results[i] = (detection, data, False)
+            self._put("detection", keys[i], data)
+        return results
+
+    def detect(
+        self, spec: SubjectSpec, synthesis: SynthesisReport
+    ) -> DetectionReport:
+        """Detection for one already-synthesized subject."""
+        key = stage_key(
+            table_digest(spec.source),
+            "detection",
+            self.config.detection_config(spec.target_class),
+        )
+        return self._detection_phase([spec], [key], [synthesis])[0][0]
+
+    # -- the whole pipeline --------------------------------------------
+
+    def run(
+        self, specs: list[SubjectSpec], detect: bool = True
+    ) -> list[SubjectOutcome]:
+        """Run the pipeline for every spec; results follow spec order."""
+        digests = [table_digest(spec.source) for spec in specs]
+        synth_keys = [
+            stage_key(
+                digests[i],
+                "synthesis",
+                self.config.synthesis_config(spec.target_class),
+            )
+            for i, spec in enumerate(specs)
+        ]
+        synthesis = self._synthesis_phase(specs, synth_keys)
+        outcomes = [
+            SubjectOutcome(
+                spec=spec,
+                synthesis=synthesis[i][0],
+                synthesis_cached=synthesis[i][2],
+                _synthesis_dict=synthesis[i][1],
+            )
+            for i, spec in enumerate(specs)
+        ]
+        if detect:
+            detect_keys = [
+                stage_key(
+                    digests[i],
+                    "detection",
+                    self.config.detection_config(spec.target_class),
+                )
+                for i, spec in enumerate(specs)
+            ]
+            detections = self._detection_phase(
+                specs, detect_keys, [o.synthesis for o in outcomes]
+            )
+            for outcome, (report, data, hit) in zip(outcomes, detections):
+                outcome.detection = report
+                outcome.detection_cached = hit
+                outcome._detection_dict = data
+        return outcomes
+
+
+def subject_specs(subjects=None) -> list[SubjectSpec]:
+    """Specs for the built-in paper subjects (all nine by default)."""
+    from repro.subjects import all_subjects
+
+    chosen = all_subjects() if subjects is None else list(subjects)
+    return [
+        SubjectSpec(name=s.key, source=s.source, target_class=s.class_name)
+        for s in chosen
+    ]

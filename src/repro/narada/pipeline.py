@@ -49,15 +49,49 @@ class SynthesisReport:
     def full_context_tests(self) -> list[SynthesizedTest]:
         return [t for t in self.tests if t.plan.full_context]
 
+    def to_dict(self) -> dict:
+        """Canonical dict form (see :mod:`repro.narada.serial`)."""
+        from repro.narada.serial import encode_synthesis
+
+        return encode_synthesis(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SynthesisReport":
+        from repro.narada.serial import decode_synthesis
+
+        return decode_synthesis(data)
+
 
 @dataclass
 class DetectionReport:
-    """Table-5 shaped output for one analyzed class."""
+    """Table-5 shaped output for one analyzed class.
+
+    The merged per-race view backing every aggregate property is
+    memoized: building it walks every record of every fuzz report, and
+    the table/CLI layers read several properties back to back.  Add fuzz
+    reports through :meth:`add` (or call :meth:`invalidate` after
+    mutating :attr:`fuzz_reports` directly) so the memo is dropped at
+    the mutation point rather than silently serving stale counts.
+    """
 
     class_name: str
     fuzz_reports: list[FuzzReport] = field(default_factory=list)
+    _union_memo: dict | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def add(self, report: FuzzReport) -> None:
+        """Append a fuzz report and invalidate the merged-race memo."""
+        self.fuzz_reports.append(report)
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop the memoized union after out-of-band mutation."""
+        self._union_memo = None
 
     def _union_records(self):
+        if self._union_memo is not None:
+            return self._union_memo
         merged: dict[tuple, tuple] = {}
         for report in self.fuzz_reports:
             for record in report.detected:
@@ -67,6 +101,7 @@ class DetectionReport:
                     merged[key] = (record, reproduced, report.constant_sites)
                 elif key in report.reproduced and not merged[key][1]:
                     merged[key] = (record, True, report.constant_sites)
+        self._union_memo = merged
         return merged
 
     @property
@@ -116,6 +151,18 @@ class DetectionReport:
         """Race count of each test (Figure 14's distribution input)."""
         return [len(report.detected) for report in self.fuzz_reports]
 
+    def to_dict(self) -> dict:
+        """Canonical dict form (see :mod:`repro.narada.serial`)."""
+        from repro.narada.serial import encode_detection
+
+        return encode_detection(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DetectionReport":
+        from repro.narada.serial import decode_detection
+
+        return decode_detection(data)
+
 
 class Narada:
     """The complete tool: library + seed suite in, racy tests out."""
@@ -128,12 +175,29 @@ class Narada:
     ) -> None:
         if isinstance(source_or_table, str):
             self.table = load(source_or_table)
+            self._source: str | None = source_or_table
         else:
             self.table = source_or_table
+            self._source = None
         self.seed = seed
+        self.rng_seed = rng_seed
         self._rng = random.Random(rng_seed) if rng_seed is not None else None
         self._analysis: AnalysisResult | None = None
         self._traces: list[Trace] | None = None
+
+    def source_text(self) -> str:
+        """Canonical program text for this table.
+
+        The original source when the pipeline was built from one, else
+        the pretty-printed program — in both cases text that reparses to
+        a program with identical static site ids, so worker processes
+        and cache keys can be derived from it.
+        """
+        if self._source is not None:
+            return self._source
+        from repro.lang.pretty import pretty_program
+
+        return pretty_program(self.table.program)
 
     # ------------------------------------------------------------------
     # Stage 0/1: seed execution + trace analysis.
@@ -158,6 +222,10 @@ class Narada:
         if self._analysis is None:
             self._analysis = analyze_traces(self.run_seed_suite())
         return self._analysis
+
+    def use_analysis(self, analysis: AnalysisResult) -> None:
+        """Adopt a precomputed (e.g. cache-restored) analysis result."""
+        self._analysis = analysis
 
     # ------------------------------------------------------------------
     # Stages 2+3: pairs, context, synthesis.
@@ -185,11 +253,31 @@ class Narada:
             seconds=seconds,
         )
 
-    def synthesize_all(self) -> list[SynthesisReport]:
+    def synthesize_all(self, jobs: int = 1) -> list[SynthesisReport]:
+        """Synthesize every seeded class, optionally fanning out.
+
+        With ``jobs > 1`` each class pipeline runs in a worker process
+        via the orchestrator; results are identical to the serial order.
+        """
         classes = sorted(
             {s.class_name for s in self.analysis() if not self.table.is_builtin(s.class_name)}
         )
-        return [self.synthesize_for_class(name) for name in classes]
+        if jobs <= 1:
+            return [self.synthesize_for_class(name) for name in classes]
+        from repro.narada.orchestrator import (
+            PipelineConfig,
+            PipelineOrchestrator,
+            SubjectSpec,
+        )
+
+        source = self.source_text()
+        specs = [
+            SubjectSpec(name=name, source=source, target_class=name)
+            for name in classes
+        ]
+        config = PipelineConfig(vm_seed=self.seed, rng_seed=self.rng_seed)
+        with PipelineOrchestrator(jobs=jobs, config=config) as orch:
+            return [o.synthesis for o in orch.run(specs, detect=False)]
 
     # ------------------------------------------------------------------
     # Detector integration (Table 5).
@@ -199,8 +287,34 @@ class Narada:
         report: SynthesisReport,
         random_runs: int = 8,
         directed: bool = True,
+        jobs: int = 1,
     ) -> DetectionReport:
-        """Fuzz every synthesized test of a class with detectors attached."""
+        """Fuzz every synthesized test of a class with detectors attached.
+
+        With ``jobs > 1`` the per-test fuzz loop fans out over a process
+        pool; schedule seeds depend only on (test name, run index), so
+        the merged report is identical to the serial one.
+        """
+        if jobs > 1:
+            from repro.narada.orchestrator import (
+                PipelineConfig,
+                PipelineOrchestrator,
+                SubjectSpec,
+            )
+
+            spec = SubjectSpec(
+                name=report.class_name,
+                source=self.source_text(),
+                target_class=report.class_name,
+            )
+            config = PipelineConfig(
+                vm_seed=self.seed,
+                rng_seed=self.rng_seed,
+                random_runs=random_runs,
+                directed=directed,
+            )
+            with PipelineOrchestrator(jobs=jobs, config=config) as orch:
+                return orch.detect(spec, report)
         fuzzer = RaceFuzzer(
             self.table,
             random_runs=random_runs,
@@ -209,5 +323,5 @@ class Narada:
         )
         detection = DetectionReport(class_name=report.class_name)
         for test in report.tests:
-            detection.fuzz_reports.append(fuzzer.fuzz(test))
+            detection.add(fuzzer.fuzz(test))
         return detection

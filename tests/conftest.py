@@ -1,0 +1,15 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    """Keep the persistent pipeline cache out of the real user cache dir.
+
+    Commands and orchestrators default to ``$REPRO_CACHE_DIR`` (or
+    ``~/.cache/repro-narada``); tests must neither read a developer's
+    warm cache nor leave artifacts behind, so every test gets a private
+    throwaway root.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-cache"))

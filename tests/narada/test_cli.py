@@ -97,6 +97,57 @@ class TestFuzzCommand:
         assert data["harmful"] >= 1
 
 
+class TestPipelineFlags:
+    def test_fuzz_jobs_matches_serial(self, capsys, counter_file):
+        assert main(["fuzz", counter_file, "--runs", "3", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                ["fuzz", counter_file, "--runs", "3", "--json", "--jobs", "2"]
+            )
+            == 0
+        )
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel == serial
+
+    def test_no_cache_skips_cache_dir(self, capsys, counter_file, tmp_path):
+        cache_dir = tmp_path / "cli-cache"
+        assert (
+            main(
+                [
+                    "fuzz",
+                    counter_file,
+                    "--runs",
+                    "2",
+                    "--no-cache",
+                    "--cache-dir",
+                    str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert not cache_dir.exists()
+
+    def test_cache_dir_populated_and_reused(self, capsys, counter_file, tmp_path):
+        cache_dir = tmp_path / "cli-cache"
+        args = [
+            "fuzz",
+            counter_file,
+            "--runs",
+            "2",
+            "--json",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert list(cache_dir.rglob("*.json"))
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second == first
+
+
 class TestChessCommand:
     def test_chess_exhausts_and_certifies(self, capsys, counter_file):
         assert main(["chess", counter_file, "--tests", "2"]) == 0
