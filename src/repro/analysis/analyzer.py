@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.model import (
     AccessRecord,
@@ -45,6 +46,9 @@ from repro.analysis.model import (
 )
 from repro.analysis.paths import RETURN, AccessPath, RECEIVER
 from repro.runtime.values import ObjRef, Value
+
+if TYPE_CHECKING:
+    from repro.trace.columnar import PackedTrace
 from repro.trace.events import (
     AllocEvent,
     Event,
@@ -155,8 +159,14 @@ class SequentialTraceAnalyzer:
             return not locks_held
         return obj not in locks_held
 
-    def analyze(self, trace: Trace) -> AnalysisResult:
-        """Analyze one sequential trace; may be called repeatedly."""
+    def analyze(self, trace: "Trace | PackedTrace") -> AnalysisResult:
+        """Analyze one sequential trace; may be called repeatedly.
+
+        Accepts the classic :class:`Trace` or a columnar
+        :class:`~repro.trace.columnar.PackedTrace` — only iteration and
+        ``test_name`` are used, and the packed lazy view reconstructs
+        events equal to the recorded ones.
+        """
         segment: _Segment | None = None
         ordinal = 0
         for event in trace:
@@ -189,7 +199,7 @@ class SequentialTraceAnalyzer:
             self._result.summaries.append(segment.summary)
         return self._result
 
-    def analyze_all(self, traces: list[Trace]) -> AnalysisResult:
+    def analyze_all(self, traces: "list[Trace | PackedTrace]") -> AnalysisResult:
         for trace in traces:
             self.analyze(trace)
         return self._result
@@ -357,6 +367,6 @@ class SequentialTraceAnalyzer:
         return results
 
 
-def analyze_traces(traces: list[Trace]) -> AnalysisResult:
+def analyze_traces(traces: "list[Trace | PackedTrace]") -> AnalysisResult:
     """Analyze sequential seed traces into method summaries."""
     return SequentialTraceAnalyzer().analyze_all(traces)

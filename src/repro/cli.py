@@ -85,6 +85,11 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
         help="artifact cache root (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro-narada)",
     )
+    parser.add_argument(
+        "--trace-stats", action="store_true",
+        help="print packed-trace statistics: per-stage event counts, "
+             "packed bytes, detector events/sec, fuzz memo hit rate",
+    )
 
 
 def _add_target_args(parser: argparse.ArgumentParser) -> None:
@@ -165,6 +170,8 @@ def cmd_analyze(args) -> int:
     for summary in summaries:
         print(summary.describe())
         print()
+    if args.trace_stats:
+        _trace_stats(source)
     return 0
 
 
@@ -177,6 +184,8 @@ def cmd_pairs(args) -> int:
     for pair in report.pairs:
         print(pair.describe())
     print(f"\n{report.pair_count} racing pair(s)")
+    if args.trace_stats:
+        _trace_stats(source)
     return 0
 
 
@@ -208,6 +217,8 @@ def cmd_synth(args) -> int:
         print(f"--- {test.name} ({len(test.covered_pairs)} pair(s)) ---")
         print(materialize(test, VM(table)).render())
         print()
+    if args.trace_stats:
+        _trace_stats(source)
     return 0
 
 
@@ -232,6 +243,8 @@ def cmd_fuzz(args) -> int:
         if fuzz.detected:
             print()
             print(fuzz.describe())
+    if args.trace_stats:
+        _trace_stats(source, [detection])
     return int(detection.detected == 0)
 
 
@@ -254,6 +267,8 @@ def cmd_chess(args) -> int:
         for key, schedule in result.race_schedules.items():
             print(f"    {key[0]}.{key[1]} sites={key[2]} "
                   f"certificate={schedule}")
+    if args.trace_stats:
+        _trace_stats(source)
     return int(total_races == 0)
 
 
@@ -263,13 +278,15 @@ def cmd_emit(args) -> int:
     table, target, source = _load_target(args)
     report = _synthesize(args, target, source)
     tests = report.tests if args.all else report.tests[: args.count]
-    source = emit_standalone_program(table, tests)
+    emitted = emit_standalone_program(table, tests)
     if args.output:
         with open(args.output, "w") as handle:
-            handle.write(source)
+            handle.write(emitted)
         print(f"wrote {len(tests)} standalone test(s) to {args.output}")
     else:
-        print(source)
+        print(emitted)
+    if args.trace_stats:
+        _trace_stats(source)
     return 0
 
 
@@ -372,7 +389,85 @@ def cmd_tables(args) -> int:
         ]
         print()
         print(format_table5(detections))
+    if args.trace_stats and args.detect:
+        # Aggregate the deterministic fuzz counters across subjects.
+        events = bytes_total = hits = misses = 0
+        for outcome in outcomes:
+            for fuzz in outcome.detection.fuzz_reports:
+                events += fuzz.trace_events
+                bytes_total += fuzz.packed_bytes
+                hits += fuzz.memo_hits
+                misses += fuzz.memo_misses
+        runs = hits + misses
+        rate = (hits / runs * 100) if runs else 0.0
+        print(
+            f"\n-- trace stats --\n"
+            f"fuzz (all subjects): {events} events, {bytes_total} packed "
+            f"bytes over {runs} run(s); memo {hits} hit(s) / {misses} "
+            f"miss(es) ({rate:.1f}% hit rate)"
+        )
     return 0
+
+
+# ----------------------------------------------------------------------
+# --trace-stats reporting.
+
+
+def _trace_stats(source: str, detections=None) -> None:
+    """Print packed-trace statistics for one subject (``--trace-stats``).
+
+    Seed-stage numbers come from re-recording the seed suite into
+    columnar form (cheap — sequential runs); detector throughput is
+    measured by feeding those packed traces to fresh detector instances.
+    Fuzz-stage numbers (events, bytes, memo hit rate) are aggregated
+    from the deterministic counters each FuzzReport already carries, so
+    they reflect the actual run whether it came from the pool, the
+    cache, or inline execution.
+    """
+    import time
+
+    from repro.detect import EraserDetector, FastTrackDetector
+    from repro.detect.djit import DjitDetector
+
+    narada = Narada(source)
+    traces = narada.run_seed_suite()
+    total_events = sum(len(t) for t in traces)
+    total_bytes = sum(t.nbytes() for t in traces)
+    counts: dict[str, int] = {}
+    for trace in traces:
+        for kind, count in trace.counts().items():
+            counts[kind] = counts.get(kind, 0) + count
+    print("\n-- trace stats --")
+    print(
+        f"seed suite: {len(traces)} trace(s), {total_events} events, "
+        f"{total_bytes} packed bytes"
+    )
+    breakdown = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"  by kind: {breakdown}")
+    for detector_cls in (FastTrackDetector, EraserDetector, DjitDetector):
+        detector = detector_cls()
+        start = time.perf_counter()
+        for trace in traces:
+            detector.feed_packed(trace)
+        seconds = time.perf_counter() - start
+        rate = total_events / seconds if seconds > 0 else float("inf")
+        print(f"  {detector.name}: {rate:,.0f} events/sec packed")
+    if not detections:
+        return
+    events = bytes_total = hits = misses = 0
+    for detection in detections:
+        for fuzz in detection.fuzz_reports:
+            events += fuzz.trace_events
+            bytes_total += fuzz.packed_bytes
+            hits += fuzz.memo_hits
+            misses += fuzz.memo_misses
+    runs = hits + misses
+    rate = (hits / runs * 100) if runs else 0.0
+    print(
+        f"fuzz: {events} events, {bytes_total} packed bytes over "
+        f"{runs} run(s); memo {hits} hit(s) / {misses} miss(es) "
+        f"({rate:.1f}% hit rate)"
+    )
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,7 @@ from __future__ import annotations
 import enum
 
 from repro.detect.report import AccessInfo, RaceRecord, RaceSet
+from repro.trace.columnar import OP_READ, OP_WRITE
 from repro.trace.events import AccessEvent, Event, ReadEvent, WriteEvent
 
 
@@ -71,6 +72,93 @@ class EraserDetector:
             var = self._vars[event.address()] = _VarState()
         self._transition(var, event, cls is WriteEvent)
         var.last_by_thread[event.thread_id] = event
+
+    # ------------------------------------------------------------------
+    # Streaming feed protocol (see trace/columnar.py and DESIGN.md §8).
+
+    def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:
+        """Batch-consume rows of a :class:`PackedTrace`.
+
+        The state machine of :meth:`_transition` inlined over raw
+        columns; per-variable state is keyed on the interned address id
+        and remembers row indices instead of events.  Do not mix packed
+        and object feeding on one detector instance.
+        """
+        ops = packed.op
+        tids = packed.tid
+        adrs = packed.adr
+        lcks = packed.lck
+        locktab = packed.locktab
+        variables = self._vars
+        vars_get = variables.get
+        check_row = self._check_row
+        if stop is None:
+            stop = len(ops)
+        for i in range(start, stop):
+            op = ops[i]
+            if op != OP_READ and op != OP_WRITE:
+                continue
+            tid = tids[i]
+            var = vars_get(adrs[i])
+            if var is None:
+                var = variables[adrs[i]] = _VarState()
+            state = var.state
+            if state is _EXCLUSIVE:
+                if tid == var.owner:
+                    var.last_by_thread[tid] = i
+                    continue
+                is_write = op == OP_WRITE
+                var.lockset = locktab[lcks[i]]
+                var.state = _SHARED_MODIFIED if is_write else _SHARED
+                check_row(packed, var, i, is_write)
+            elif state is _VIRGIN:
+                var.state = _EXCLUSIVE
+                var.owner = tid
+            else:
+                is_write = op == OP_WRITE
+                lockset = var.lockset
+                if lockset:
+                    var.lockset = lockset & locktab[lcks[i]]
+                if state is _SHARED and is_write:
+                    var.state = _SHARED_MODIFIED
+                check_row(packed, var, i, is_write)
+            var.last_by_thread[tid] = i
+
+    def _check_row(self, packed, var: _VarState, row: int, is_write: bool) -> None:
+        """Row-index twin of :meth:`_check` (cold reporting path)."""
+        if var.state is not _SHARED_MODIFIED:
+            return
+        if var.lockset:
+            return
+        ops = packed.op
+        labels = packed.label
+        tid = packed.tid[row]
+        previous: int | None = None
+        for other_tid, access in var.last_by_thread.items():
+            if other_tid == tid:
+                continue
+            if not is_write and ops[access] == OP_READ:
+                continue
+            if previous is None or labels[access] > labels[previous]:
+                previous = access
+        if previous is None:
+            return
+        class_name = packed.strtab[packed.cls[row]]
+        field_name = packed.strtab[packed.fld[row]]
+        if self.races.count_duplicate(
+            class_name, field_name, packed.node[previous], packed.node[row]
+        ):
+            return
+        self.races.add(
+            RaceRecord(
+                detector=self.name,
+                class_name=class_name,
+                field_name=field_name,
+                address=packed.address_at(row),
+                first=AccessInfo.from_packed_row(packed, previous),
+                second=AccessInfo.from_packed_row(packed, row),
+            )
+        )
 
     # ------------------------------------------------------------------
 

@@ -28,6 +28,14 @@ from __future__ import annotations
 
 from repro.detect.clock import VectorClock
 from repro.detect.report import AccessInfo, RaceRecord, RaceSet
+from repro.trace.columnar import (
+    OP_FORK,
+    OP_JOIN,
+    OP_LOCK,
+    OP_READ,
+    OP_UNLOCK,
+    OP_WRITE,
+)
 from repro.trace.events import (
     AccessEvent,
     Event,
@@ -182,6 +190,133 @@ class FastTrackDetector:
         var.last_write = event
 
     # ------------------------------------------------------------------
+    # Streaming feed protocol (see trace/columnar.py and DESIGN.md §8).
+
+    def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:
+        """Batch-consume rows of a :class:`PackedTrace`.
+
+        Semantically identical to replaying ``on_event`` over the
+        reconstructed events, but the access rules are inlined over the
+        raw columns: no event objects, no handler dispatch, no
+        attribute lookups, and per-variable state keyed on the interned
+        address id instead of an ``(obj, field, elem)`` tuple.  Feed a
+        given detector instance through exactly one protocol — packed
+        var-state rows and object var-state events do not mix.
+
+        The loop reaches into ``VectorClock._times`` directly: the
+        epoch checks are two or three component reads per access row,
+        and the ``time_of`` method-call overhead dominates them.  The
+        dict must be re-fetched per row (mutation may replace it under
+        copy-on-write), but the clock *object* for a thread is stable
+        once created, so it is cached across consecutive same-thread
+        rows.
+        """
+        ops = packed.op
+        tids = packed.tid
+        xs = packed.x
+        adrs = packed.adr
+        threads = self._threads
+        locks = self._locks
+        variables = self._vars
+        threads_get = threads.get
+        vars_get = variables.get
+        report_rows = self._report_rows
+        if stop is None:
+            stop = len(ops)
+        last_tid = None
+        clock = None
+        for i in range(start, stop):
+            op = ops[i]
+            if op == OP_READ:
+                tid = tids[i]
+                if tid != last_tid:
+                    clock = threads_get(tid)
+                    if clock is None:
+                        clock = self._clock(tid)
+                    last_tid = tid
+                key = adrs[i]
+                var = vars_get(key)
+                if var is None:
+                    var = variables[key] = _VarState()
+                times_get = clock._times.get
+                if (
+                    var.write_time > times_get(var.write_tid, 0)
+                    and var.last_write is not None
+                ):
+                    report_rows(packed, var.last_write, i)
+                my_time = times_get(tid, 0)
+                if var.read_clock is not None:
+                    var.read_clock.set_time(tid, my_time)
+                elif var.read_tid == tid:
+                    var.read_time = my_time
+                elif var.read_time <= times_get(var.read_tid, 0):
+                    var.read_tid = tid
+                    var.read_time = my_time
+                else:
+                    var.read_clock = VectorClock(
+                        {var.read_tid: var.read_time, tid: my_time}
+                    )
+                var.last_reads[tid] = i
+            elif op == OP_WRITE:
+                tid = tids[i]
+                if tid != last_tid:
+                    clock = threads_get(tid)
+                    if clock is None:
+                        clock = self._clock(tid)
+                    last_tid = tid
+                key = adrs[i]
+                var = vars_get(key)
+                if var is None:
+                    var = variables[key] = _VarState()
+                times_get = clock._times.get
+                if (
+                    var.write_time > times_get(var.write_tid, 0)
+                    and var.last_write is not None
+                ):
+                    report_rows(packed, var.last_write, i)
+                if var.read_clock is not None:
+                    if not var.read_clock.leq(clock):
+                        for reader_tid, read_row in var.last_reads.items():
+                            if reader_tid == tid:
+                                continue
+                            if var.read_clock.time_of(reader_tid) > times_get(
+                                reader_tid, 0
+                            ):
+                                report_rows(packed, read_row, i)
+                    var.read_clock = None
+                    var.last_reads = (
+                        {tid: var.last_reads[tid]}
+                        if tid in var.last_reads
+                        else {}
+                    )
+                elif var.read_time > times_get(var.read_tid, 0):
+                    previous = var.last_reads.get(var.read_tid)
+                    if previous is not None and tids[previous] != tid:
+                        report_rows(packed, previous, i)
+                var.write_tid = tid
+                var.write_time = times_get(tid, 0)
+                var.last_write = i
+            elif op == OP_LOCK:
+                lock_clock = locks.get(xs[i])
+                if lock_clock is not None:
+                    self._clock(tids[i]).join(lock_clock)
+            elif op == OP_UNLOCK:
+                # NB: must not clobber the cached access-row ``clock``.
+                tid = tids[i]
+                releasing = self._clock(tid)
+                locks[xs[i]] = releasing.snapshot()
+                releasing.tick(tid)
+            elif op == OP_FORK:
+                tid = tids[i]
+                parent = self._clock(tid)
+                self._clock(xs[i]).join(parent)
+                parent.tick(tid)
+            elif op == OP_JOIN:
+                child = self._clock(xs[i])
+                self._clock(tids[i]).join(child)
+                child.tick(xs[i])
+
+    # ------------------------------------------------------------------
 
     def _report(
         self, event: AccessEvent, previous: AccessEvent, current: AccessEvent
@@ -198,6 +333,25 @@ class FastTrackDetector:
                 address=event.address(),
                 first=AccessInfo.from_event(previous),
                 second=AccessInfo.from_event(current),
+            )
+        )
+
+    def _report_rows(self, packed, prev_row: int, cur_row: int) -> None:
+        """Report a race between two packed access rows (cold path)."""
+        class_name = packed.strtab[packed.cls[cur_row]]
+        field_name = packed.strtab[packed.fld[cur_row]]
+        if self.races.count_duplicate(
+            class_name, field_name, packed.node[prev_row], packed.node[cur_row]
+        ):
+            return
+        self.races.add(
+            RaceRecord(
+                detector=self.name,
+                class_name=class_name,
+                field_name=field_name,
+                address=packed.address_at(cur_row),
+                first=AccessInfo.from_packed_row(packed, prev_row),
+                second=AccessInfo.from_packed_row(packed, cur_row),
             )
         )
 

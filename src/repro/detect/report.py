@@ -75,6 +75,26 @@ class AccessInfo:
             old_value=event.old_value if is_write else None,
         )
 
+    @classmethod
+    def from_packed_row(cls, packed, row: int) -> "AccessInfo":
+        """Build the report-side view of one packed access row.
+
+        The columnar counterpart of :meth:`from_event`: the detectors'
+        ``feed_packed`` loops keep row indices in their per-variable
+        state and only materialize AccessInfo when a race is reported.
+        """
+        from repro.trace.columnar import OP_WRITE
+
+        is_write = packed.op[row] == OP_WRITE
+        return cls(
+            thread_id=packed.tid[row],
+            node_id=packed.node[row],
+            label=packed.label[row],
+            kind="W" if is_write else "R",
+            value=packed.value_at(row),
+            old_value=packed.old_value_at(row) if is_write else None,
+        )
+
 
 @dataclass(frozen=True)
 class RaceRecord:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.trace.columnar import OP_READ, OP_WRITE
 from repro.trace.events import AccessEvent, Event, WriteEvent
 
 
@@ -45,6 +46,48 @@ class AdjacencyProbe:
             return
         sites = tuple(sorted((previous.node_id, event.node_id)))
         self.confirmed.add((event.class_name, event.field_name, sites))
+
+    def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:
+        """Batch twin of :meth:`on_event` over a :class:`PackedTrace`.
+
+        Adjacency is tracked per interned address id (bijective with
+        the event-model address), remembering row indices.  Do not mix
+        packed and object feeding on one probe instance.
+        """
+        ops = packed.op
+        tids = packed.tid
+        nodes = packed.node
+        adrs = packed.adr
+        lcks = packed.lck
+        locktab = packed.locktab
+        last = self._last_by_address
+        confirmed = self.confirmed
+        if stop is None:
+            stop = len(ops)
+        for i in range(start, stop):
+            op = ops[i]
+            if op != OP_READ and op != OP_WRITE:
+                continue
+            address = adrs[i]
+            previous = last.get(address)
+            last[address] = i
+            if previous is None:
+                continue
+            if tids[previous] == tids[i]:
+                continue
+            if op != OP_WRITE and ops[previous] != OP_WRITE:
+                continue
+            if locktab[lcks[previous]] & locktab[lcks[i]]:
+                continue
+            pair = (nodes[previous], nodes[i])
+            sites = pair if pair[0] <= pair[1] else (pair[1], pair[0])
+            confirmed.add(
+                (
+                    packed.strtab[packed.cls[i]],
+                    packed.strtab[packed.fld[i]],
+                    sites,
+                )
+            )
 
 
 @dataclass

@@ -15,6 +15,21 @@ Our analogue does the same over the MiniJ VM:
   second access on the *same address*.  Success means the race was
   reproduced in a concrete execution (the paper's "Reproduced" column);
   candidates that never confirm correspond to the "Manual" column.
+
+Since PR 3 the detectors are decoupled from execution: each run records
+its detector-relevant event stream into a :class:`PackedTrace` (one
+listener, columnar storage, identical elision/scheduling to attaching
+the detectors directly) and the detectors consume it afterwards via
+their batch ``feed_packed`` loops.  That split enables
+**interleaving-digest memoization**: runs of one test whose packed
+streams digest equal would feed the detectors bit-identical input, so
+the detector replay is skipped and the memoized race sets are unioned
+instead.  Directed attempts in particular re-produce the same
+interleaving over and over (every candidate pair whose sites never
+fire degenerates to the same drive-to-completion schedule), so the
+memo hit rate is substantial exactly where the old path burned the
+most redundant detector work.  See DESIGN.md §8 for why a digest match
+is sound.
 """
 
 from __future__ import annotations
@@ -31,6 +46,7 @@ from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler
 from repro.runtime.vm import ThreadStatus
 from repro.synth.runner import PreparedRun, TestRunner
 from repro.synth.synthesizer import SynthesizedTest
+from repro.trace.columnar import DETECTOR_INTERESTS, ColumnarRecorder, PackedTrace
 from repro.trace.events import AccessEvent
 
 #: Step budget for each phase of a directed confirmation attempt.
@@ -70,6 +86,15 @@ class FuzzReport:
     synthesis_failed: bool = False
     constant_sites: set[int] = field(default_factory=set)
     """Constant-RHS write sites of the program (benign classification)."""
+    trace_events: int = 0
+    """Total packed events recorded across every run of this test."""
+    packed_bytes: int = 0
+    """Total packed-trace bytes across every run (columns + tables)."""
+    memo_hits: int = 0
+    """Runs whose interleaving digest matched a prior run: detector
+    replay skipped, races unioned from the memo."""
+    memo_misses: int = 0
+    """Runs that actually replayed the detectors (first-seen digests)."""
 
     def reproduced_records(self) -> list[RaceRecord]:
         return [r for r in self.detected if r.static_key() in self.reproduced]
@@ -137,10 +162,15 @@ class RaceFuzzer:
             test=test,
             constant_sites=collect_constant_write_sites(self._table.program),
         )
+        # The interleaving-digest memo is scoped to this one fuzz()
+        # call: sharing it across tests would make the hit counters
+        # depend on which tests a worker happened to fuzz before this
+        # one, breaking the bit-identical-to-serial contract.
+        memo: dict[str, tuple] = {}
         try:
-            self._random_phase(test, report)
+            self._random_phase(test, report, memo)
             if self._directed:
-                self._directed_phase(test, report)
+                self._directed_phase(test, report, memo)
         except Exception as error:  # synthesis/collection failures
             from repro._util.errors import SynthesisError
 
@@ -153,26 +183,56 @@ class RaceFuzzer:
     # ------------------------------------------------------------------
     # Random phase.
 
-    def _random_phase(self, test: SynthesizedTest, report: FuzzReport) -> None:
+    def _random_phase(
+        self, test: SynthesizedTest, report: FuzzReport, memo: dict
+    ) -> None:
         for run_index in range(self._random_runs):
-            fasttrack = FastTrackDetector()
-            eraser = EraserDetector()
-            probe = AdjacencyProbe()
+            recorder = ColumnarRecorder(test.name, interests=DETECTOR_INTERESTS)
             runner = TestRunner(
                 self._table,
                 vm_seed=self._vm_seed,
-                listeners=(fasttrack, eraser, probe),
+                listeners=(recorder,),
             )
             outcome = runner.run(
                 test, RandomScheduler(seed=schedule_seed(test.name, run_index))
             )
             report.random_runs += 1
-            self._absorb(report, outcome, fasttrack, eraser, probe)
+            self._absorb(report, outcome, recorder.packed, memo)
 
-    def _absorb(self, report, outcome, fasttrack, eraser, probe) -> None:
-        report.detected.merge(fasttrack.races)
-        report.detected.merge(eraser.races)
-        report.confirmed_raw |= probe.confirmed
+    def _absorb(
+        self, report: FuzzReport, outcome, packed: PackedTrace, memo: dict
+    ) -> None:
+        """Fold one run's packed trace into the report, memoizing by
+        interleaving digest.
+
+        A digest hit means this run's detector-relevant event stream is
+        byte-identical to an earlier run's, so replaying the (pure)
+        detectors would reproduce exactly the memoized race sets —
+        union those instead of feeding the detectors again.
+        """
+        report.trace_events += len(packed)
+        report.packed_bytes += packed.nbytes()
+        digest = packed.digest()
+        entry = memo.get(digest)
+        if entry is None:
+            report.memo_misses += 1
+            fasttrack = FastTrackDetector()
+            eraser = EraserDetector()
+            probe = AdjacencyProbe()
+            fasttrack.feed_packed(packed)
+            eraser.feed_packed(packed)
+            probe.feed_packed(packed)
+            entry = memo[digest] = (
+                fasttrack.races,
+                eraser.races,
+                probe.confirmed,
+            )
+        else:
+            report.memo_hits += 1
+        fasttrack_races, eraser_races, confirmed = entry
+        report.detected.merge(fasttrack_races)
+        report.detected.merge(eraser_races)
+        report.confirmed_raw |= confirmed
         report.reproduced = report.confirmed_raw & report.detected.static_keys()
         result = outcome.concurrent_result
         if result is not None:
@@ -185,7 +245,9 @@ class RaceFuzzer:
     # ------------------------------------------------------------------
     # Directed phase.
 
-    def _directed_phase(self, test: SynthesizedTest, report: FuzzReport) -> None:
+    def _directed_phase(
+        self, test: SynthesizedTest, report: FuzzReport, memo: dict
+    ) -> None:
         candidates = [
             record
             for record in report.detected
@@ -218,7 +280,9 @@ class RaceFuzzer:
                 orders.append((site_b, site_a))
             for first, second in orders:
                 for leader in (0, 1):
-                    self._directed_attempt(test, report, first, second, leader)
+                    self._directed_attempt(
+                        test, report, first, second, leader, memo
+                    )
                     if settled(sites, record):
                         break
                 else:
@@ -232,14 +296,13 @@ class RaceFuzzer:
         first_site: int,
         second_site: int,
         leader: int,
+        memo: dict,
     ) -> bool:
-        fasttrack = FastTrackDetector()
-        eraser = EraserDetector()
-        probe = AdjacencyProbe()
+        recorder = ColumnarRecorder(test.name, interests=DETECTOR_INTERESTS)
         runner = TestRunner(
             self._table,
             vm_seed=self._vm_seed,
-            listeners=(fasttrack, eraser, probe),
+            listeners=(recorder,),
         )
         prepared = runner.prepare(test)
         report.directed_attempts += 1
@@ -258,7 +321,7 @@ class RaceFuzzer:
             confirmed = hit is not None
         # Drain so detectors see a complete execution and threads finish.
         outcome = runner.finish(prepared, RoundRobinScheduler())
-        self._absorb(report, outcome, fasttrack, eraser, probe)
+        self._absorb(report, outcome, recorder.packed, memo)
         return confirmed
 
     @staticmethod

@@ -43,10 +43,12 @@ from repro.narada.pipeline import DetectionReport, Narada, SynthesisReport
 from repro.narada.serial import (
     decode_analysis,
     decode_fuzz_bundle,
+    decode_seed_traces,
     decode_synthesis,
     encode_analysis,
     encode_detection,
     encode_fuzz_bundle,
+    encode_seed_traces,
     encode_synthesis,
     encode_test_bundle,
     report_digest,
@@ -152,20 +154,38 @@ def _synthesize_unit(
     config: PipelineConfig,
     cache_root: str | None,
 ) -> SynthesisReport:
-    """Stages 0-3 for one subject, reusing a cached analysis if valid."""
+    """Stages 0-3 for one subject, reusing cached stage-0/1 artifacts.
+
+    Two cached stages feed this unit: ``seedtrace`` (the packed seed
+    traces — stage 0) and ``analysis`` (the method summaries — stage 1).
+    Both key on the analysis config since traces depend only on the VM
+    seed.  A cached analysis skips seed execution entirely; a cached
+    seedtrace alone still skips the (interpreter-bound) seed runs while
+    the analyzer streams the restored columns.
+    """
     table = _load_table(source)
     narada = Narada(table, seed=config.vm_seed, rng_seed=config.rng_seed)
     cache = ArtifactCache(cache_root) if cache_root is not None else None
     if cache is not None:
-        key = stage_key(
-            table_digest(table), "analysis", config.analysis_config()
-        )
-        cached = cache.get("analysis", key)
+        dig = table_digest(table)
+        analysis_key = stage_key(dig, "analysis", config.analysis_config())
+        trace_key = stage_key(dig, "seedtrace", config.analysis_config())
+        cached = cache.get("analysis", analysis_key)
         if cached is not None:
             narada.use_analysis(decode_analysis(cached))
+        else:
+            cached_traces = cache.get("seedtrace", trace_key)
+            if cached_traces is not None:
+                narada.use_seed_traces(decode_seed_traces(cached_traces))
         report = narada.synthesize_for_class(target_class)
         if cached is None:
-            cache.put("analysis", key, encode_analysis(narada.analysis()))
+            cache.put("analysis", analysis_key, encode_analysis(narada.analysis()))
+            if cache.get("seedtrace", trace_key) is None:
+                cache.put(
+                    "seedtrace",
+                    trace_key,
+                    encode_seed_traces(narada.run_seed_suite()),
+                )
         return report
     return narada.synthesize_for_class(target_class)
 

@@ -23,7 +23,7 @@ from repro.lang import ClassTable, load, pretty_class
 from repro.pairs import RacyPair, generate_pairs
 from repro.runtime import VM
 from repro.synth import SynthesizedTest, TestSynthesizer
-from repro.trace import Recorder, Trace
+from repro.trace import ColumnarRecorder, PackedTrace
 
 
 @dataclass
@@ -183,7 +183,7 @@ class Narada:
         self.rng_seed = rng_seed
         self._rng = random.Random(rng_seed) if rng_seed is not None else None
         self._analysis: AnalysisResult | None = None
-        self._traces: list[Trace] | None = None
+        self._traces: list[PackedTrace] | None = None
 
     def source_text(self) -> str:
         """Canonical program text for this table.
@@ -205,16 +205,21 @@ class Narada:
     def seed_test_names(self) -> list[str]:
         return [t.name for t in self.table.program.tests]
 
-    def run_seed_suite(self) -> list[Trace]:
-        """Execute every seed test sequentially and record its trace."""
+    def run_seed_suite(self) -> list[PackedTrace]:
+        """Execute every seed test sequentially, recording packed traces.
+
+        Recording goes straight into columnar storage — no intermediate
+        ``Trace`` event list exists; downstream consumers either stream
+        the columns or use the lazy object view.
+        """
         if self._traces is not None:
             return self._traces
-        traces: list[Trace] = []
+        traces: list[PackedTrace] = []
         for name in self.seed_test_names():
             vm = VM(self.table, seed=self.seed)
-            recorder = Recorder(name)
+            recorder = ColumnarRecorder(name)
             vm.run_test(name, listeners=(recorder,))
-            traces.append(recorder.trace)
+            traces.append(recorder.packed)
         self._traces = traces
         return traces
 
@@ -226,6 +231,10 @@ class Narada:
     def use_analysis(self, analysis: AnalysisResult) -> None:
         """Adopt a precomputed (e.g. cache-restored) analysis result."""
         self._analysis = analysis
+
+    def use_seed_traces(self, traces: list[PackedTrace]) -> None:
+        """Adopt precomputed (e.g. cache-restored) seed traces."""
+        self._traces = traces
 
     # ------------------------------------------------------------------
     # Stages 2+3: pairs, context, synthesis.

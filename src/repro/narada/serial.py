@@ -47,7 +47,7 @@ from repro.synth.synthesizer import SynthesizedTest
 
 #: Bump when the encoding changes shape; cache keys include it so stale
 #: artifacts from older encodings are never decoded.
-SERIAL_VERSION = 1
+SERIAL_VERSION = 2
 
 #: Top-level keys that legitimately differ between identical runs (wall
 #: clock); stripped before hashing for determinism comparisons.
@@ -381,6 +381,10 @@ class Codec:
             "timeouts": report.timeouts,
             "synthesis_failed": report.synthesis_failed,
             "constant_sites": sorted(report.constant_sites),
+            "trace_events": report.trace_events,
+            "packed_bytes": report.packed_bytes,
+            "memo_hits": report.memo_hits,
+            "memo_misses": report.memo_misses,
         }
 
     @staticmethod
@@ -525,6 +529,10 @@ class Codec:
             timeouts=data["timeouts"],
             synthesis_failed=data["synthesis_failed"],
             constant_sites=set(data["constant_sites"]),
+            trace_events=data["trace_events"],
+            packed_bytes=data["packed_bytes"],
+            memo_hits=data["memo_hits"],
+            memo_misses=data["memo_misses"],
         )
 
     @staticmethod
@@ -643,6 +651,78 @@ def encode_fuzz_bundle(report) -> dict:
 def decode_fuzz_bundle(data: dict):
     codec = Codec.from_tables(data)
     return codec.decode_fuzz_report(data["report"])
+
+
+def _encode_cell(payload) -> list:
+    """Side-table cell -> tagged JSON value.
+
+    Cells hold the rare non-integer payloads of a packed trace: invoke
+    argument tuples / notify woken tuples (``vals``), fault message
+    strings (``str``), and integers past 64 bits (``big``).
+    """
+    if isinstance(payload, tuple):
+        return ["vals", [encode_value(v) for v in payload]]
+    if isinstance(payload, str):
+        return ["str", payload]
+    return ["big", str(payload)]
+
+
+def _decode_cell(data: list):
+    tag, value = data
+    if tag == "vals":
+        return tuple(decode_value(v) for v in value)
+    if tag == "str":
+        return value
+    return int(value)
+
+
+def encode_packed_trace(packed) -> dict:
+    """PackedTrace -> JSON dict (columns as plain int lists)."""
+    return {
+        "test_name": packed.test_name,
+        "columns": {
+            name: list(getattr(packed, name)) for name in packed.COLUMNS
+        },
+        "strtab": list(packed.strtab),
+        "locktab": [sorted(locks) for locks in packed.locktab],
+        "addrtab": [list(key) for key in packed.addrtab],
+        "cells": [_encode_cell(c) for c in packed.cells],
+    }
+
+
+def decode_packed_trace(data: dict):
+    from array import array
+
+    from repro.trace.columnar import PackedTrace
+
+    packed = PackedTrace(test_name=data["test_name"])
+    for name in PackedTrace.COLUMNS:
+        setattr(
+            packed, name, array(PackedTrace._TYPECODES[name], data["columns"][name])
+        )
+    packed.strtab = list(data["strtab"])
+    packed.locktab = [frozenset(locks) for locks in data["locktab"]]
+    packed.addrtab = [tuple(key) for key in data["addrtab"]]
+    packed.cells = [_decode_cell(c) for c in data["cells"]]
+    # Rebuild the intern indexes so the decoded trace stays appendable
+    # and digests/packs exactly like the original.
+    packed._strid = {s: i for i, s in enumerate(packed.strtab)}
+    packed._lockid = {locks: i for i, locks in enumerate(packed.locktab)}
+    packed._addrid = {key: i for i, key in enumerate(packed.addrtab)}
+    return packed
+
+
+def encode_seed_traces(traces) -> dict:
+    """Encode the seed-suite packed traces (the "seedtrace" artifact)."""
+    return {
+        "kind": "seedtrace",
+        "version": SERIAL_VERSION,
+        "traces": [encode_packed_trace(t) for t in traces],
+    }
+
+
+def decode_seed_traces(data: dict) -> list:
+    return [decode_packed_trace(t) for t in data["traces"]]
 
 
 def encode_test_bundle(test: SynthesizedTest) -> dict:

@@ -61,7 +61,13 @@ def _slots_event(cls):
     namespace.pop("__weakref__", None)
     for name, _ in own:
         namespace.pop(name, None)  # defaults would shadow the slots
-    namespace["__slots__"] = tuple(name for name, _ in own)
+    slots = tuple(name for name, _ in own)
+    if base is object:
+        # Root of the hierarchy: reserve a slot for the cached hash.
+        # Left unassigned by __init__, so it costs nothing until the
+        # first hash() call fills it (see Event.__hash__).
+        slots = ("_hash",) + slots
+    namespace["__slots__"] = slots
     namespace["_fields_spec"] = spec
     namespace["_fields"] = tuple(name for name, _ in spec)
 
@@ -99,10 +105,19 @@ class Event:
         )
 
     def __hash__(self) -> int:
-        return hash(
-            (self.__class__,)
-            + tuple(getattr(self, name) for name in self._fields)
-        )
+        # Events are immutable by convention, so the field tuple is
+        # hashed once and cached in the reserved ``_hash`` slot; the
+        # unset-slot AttributeError doubles as the "not yet computed"
+        # sentinel, keeping construction cost at zero.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(
+                (self.__class__,)
+                + tuple(getattr(self, name) for name in self._fields)
+            )
+            self._hash = value
+            return value
 
     def __repr__(self) -> str:
         inner = ", ".join(

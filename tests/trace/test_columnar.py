@@ -1,0 +1,273 @@
+"""PackedTrace: roundtrip fidelity, digests, and serialization.
+
+The columnar representation is only admissible if its lazy object view
+reconstructs the recorded event stream *exactly* — same classes, same
+field values, same formatting — for every subject.  These tests pin
+that equivalence against the golden-trace digests, exercise the value
+packing edge cases (bools vs ints, >64-bit ints, ObjRef interning), and
+check the serial codec roundtrips packed traces bit-identically.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.lang import load
+from repro.runtime import VM
+from repro.runtime.values import ObjRef
+from repro.subjects import all_subjects, get_subject
+from repro.trace import ColumnarRecorder, PackedTrace, Recorder
+from repro.trace.events import ReadEvent, WriteEvent
+from repro.trace.recorder import format_trace
+
+from tests.trace.test_golden_traces import GOLDEN_SUBJECT_DIGESTS
+
+
+def record_both(table, test_name):
+    """Record one seed test with the object and columnar recorders."""
+    vm = VM(table, seed=0)
+    recorder = Recorder(test_name)
+    columnar = ColumnarRecorder(test_name)
+    vm.run_test(test_name, listeners=(recorder, columnar))
+    return recorder.trace, columnar.packed
+
+
+class TestLazyViewFidelity:
+    @pytest.mark.parametrize("key", ["C1", "C4", "C6", "C9"])
+    def test_reconstructed_events_equal_recorded(self, key):
+        table = get_subject(key).load()
+        for test in table.program.tests:
+            trace, packed = record_both(table, test.name)
+            assert len(packed) == len(trace)
+            assert list(packed) == trace.events
+            assert format_trace(packed.to_trace()) == format_trace(trace)
+
+    @pytest.mark.parametrize("key", ["C1", "C4", "C6", "C9"])
+    def test_helpers_match_object_trace(self, key):
+        table = get_subject(key).load()
+        for test in table.program.tests:
+            trace, packed = record_both(table, test.name)
+            assert packed.memory_events() == trace.memory_events()
+            assert packed.client_invocations() == trace.client_invocations()
+
+    def test_access_row_accessors(self):
+        table = get_subject("C1").load()
+        test = table.program.tests[0]
+        _, packed = record_both(table, test.name)
+        from repro.trace.columnar import OP_READ, OP_WRITE
+
+        checked = 0
+        for i in range(len(packed)):
+            if packed.op[i] not in (OP_READ, OP_WRITE):
+                continue
+            event = packed.event(i)
+            assert packed.address_at(i) == event.address()
+            assert packed.value_at(i) == event.value
+            if packed.op[i] == OP_WRITE:
+                assert packed.old_value_at(i) == event.old_value
+            checked += 1
+        assert checked > 0
+
+
+class TestGoldenDigestsViaPackedPath:
+    """The golden-trace pins hold when recording goes through columns.
+
+    This is the acceptance gate for replacing the seed-suite Recorder:
+    formatting the lazy view of a packed recording must produce exactly
+    the pinned pre-change digests.
+    """
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN_SUBJECT_DIGESTS))
+    def test_subject_digest_via_columnar_recorder(self, key):
+        table = get_subject(key).load()
+        parts = []
+        for test in table.program.tests:
+            vm = VM(table, seed=0)
+            columnar = ColumnarRecorder(test.name)
+            vm.run_test(test.name, listeners=(columnar,))
+            digest = hashlib.sha256(
+                format_trace(columnar.packed.to_trace()).encode()
+            ).hexdigest()
+            parts.append(f"{test.name}:{digest}")
+        combined = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+        assert combined == GOLDEN_SUBJECT_DIGESTS[key], (
+            f"columnar recording of subject {key} is not bit-identical "
+            "to the pinned object-path trace"
+        )
+
+    def test_all_subjects_covered(self):
+        assert sorted(GOLDEN_SUBJECT_DIGESTS) == sorted(
+            s.key for s in all_subjects()
+        )
+
+
+class TestInterleavingDigest:
+    def test_digest_is_stable_across_recordings(self):
+        table = get_subject("C1").load()
+        test = table.program.tests[0]
+        _, first = record_both(table, test.name)
+        _, second = record_both(table, test.name)
+        assert first.digest() == second.digest()
+
+    def test_digest_distinguishes_interleavings(self):
+        digests = set()
+        for key in ("C1", "C2", "C3"):
+            table = get_subject(key).load()
+            _, packed = record_both(table, table.program.tests[0].name)
+            digests.add(packed.digest())
+        assert len(digests) == 3
+
+    def test_digest_sensitive_to_values(self):
+        a = PackedTrace()
+        b = PackedTrace()
+        event = WriteEvent(
+            label=0, thread_id=1, node_id=2, call_index=0, obj=3,
+            class_name="C", field_name="f", value=1, old_value=0,
+            locks_held=frozenset(),
+        )
+        changed = WriteEvent(
+            label=0, thread_id=1, node_id=2, call_index=0, obj=3,
+            class_name="C", field_name="f", value=2, old_value=0,
+            locks_held=frozenset(),
+        )
+        a.append(event)
+        b.append(changed)
+        assert a.digest() != b.digest()
+
+
+class TestValuePacking:
+    def _roundtrip(self, value, old_value=None):
+        packed = PackedTrace()
+        packed.append(
+            WriteEvent(
+                label=0, thread_id=1, node_id=2, call_index=0, obj=3,
+                class_name="C", field_name="f", value=value,
+                old_value=old_value, locks_held=frozenset({3, 9}),
+            )
+        )
+        event = packed.event(0)
+        assert type(event.value) is type(value)
+        assert event.value == value
+        assert event.old_value == old_value
+        return packed
+
+    def test_bool_is_not_confused_with_int(self):
+        packed = self._roundtrip(True, old_value=1)
+        event = packed.event(0)
+        assert event.value is True
+        assert type(event.old_value) is int
+
+    def test_false_and_zero_distinct(self):
+        event = self._roundtrip(False, old_value=0).event(0)
+        assert event.value is False
+        assert event.old_value == 0 and type(event.old_value) is int
+
+    def test_none_value(self):
+        assert self._roundtrip(None).event(0).value is None
+
+    def test_big_int_overflows_to_cell(self):
+        big = 1 << 80
+        packed = self._roundtrip(big, old_value=-(1 << 70))
+        assert len(packed.cells) == 2
+        event = packed.event(0)
+        assert event.value == big
+        assert event.old_value == -(1 << 70)
+
+    def test_objref_interns_class_name(self):
+        ref = ObjRef(42, "Widget")
+        event = self._roundtrip(ref).event(0)
+        assert isinstance(event.value, ObjRef)
+        assert event.value == ref
+
+    def test_lockset_roundtrip(self):
+        event = self._roundtrip(7).event(0)
+        assert event.locks_held == frozenset({3, 9})
+
+
+class TestSerialization:
+    def _seed_traces(self, key):
+        table = get_subject(key).load()
+        traces = []
+        for test in table.program.tests:
+            _, packed = record_both(table, test.name)
+            traces.append(packed)
+        return traces
+
+    @pytest.mark.parametrize("key", ["C1", "C6"])
+    def test_packed_trace_roundtrip(self, key):
+        from repro.narada.serial import (
+            canonical_json,
+            decode_packed_trace,
+            encode_packed_trace,
+        )
+
+        for packed in self._seed_traces(key):
+            data = encode_packed_trace(packed)
+            restored = decode_packed_trace(data)
+            assert restored.test_name == packed.test_name
+            assert restored.digest() == packed.digest()
+            assert list(restored) == list(packed)
+            # Re-encoding is bit-identical (cache/worker canonical form).
+            assert canonical_json(encode_packed_trace(restored)) == (
+                canonical_json(data)
+            )
+
+    def test_restored_trace_stays_appendable(self):
+        from repro.narada.serial import (
+            decode_packed_trace,
+            encode_packed_trace,
+        )
+
+        packed = PackedTrace("t")
+        packed.append(
+            ReadEvent(
+                label=0, thread_id=1, node_id=2, call_index=0, obj=3,
+                class_name="C", field_name="f", value=5,
+                locks_held=frozenset(),
+            )
+        )
+        restored = decode_packed_trace(encode_packed_trace(packed))
+        restored.append(
+            ReadEvent(
+                label=1, thread_id=1, node_id=2, call_index=0, obj=3,
+                class_name="C", field_name="f", value=6,
+                locks_held=frozenset(),
+            )
+        )
+        # Interning continued from the restored tables: no duplicates.
+        assert restored.strtab == packed.strtab
+        assert restored.adr[0] == restored.adr[1]
+
+    def test_seed_trace_bundle_roundtrip(self):
+        from repro.narada.serial import (
+            decode_seed_traces,
+            encode_seed_traces,
+        )
+
+        traces = self._seed_traces("C1")
+        restored = decode_seed_traces(encode_seed_traces(traces))
+        assert [t.digest() for t in restored] == [
+            t.digest() for t in traces
+        ]
+
+
+class TestAccounting:
+    def test_counts_and_nbytes(self):
+        table = get_subject("C1").load()
+        test = table.program.tests[0]
+        trace, packed = record_both(table, test.name)
+        counts = packed.counts()
+        assert sum(counts.values()) == len(trace)
+        assert counts["read"] == sum(
+            1 for e in trace if type(e) is ReadEvent
+        )
+        assert packed.nbytes() > 0
+
+    def test_packed_is_smaller_than_object_events(self):
+        import sys
+
+        table = get_subject("C6").load()
+        test = table.program.tests[0]
+        trace, packed = record_both(table, test.name)
+        object_bytes = sum(sys.getsizeof(e) for e in trace.events)
+        assert packed.nbytes() < object_bytes

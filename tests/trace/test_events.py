@@ -111,6 +111,33 @@ class TestEventContent:
         assert returns[0].to_client
 
 
+class TestHashCaching:
+    def test_hash_is_cached_after_first_call(self):
+        event = ForkEvent(
+            label=1, thread_id=0, node_id=-1, call_index=0, child_thread=2
+        )
+        first = hash(event)
+        assert event._hash == first
+        assert hash(event) == first
+        # The cache, not the fields, serves subsequent calls: mutating a
+        # field no longer changes the hash (events are append-only in
+        # practice; the detectors key dicts/sets on them mid-stream).
+        event.child_thread = 99
+        assert hash(event) == first
+
+    def test_equal_events_hash_equal(self):
+        def make():
+            return ReadEvent(
+                label=5, thread_id=1, node_id=2, call_index=3, obj=4,
+                class_name="Pair", field_name="x", value=7,
+                locks_held=frozenset({4}),
+            )
+
+        a, b = make(), make()
+        assert a == b
+        assert hash(a) == hash(b)
+
+
 class TestFormatting:
     def test_every_event_formats(self):
         trace, _ = record()
