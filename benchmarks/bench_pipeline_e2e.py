@@ -53,6 +53,10 @@ from repro.subjects import get_subject  # noqa: E402
 
 OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_pipeline.json"
 
+#: Payload schema; bump on any shape change so stale reports are caught
+#: by ``perf_regression.py --check`` instead of KeyErrors downstream.
+SCHEMA_VERSION = 1
+
 #: Random schedules per synthesized test (modest: relative times matter).
 DEFAULT_RUNS = 3
 
@@ -125,6 +129,7 @@ def run_bench(
         )
 
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "scenario": {
             "subjects": [spec.name for spec in specs],
             "random_runs": runs,

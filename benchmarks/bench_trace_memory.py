@@ -50,6 +50,10 @@ from repro.trace.columnar import ColumnarRecorder, PackedTrace  # noqa: E402
 
 OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_trace.json"
 
+#: Payload schema; bump on any shape change so stale reports are caught
+#: by ``perf_regression.py --check`` instead of KeyErrors downstream.
+SCHEMA_VERSION = 1
+
 REQUIRED_DETECTOR_SPEEDUP = 2.0
 
 #: Two threads hammering shared fields under mixed lock discipline —
@@ -290,6 +294,7 @@ def run_bench(
     memo_row, memo_failures = bench_memo(random_runs)
     failures += rss_failures + memo_failures
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "scenario": {
             "hammer_iters": iters,
             "repeat": repeat,

@@ -6,9 +6,16 @@ pre-optimization baselines recorded below.  Results land in
 ``benchmarks/out/BENCH_vm.json``; the process exits non-zero if the
 hot-path overhaul's acceptance ratios regress.
 
+``--check`` skips measurement and instead validates the recorded
+``benchmarks/out/BENCH_*.json`` reports: each expected file must exist
+and carry the current ``schema_version``, otherwise the gate fails with
+a message naming the report and the command that regenerates it (rather
+than a traceback from whatever consumer reads the stale payload first).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_regression.py [--rounds N]
+    PYTHONPATH=src python benchmarks/perf_regression.py --check
 """
 
 from __future__ import annotations
@@ -22,6 +29,10 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
 from vm_scenarios import LOOP_N, SCENARIOS, measure  # noqa: E402
+
+#: BENCH_vm.json payload schema.  v1 was the unversioned original; v2
+#: added this field.  Bump on any shape change.
+SCHEMA_VERSION = 2
 
 #: Pre-overhaul throughput (events/sec, best-of-3) on the same scenarios,
 #: measured at the seed revision before the VM hot-path PR.
@@ -53,6 +64,7 @@ def collect(rounds: int) -> dict:
         if speedup[name] < required
     ]
     return {
+        "schema_version": SCHEMA_VERSION,
         "scenario": {
             "program": "Worker.spin hot loop",
             "loop_n": LOOP_N,
@@ -67,6 +79,62 @@ def collect(rounds: int) -> dict:
         "failures": failures,
         "pass": not failures,
     }
+
+
+#: Every report the benchmark suite is expected to have produced, the
+#: schema version consumers of this revision understand, and the command
+#: that regenerates it.  An absent ``schema_version`` key reads as 0
+#: (the unversioned v1-era payloads), so every pre-versioning report is
+#: reported as stale rather than crashing a consumer.
+EXPECTED_REPORTS = {
+    "BENCH_vm.json": (
+        SCHEMA_VERSION,
+        "PYTHONPATH=src python benchmarks/perf_regression.py",
+    ),
+    "BENCH_pipeline.json": (
+        1,
+        "PYTHONPATH=src python benchmarks/bench_pipeline_e2e.py",
+    ),
+    "BENCH_trace.json": (
+        1,
+        "PYTHONPATH=src python benchmarks/bench_trace_memory.py",
+    ),
+    "BENCH_sweep.json": (
+        1,
+        "PYTHONPATH=src python benchmarks/bench_sweep_fusion.py",
+    ),
+}
+
+
+def check_reports(out_dir: pathlib.Path | None = None) -> list[str]:
+    """Validate the recorded BENCH_*.json reports; return problems.
+
+    Each entry names the offending report and how to regenerate it —
+    this is the ``--check`` output, designed to fail loudly and legibly
+    when a report is missing, unparseable, or written by an older
+    benchmark revision.
+    """
+    out_dir = out_dir or pathlib.Path(__file__).parent / "out"
+    problems: list[str] = []
+    for name, (required, regen) in sorted(EXPECTED_REPORTS.items()):
+        path = out_dir / name
+        if not path.is_file():
+            problems.append(f"{path}: missing — regenerate with `{regen}`")
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            problems.append(
+                f"{path}: unreadable ({error}) — regenerate with `{regen}`"
+            )
+            continue
+        found = payload.get("schema_version", 0)
+        if found < required:
+            problems.append(
+                f"{path}: schema_version {found} < expected {required}"
+                f" — regenerate with `{regen}`"
+            )
+    return problems
 
 
 def write_report(payload: dict, out_dir: pathlib.Path | None = None) -> pathlib.Path:
@@ -89,7 +157,19 @@ def main(argv: list[str] | None = None) -> int:
         "--rounds", type=_positive_int, default=5,
         help="measurement rounds per scenario (best-of-N)",
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate recorded BENCH_*.json reports instead of measuring",
+    )
     args = parser.parse_args(argv)
+    if args.check:
+        problems = check_reports()
+        if problems:
+            for problem in problems:
+                print(f"STALE BENCH REPORT: {problem}")
+            return 1
+        print(f"bench reports: all {len(EXPECTED_REPORTS)} current")
+        return 0
     payload = collect(rounds=args.rounds)
     path = write_report(payload)
     for name, stats in sorted(payload["current"].items()):

@@ -1,6 +1,21 @@
-"""Stage 1 of Narada: analysis of sequential execution traces (§3.1-3.2)."""
+"""Stage 1 of Narada: analysis of sequential execution traces (§3.1-3.2).
+
+Also home of the fused sweep engine (:mod:`repro.analysis.sweep`) that
+runs every packed-trace analysis pass — detectors, probes, coverage,
+lock-order — in a single decoded traversal.
+"""
 
 from repro.analysis.analyzer import SequentialTraceAnalyzer, analyze_traces
+from repro.analysis.sweep import (
+    AnalysisPass,
+    KernelSpec,
+    UnknownPassError,
+    interest_union,
+    memo_key,
+    registered_passes,
+    resolve_pass,
+    run_sweep,
+)
 from repro.analysis.model import (
     AccessRecord,
     AnalysisResult,
@@ -21,12 +36,20 @@ __all__ = [
     "RETURN",
     "AccessPath",
     "AccessRecord",
+    "AnalysisPass",
     "AnalysisResult",
+    "KernelSpec",
     "MethodSummary",
     "SequentialTraceAnalyzer",
+    "UnknownPassError",
     "WriteableEntry",
     "analyze_traces",
+    "interest_union",
+    "memo_key",
     "param_path",
     "receiver_path",
+    "registered_passes",
+    "resolve_pass",
     "return_path",
+    "run_sweep",
 ]

@@ -291,11 +291,23 @@ def cmd_emit(args) -> int:
 
 
 def cmd_run(args) -> int:
-    from repro.detect import EraserDetector, FastTrackDetector
+    from repro.analysis.sweep import (
+        UnknownPassError,
+        interest_union,
+        resolve_pass,
+        run_sweep,
+    )
     from repro.runtime import Execution, RandomScheduler
+    from repro.trace.columnar import ColumnarRecorder
 
     with open(args.file) as handle:
         table = load(handle.read())
+    names = [n.strip() for n in args.detectors.split(",") if n.strip()]
+    try:
+        pass_classes = [resolve_pass(n) for n in names]
+    except UnknownPassError as error:
+        raise SystemExit(f"error: {error}")
+    interests = interest_union(pass_classes)
     test_names = (
         [args.test] if args.test else [t.name for t in table.program.tests]
     )
@@ -308,9 +320,8 @@ def cmd_run(args) -> int:
         failures = 0
         for seed in range(args.runs):
             vm = VM(table)
-            fasttrack = FastTrackDetector()
-            eraser = EraserDetector()
-            execution = Execution(vm, listeners=(fasttrack, eraser))
+            recorder = ColumnarRecorder(name, interests=interests)
+            execution = Execution(vm, listeners=(recorder,))
             execution.spawn(
                 lambda ctx, body=test.body.stmts: vm.interp.run_client_stmts(
                     body, ctx, {}
@@ -319,8 +330,12 @@ def cmd_run(args) -> int:
             result = execution.run(RandomScheduler(seed * 7919 + 3))
             if result.deadlocked or result.faults:
                 failures += 1
-            races |= fasttrack.races.static_keys()
-            races |= eraser.races.static_keys()
+            passes = [cls() for cls in pass_classes]
+            run_sweep(passes, recorder.packed)
+            for sweep_pass in passes:
+                race_set = getattr(sweep_pass, "races", None)
+                if race_set is not None:
+                    races |= race_set.static_keys()
         verdict = f"{len(races)} race(s)"
         if failures:
             verdict += f", {failures}/{args.runs} runs crashed or deadlocked"
@@ -417,8 +432,11 @@ def _trace_stats(source: str, detections=None) -> None:
     """Print packed-trace statistics for one subject (``--trace-stats``).
 
     Seed-stage numbers come from re-recording the seed suite into
-    columnar form (cheap — sequential runs); detector throughput is
-    measured by feeding those packed traces to fresh detector instances.
+    columnar form (cheap — sequential runs); analysis throughput is
+    measured by one fused, timed sweep of the engine's detector stack
+    over each trace (fresh pass instances per trace), with the
+    accumulated per-pass seconds printed as a time share so a
+    throughput regression is attributable to a specific pass.
     Fuzz-stage numbers (events, bytes, memo hit rate) are aggregated
     from the deterministic counters each FuzzReport already carries, so
     they reflect the actual run whether it came from the pool, the
@@ -426,8 +444,10 @@ def _trace_stats(source: str, detections=None) -> None:
     """
     import time
 
+    from repro.analysis.sweep import run_sweep
     from repro.detect import EraserDetector, FastTrackDetector
     from repro.detect.djit import DjitDetector
+    from repro.fuzz.probes import AdjacencyProbe
 
     narada = Narada(source)
     traces = narada.run_seed_suite()
@@ -444,14 +464,26 @@ def _trace_stats(source: str, detections=None) -> None:
     )
     breakdown = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
     print(f"  by kind: {breakdown}")
-    for detector_cls in (FastTrackDetector, EraserDetector, DjitDetector):
-        detector = detector_cls()
-        start = time.perf_counter()
-        for trace in traces:
-            detector.feed_packed(trace)
-        seconds = time.perf_counter() - start
-        rate = total_events / seconds if seconds > 0 else float("inf")
-        print(f"  {detector.name}: {rate:,.0f} events/sec packed")
+    stack = (FastTrackDetector, EraserDetector, DjitDetector, AdjacencyProbe)
+    per_pass = [0.0] * len(stack)
+    start = time.perf_counter()
+    for trace in traces:
+        timings: list[float] = []
+        run_sweep([cls() for cls in stack], trace, timings=timings)
+        for index, seconds in enumerate(timings):
+            per_pass[index] += seconds
+    total_seconds = time.perf_counter() - start
+    rate = total_events / total_seconds if total_seconds > 0 else float("inf")
+    print(
+        f"  fused sweep ({'+'.join(cls.name for cls in stack)}): "
+        f"{rate:,.0f} events/sec packed"
+    )
+    handler_seconds = sum(per_pass) or 1e-12
+    shares = ", ".join(
+        f"{cls.name}={seconds / handler_seconds * 100:.0f}%"
+        for cls, seconds in zip(stack, per_pass)
+    )
+    print(f"  pass time share: {shares}")
     if not detections:
         return
     events = bytes_total = hits = misses = 0
@@ -575,6 +607,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="MiniJ source file")
     p.add_argument("--test", help="run only this test")
     p.add_argument("--runs", type=int, default=6)
+    p.add_argument(
+        "--detectors",
+        default="fasttrack,eraser",
+        help="comma-separated analysis passes to sweep over each run "
+        "(registered: see analysis/sweep.py)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("deadlock", help="synthesize + confirm deadlock tests")

@@ -79,102 +79,140 @@ class LockOrderSummary:
         return (self.class_name, self.method)
 
 
-class LockOrderAnalyzer:
-    """Extracts :class:`LockOrderSummary` objects from seed traces.
+class LockOrderPass:
+    """Lock-order extraction as a sweep-engine analysis pass.
 
-    Reuses the race pipeline's segment machinery (shadow field graph +
-    ``src`` path resolution) so lock objects are named by the same
-    client-relative paths the context deriver can set.
+    Holds the loop-carried state the old ``LockOrderAnalyzer.analyze``
+    loop kept in locals (open segment, current summary, runtime-class
+    map, held-lock stack).  Consumes rich events — either live via
+    :meth:`on_event` or from a packed trace via the engine, which
+    reconstructs each interesting row lazily (lock-order analysis is a
+    cold, per-seed-trace pass; faithful event reconstruction is gated
+    by the golden-trace equivalence suite).  Call :meth:`finish` after
+    the sweep to flush a trailing open summary.
     """
 
-    def __init__(self) -> None:
-        self.summaries: list[LockOrderSummary] = []
+    name = "lockorder"
 
-    def analyze(self, trace: Trace) -> list[LockOrderSummary]:
-        segment: _Segment | None = None
-        summary: LockOrderSummary | None = None
-        classes: dict[int, str] = {}
-        held: list[tuple[int, int]] = []  # (obj ref, acquire site)
-        ordinal = 0
+    interests = (InvokeEvent, AllocEvent, ReadEvent, WriteEvent, LockEvent,
+                 UnlockEvent, ReturnEvent, FaultEvent)
 
-        def class_of(ref: int) -> str:
-            return classes.get(ref, "?")
+    def __init__(self, test_name: str = "",
+                 summaries: list[LockOrderSummary] | None = None) -> None:
+        self.test_name = test_name
+        self.summaries: list[LockOrderSummary] = (
+            summaries if summaries is not None else []
+        )
+        self._segment: _Segment | None = None
+        self._summary: LockOrderSummary | None = None
+        self._classes: dict[int, str] = {}
+        self._held: list[tuple[int, int]] = []  # (obj ref, acquire site)
+        self._ordinal = 0
 
-        for event in trace:
-            if isinstance(event, InvokeEvent):
-                classes[event.receiver] = event.class_name
-                for arg in event.args:
-                    if isinstance(arg, ObjRef):
-                        classes[arg.ref] = arg.class_name
-                if event.from_client and segment is None:
-                    summary = LockOrderSummary(
-                        class_name=event.class_name,
-                        method=event.method,
-                        test_name=trace.test_name,
-                        ordinal=ordinal,
-                        is_constructor=event.is_constructor,
-                        arg_count=len(event.args),
-                    )
-                    ordinal += 1
-                    segment = self._open_segment(event)
-                    held = []
-                continue
-            if segment is None or summary is None:
-                continue
-            if isinstance(event, AllocEvent):
-                classes[event.ref] = event.class_name
-                segment.controllable.setdefault(event.ref, not event.in_library)
-            elif isinstance(event, (ReadEvent, WriteEvent)):
-                classes[event.obj] = event.class_name
-                if isinstance(event.value, ObjRef):
-                    classes[event.value.ref] = event.value.class_name
-                    segment.controllable.setdefault(
-                        event.value.ref, segment.flag(event.obj)
-                    )
-                segment.set_field(event.obj, event.field_name, event.value)
-            elif isinstance(event, LockEvent):
-                if event.reentrancy == 1:  # fresh acquisition only
-                    acquired_found = segment.src_with_classes(event.obj)
-                    for held_ref, held_site in held:
-                        if held_ref == event.obj:
-                            continue
-                        held_found = segment.src_with_classes(held_ref)
-                        summary.edges.append(
-                            LockEdge(
-                                held_path=held_found[0] if held_found else None,
-                                held_class=class_of(held_ref),
-                                acquired_path=(
-                                    acquired_found[0] if acquired_found else None
-                                ),
-                                acquired_class=class_of(event.obj),
-                                held_site=held_site,
-                                acquired_site=event.node_id,
-                                held_chain=held_found[1] if held_found else None,
-                                acquired_chain=(
-                                    acquired_found[1] if acquired_found else None
-                                ),
-                            )
+    def on_event(self, event) -> None:
+        segment = self._segment
+        summary = self._summary
+        classes = self._classes
+        if isinstance(event, InvokeEvent):
+            classes[event.receiver] = event.class_name
+            for arg in event.args:
+                if isinstance(arg, ObjRef):
+                    classes[arg.ref] = arg.class_name
+            if event.from_client and segment is None:
+                self._summary = LockOrderSummary(
+                    class_name=event.class_name,
+                    method=event.method,
+                    test_name=self.test_name,
+                    ordinal=self._ordinal,
+                    is_constructor=event.is_constructor,
+                    arg_count=len(event.args),
+                )
+                self._ordinal += 1
+                self._segment = self._open_segment(event)
+                self._held = []
+            return
+        if segment is None or summary is None:
+            return
+        if isinstance(event, AllocEvent):
+            classes[event.ref] = event.class_name
+            segment.controllable.setdefault(event.ref, not event.in_library)
+        elif isinstance(event, (ReadEvent, WriteEvent)):
+            classes[event.obj] = event.class_name
+            if isinstance(event.value, ObjRef):
+                classes[event.value.ref] = event.value.class_name
+                segment.controllable.setdefault(
+                    event.value.ref, segment.flag(event.obj)
+                )
+            segment.set_field(event.obj, event.field_name, event.value)
+        elif isinstance(event, LockEvent):
+            if event.reentrancy == 1:  # fresh acquisition only
+                acquired_found = segment.src_with_classes(event.obj)
+                for held_ref, held_site in self._held:
+                    if held_ref == event.obj:
+                        continue
+                    held_found = segment.src_with_classes(held_ref)
+                    summary.edges.append(
+                        LockEdge(
+                            held_path=held_found[0] if held_found else None,
+                            held_class=classes.get(held_ref, "?"),
+                            acquired_path=(
+                                acquired_found[0] if acquired_found else None
+                            ),
+                            acquired_class=classes.get(event.obj, "?"),
+                            held_site=held_site,
+                            acquired_site=event.node_id,
+                            held_chain=held_found[1] if held_found else None,
+                            acquired_chain=(
+                                acquired_found[1] if acquired_found else None
+                            ),
                         )
-                    held.append((event.obj, event.node_id))
-            elif isinstance(event, UnlockEvent):
-                if event.reentrancy == 0:
-                    held = [(ref, site) for ref, site in held if ref != event.obj]
-            elif isinstance(event, ReturnEvent):
-                if event.to_client and event.returning_call_index == segment.call_index:
-                    self.summaries.append(summary)
-                    segment = None
-                    summary = None
-            elif isinstance(event, FaultEvent):
+                    )
+                self._held.append((event.obj, event.node_id))
+        elif isinstance(event, UnlockEvent):
+            if event.reentrancy == 0:
+                self._held = [
+                    (ref, site) for ref, site in self._held if ref != event.obj
+                ]
+        elif isinstance(event, ReturnEvent):
+            if event.to_client and event.returning_call_index == segment.call_index:
                 self.summaries.append(summary)
-                segment = None
-                summary = None
-        if summary is not None:
+                self._segment = None
+                self._summary = None
+        elif isinstance(event, FaultEvent):
             self.summaries.append(summary)
-        return self.summaries
+            self._segment = None
+            self._summary = None
 
-    def analyze_all(self, traces: list[Trace]) -> list[LockOrderSummary]:
-        for trace in traces:
-            self.analyze(trace)
+    def kernel_spec(self, packed):
+        from repro.analysis.sweep import KernelSpec
+        from repro.trace.columnar import (
+            OP_ALLOC,
+            OP_FAULT,
+            OP_INVOKE,
+            OP_LOCK,
+            OP_READ,
+            OP_RETURN,
+            OP_UNLOCK,
+            OP_WRITE,
+        )
+
+        on_event, event_at = self.on_event, packed.event
+
+        def handler(i: int) -> None:
+            on_event(event_at(i))
+
+        return KernelSpec(handlers={
+            op: handler
+            for op in (OP_INVOKE, OP_ALLOC, OP_READ, OP_WRITE, OP_LOCK,
+                       OP_UNLOCK, OP_RETURN, OP_FAULT)
+        })
+
+    def finish(self) -> list[LockOrderSummary]:
+        """Flush a trailing open summary; returns the summary list."""
+        if self._summary is not None:
+            self.summaries.append(self._summary)
+            self._segment = None
+            self._summary = None
         return self.summaries
 
     @staticmethod
@@ -206,5 +244,45 @@ class LockOrderAnalyzer:
         return segment
 
 
+class LockOrderAnalyzer:
+    """Extracts :class:`LockOrderSummary` objects from seed traces.
+
+    Thin accumulator over :class:`LockOrderPass` — one pass instance
+    per trace (segment state, class map, and ordinals are per-trace),
+    all appending into the shared ``summaries`` list.  Reuses the race
+    pipeline's segment machinery (shadow field graph + ``src`` path
+    resolution) so lock objects are named by the same client-relative
+    paths the context deriver can set.
+    """
+
+    def __init__(self) -> None:
+        self.summaries: list[LockOrderSummary] = []
+
+    def analyze(self, trace: Trace) -> list[LockOrderSummary]:
+        lock_pass = LockOrderPass(
+            test_name=trace.test_name, summaries=self.summaries
+        )
+        if hasattr(trace, "op"):  # PackedTrace: sweep via the engine
+            from repro.analysis.sweep import run_sweep
+
+            run_sweep((lock_pass,), trace)
+        else:
+            for event in trace:
+                lock_pass.on_event(event)
+        lock_pass.finish()
+        return self.summaries
+
+    def analyze_all(self, traces: list[Trace]) -> list[LockOrderSummary]:
+        for trace in traces:
+            self.analyze(trace)
+        return self.summaries
+
+
 # Re-exported for typing convenience.
-__all__ = ["LockEdge", "LockOrderAnalyzer", "LockOrderSummary", "MethodSummary"]
+__all__ = [
+    "LockEdge",
+    "LockOrderAnalyzer",
+    "LockOrderPass",
+    "LockOrderSummary",
+    "MethodSummary",
+]

@@ -12,15 +12,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.sweep import interest_union, run_sweep
 from repro.deadlock.goodlock import GoodLockDetector, PotentialDeadlock
 from repro.lang.classtable import ClassTable
 from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler
 from repro.runtime.vm import ThreadStatus
 from repro.synth.runner import TestRunner
 from repro.synth.synthesizer import SynthesizedTest
+from repro.trace.columnar import ColumnarRecorder
 from repro.trace.events import LockEvent
 
 DIRECTED_STEP_BUDGET = 10_000
+
+#: Recorder interest set for the deadlock stack (lock/unlock only);
+#: recording + sweeping is bit-identical to live GoodLock listening.
+_GOODLOCK_INTERESTS = interest_union((GoodLockDetector,))
 
 
 @dataclass
@@ -80,12 +86,14 @@ class DeadlockFuzzer:
         seen: set[tuple] = set()
         for run_index in range(self._random_runs):
             goodlock = GoodLockDetector()
+            recorder = ColumnarRecorder(test.name, interests=_GOODLOCK_INTERESTS)
             runner = TestRunner(
-                self._table, vm_seed=self._vm_seed, listeners=(goodlock,)
+                self._table, vm_seed=self._vm_seed, listeners=(recorder,)
             )
             outcome = runner.run(
                 test, RandomScheduler(seed=run_index * 48_271 + 11)
             )
+            run_sweep((goodlock,), recorder.packed)
             report.random_runs += 1
             result = outcome.concurrent_result
             if result is not None and result.deadlocked:
@@ -98,8 +106,9 @@ class DeadlockFuzzer:
     def _directed(self, test, report) -> bool:
         for leader in (0, 1):
             goodlock = GoodLockDetector()
+            recorder = ColumnarRecorder(test.name, interests=_GOODLOCK_INTERESTS)
             runner = TestRunner(
-                self._table, vm_seed=self._vm_seed, listeners=(goodlock,)
+                self._table, vm_seed=self._vm_seed, listeners=(recorder,)
             )
             prepared = runner.prepare(test)
             if not prepared.ok:
@@ -112,6 +121,7 @@ class DeadlockFuzzer:
             self._run_until_first_lock(execution, first)
             self._run_until_first_lock(execution, second)
             outcome = runner.finish(prepared, RoundRobinScheduler())
+            run_sweep((goodlock,), recorder.packed)
             for cycle in goodlock.potential:
                 keys = {c.static_key() for c in report.potential}
                 if cycle.static_key() not in keys:

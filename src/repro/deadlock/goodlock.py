@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.sweep import KernelSpec, run_sweep
+from repro.trace.columnar import OP_LOCK, OP_UNLOCK
 from repro.trace.events import Event, LockEvent, UnlockEvent
 
 
@@ -58,6 +60,8 @@ class PotentialDeadlock:
 class GoodLockDetector:
     """Listener building the lock-order graph and reporting 2-cycles."""
 
+    name = "goodlock"
+
     interests = (LockEvent, UnlockEvent)
 
     edges: list[LockOrderEdgeObs] = field(default_factory=list)
@@ -85,6 +89,48 @@ class GoodLockDetector:
                 stack = self._held.get(event.thread_id, [])
                 if event.obj in stack:
                     stack.remove(event.obj)
+
+    # ------------------------------------------------------------------
+    # Sweep-engine pass protocol (see analysis/sweep.py).  Lock events
+    # are a sliver of any trace, so closure handlers over the packed
+    # columns (lock: x=obj, y=reentrancy) are fast enough — no codegen
+    # fragments needed.
+
+    def kernel_spec(self, packed) -> KernelSpec:
+        tids, xs, ys, nodes = packed.tid, packed.x, packed.y, packed.node
+        held = self._held
+        add_edge = self._add_edge
+
+        def on_lock(i: int) -> None:
+            stack = held.setdefault(tids[i], [])
+            if ys[i] == 1:
+                obj = xs[i]
+                for position, held_obj in enumerate(stack):
+                    add_edge(
+                        LockOrderEdgeObs(
+                            thread_id=tids[i],
+                            held_obj=held_obj,
+                            acquired_obj=obj,
+                            gates=frozenset(
+                                stack[:position] + stack[position + 1:]
+                            ),
+                            site=nodes[i],
+                        )
+                    )
+                stack.append(obj)
+
+        def on_unlock(i: int) -> None:
+            if ys[i] == 0:
+                stack = held.get(tids[i], [])
+                if xs[i] in stack:
+                    stack.remove(xs[i])
+
+        return KernelSpec(handlers={OP_LOCK: on_lock, OP_UNLOCK: on_unlock})
+
+    def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:
+        """Batch twin of :meth:`on_event` over a packed trace (runs as
+        a singleton sweep of the fused analysis engine)."""
+        run_sweep((self,), packed, start=start, stop=stop)
 
     def _add_edge(self, edge: LockOrderEdgeObs) -> None:
         for other in self.edges:

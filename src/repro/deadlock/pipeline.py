@@ -16,7 +16,7 @@ from repro.deadlock.synth import (
 from repro.lang import ClassTable, load
 from repro.runtime import VM
 from repro.synth import SynthesizedTest, TestSynthesizer
-from repro.trace import Recorder, Trace
+from repro.trace import ColumnarRecorder, PackedTrace
 
 
 @dataclass
@@ -39,16 +39,22 @@ class DeadlockPipeline:
         else:
             self.table = source_or_table
         self.seed = seed
-        self._traces: list[Trace] | None = None
+        self._traces: list[PackedTrace] | None = None
 
-    def run_seed_suite(self) -> list[Trace]:
+    def run_seed_suite(self) -> list[PackedTrace]:
+        """Record the seed suite as packed traces (full interest set).
+
+        Both downstream analyses — lock-order extraction and the race
+        analysis feeding the setter database — consume the packed form
+        through the sweep engine / packed analyzer paths.
+        """
         if self._traces is None:
             traces = []
             for test in self.table.program.tests:
                 vm = VM(self.table, seed=self.seed)
-                recorder = Recorder(test.name)
+                recorder = ColumnarRecorder(test.name)
                 vm.run_test(test.name, listeners=(recorder,))
-                traces.append(recorder.trace)
+                traces.append(recorder.packed)
             self._traces = traces
         return self._traces
 

@@ -14,16 +14,10 @@ per-variable state intentionally stays full vector clocks.
 
 from __future__ import annotations
 
+from repro.analysis.sweep import KernelSpec, run_sweep
 from repro.detect.clock import VectorClock
 from repro.detect.report import AccessInfo, RaceRecord, RaceSet
-from repro.trace.columnar import (
-    OP_FORK,
-    OP_JOIN,
-    OP_LOCK,
-    OP_READ,
-    OP_UNLOCK,
-    OP_WRITE,
-)
+from repro.trace.columnar import OP_READ, OP_WRITE
 from repro.trace.events import (
     AccessEvent,
     Event,
@@ -44,6 +38,41 @@ class _VarState:
         self.writes = VectorClock()
         self.last_writes: dict[int, AccessEvent] = {}
         self.last_reads: dict[int, AccessEvent] = {}
+
+
+# Sweep-kernel fragments (see analysis/sweep.py): the full-vector-clock
+# access rules over raw columns, with the same direct
+# ``VectorClock._times`` reads as the object path's ``time_of`` checks.
+_READ_FRAGMENT = """\
+P_var = slot[SLOT]
+if P_var is None:
+    P_var = slot[SLOT] = P_Var()
+for P_writer_tid, P_write_time in P_var.writes._times.items():
+    if P_writer_tid != tid and P_write_time > times_get(P_writer_tid, 0):
+        P_previous = P_var.last_writes.get(P_writer_tid)
+        if P_previous is not None:
+            P_report(packed, P_previous, i)
+P_var.reads.set_time(tid, my_time)
+P_var.last_reads[tid] = i
+"""
+
+_WRITE_FRAGMENT = """\
+P_var = slot[SLOT]
+if P_var is None:
+    P_var = slot[SLOT] = P_Var()
+for P_writer_tid, P_write_time in P_var.writes._times.items():
+    if P_writer_tid != tid and P_write_time > times_get(P_writer_tid, 0):
+        P_previous = P_var.last_writes.get(P_writer_tid)
+        if P_previous is not None:
+            P_report(packed, P_previous, i)
+for P_reader_tid, P_read_time in P_var.reads._times.items():
+    if P_reader_tid != tid and P_read_time > times_get(P_reader_tid, 0):
+        P_previous = P_var.last_reads.get(P_reader_tid)
+        if P_previous is not None:
+            P_report(packed, P_previous, i)
+P_var.writes.set_time(tid, my_time)
+P_var.last_writes[tid] = i
+"""
 
 
 class DjitDetector:
@@ -139,91 +168,23 @@ class DjitDetector:
         var.last_writes[tid] = event
 
     # ------------------------------------------------------------------
-    # Streaming feed protocol (see trace/columnar.py and DESIGN.md §8).
+    # Sweep-engine pass protocol (see analysis/sweep.py and DESIGN.md §9).
+
+    def kernel_spec(self, packed) -> KernelSpec:
+        return KernelSpec(
+            needs_clock=True,
+            fragments={OP_READ: _READ_FRAGMENT, OP_WRITE: _WRITE_FRAGMENT},
+            env={"Var": _VarState, "report": self._report_rows},
+        )
 
     def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:
         """Batch-consume rows of a :class:`PackedTrace`.
 
-        Same inlining as :meth:`FastTrackDetector.feed_packed`, with the
-        full-vector-clock access rules, and the same direct
-        ``VectorClock._times`` reads (re-fetched per row; the clock
-        object itself is cached across same-thread runs).  Do not mix
-        packed and object feeding on one detector instance.
+        Runs as a singleton sweep of the fused analysis engine, with
+        the full-vector-clock access rules from the fragments above.
+        Do not mix packed and object feeding on one detector instance.
         """
-        ops = packed.op
-        tids = packed.tid
-        xs = packed.x
-        adrs = packed.adr
-        threads_get = self._threads.get
-        locks = self._locks
-        variables = self._vars
-        vars_get = variables.get
-        report_rows = self._report_rows
-        if stop is None:
-            stop = len(ops)
-        last_tid = None
-        clock = None
-        for i in range(start, stop):
-            op = ops[i]
-            if op == OP_READ:
-                tid = tids[i]
-                if tid != last_tid:
-                    clock = threads_get(tid)
-                    if clock is None:
-                        clock = self._clock(tid)
-                    last_tid = tid
-                var = vars_get(adrs[i])
-                if var is None:
-                    var = variables[adrs[i]] = _VarState()
-                times_get = clock._times.get
-                for writer_tid, write_time in var.writes._times.items():
-                    if writer_tid != tid and write_time > times_get(writer_tid, 0):
-                        previous = var.last_writes.get(writer_tid)
-                        if previous is not None:
-                            report_rows(packed, previous, i)
-                var.reads.set_time(tid, times_get(tid, 0))
-                var.last_reads[tid] = i
-            elif op == OP_WRITE:
-                tid = tids[i]
-                if tid != last_tid:
-                    clock = threads_get(tid)
-                    if clock is None:
-                        clock = self._clock(tid)
-                    last_tid = tid
-                var = vars_get(adrs[i])
-                if var is None:
-                    var = variables[adrs[i]] = _VarState()
-                times_get = clock._times.get
-                for writer_tid, write_time in var.writes._times.items():
-                    if writer_tid != tid and write_time > times_get(writer_tid, 0):
-                        previous = var.last_writes.get(writer_tid)
-                        if previous is not None:
-                            report_rows(packed, previous, i)
-                for reader_tid, read_time in var.reads._times.items():
-                    if reader_tid != tid and read_time > times_get(reader_tid, 0):
-                        previous = var.last_reads.get(reader_tid)
-                        if previous is not None:
-                            report_rows(packed, previous, i)
-                var.writes.set_time(tid, times_get(tid, 0))
-                var.last_writes[tid] = i
-            elif op == OP_LOCK:
-                lock_clock = locks.get(xs[i])
-                if lock_clock is not None:
-                    self._clock(tids[i]).join(lock_clock)
-            elif op == OP_UNLOCK:
-                # NB: must not clobber the cached access-row ``clock``.
-                tid = tids[i]
-                releasing = self._clock(tid)
-                locks[xs[i]] = releasing.snapshot()
-                releasing.tick(tid)
-            elif op == OP_FORK:
-                tid = tids[i]
-                parent = self._clock(tid)
-                self._clock(xs[i]).join(parent)
-                parent.tick(tid)
-            elif op == OP_JOIN:
-                self._clock(tids[i]).join(self._clock(xs[i]))
-                self._clock(xs[i]).tick(xs[i])
+        run_sweep((self,), packed, start=start, stop=stop)
 
     def _report_rows(self, packed, prev_row: int, cur_row: int) -> None:
         """Report a race between two packed access rows (cold path)."""

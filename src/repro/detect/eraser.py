@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 
+from repro.analysis.sweep import KernelSpec, run_sweep
 from repro.detect.report import AccessInfo, RaceRecord, RaceSet
 from repro.trace.columnar import OP_READ, OP_WRITE
 from repro.trace.events import AccessEvent, Event, ReadEvent, WriteEvent
@@ -51,6 +52,54 @@ class _VarState:
         self.last_by_thread: dict[int, AccessEvent] = {}
 
 
+# Sweep-kernel fragments (see analysis/sweep.py): the :meth:`_transition`
+# state machine inlined over raw columns; per-variable state lives in
+# the shared per-address slot list and remembers row indices.
+_READ_FRAGMENT = """\
+P_var = slot[SLOT]
+if P_var is None:
+    P_var = slot[SLOT] = P_Var()
+P_state = P_var.state
+if P_state is P_EXCLUSIVE:
+    if tid != P_var.owner:
+        P_var.lockset = locktab[lcks[i]]
+        P_var.state = P_SHARED
+        P_check(packed, P_var, i, False)
+elif P_state is P_VIRGIN:
+    P_var.state = P_EXCLUSIVE
+    P_var.owner = tid
+else:
+    P_lockset = P_var.lockset
+    if P_lockset:
+        P_var.lockset = P_lockset & locktab[lcks[i]]
+    P_check(packed, P_var, i, False)
+P_var.last_by_thread[tid] = i
+"""
+
+_WRITE_FRAGMENT = """\
+P_var = slot[SLOT]
+if P_var is None:
+    P_var = slot[SLOT] = P_Var()
+P_state = P_var.state
+if P_state is P_EXCLUSIVE:
+    if tid != P_var.owner:
+        P_var.lockset = locktab[lcks[i]]
+        P_var.state = P_SHARED_MODIFIED
+        P_check(packed, P_var, i, True)
+elif P_state is P_VIRGIN:
+    P_var.state = P_EXCLUSIVE
+    P_var.owner = tid
+else:
+    P_lockset = P_var.lockset
+    if P_lockset:
+        P_var.lockset = P_lockset & locktab[lcks[i]]
+    if P_state is P_SHARED:
+        P_var.state = P_SHARED_MODIFIED
+    P_check(packed, P_var, i, True)
+P_var.last_by_thread[tid] = i
+"""
+
+
 class EraserDetector:
     """Lockset-based dynamic race detector."""
 
@@ -74,55 +123,29 @@ class EraserDetector:
         var.last_by_thread[event.thread_id] = event
 
     # ------------------------------------------------------------------
-    # Streaming feed protocol (see trace/columnar.py and DESIGN.md §8).
+    # Sweep-engine pass protocol (see analysis/sweep.py and DESIGN.md §9).
+
+    def kernel_spec(self, packed) -> KernelSpec:
+        return KernelSpec(
+            fragments={OP_READ: _READ_FRAGMENT, OP_WRITE: _WRITE_FRAGMENT},
+            env={
+                "Var": _VarState,
+                "check": self._check_row,
+                "VIRGIN": _VIRGIN,
+                "EXCLUSIVE": _EXCLUSIVE,
+                "SHARED": _SHARED,
+                "SHARED_MODIFIED": _SHARED_MODIFIED,
+            },
+        )
 
     def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:
         """Batch-consume rows of a :class:`PackedTrace`.
 
-        The state machine of :meth:`_transition` inlined over raw
-        columns; per-variable state is keyed on the interned address id
-        and remembers row indices instead of events.  Do not mix packed
-        and object feeding on one detector instance.
+        Runs as a singleton sweep of the fused analysis engine; the
+        fragments above are the :meth:`_transition` state machine.  Do
+        not mix packed and object feeding on one detector instance.
         """
-        ops = packed.op
-        tids = packed.tid
-        adrs = packed.adr
-        lcks = packed.lck
-        locktab = packed.locktab
-        variables = self._vars
-        vars_get = variables.get
-        check_row = self._check_row
-        if stop is None:
-            stop = len(ops)
-        for i in range(start, stop):
-            op = ops[i]
-            if op != OP_READ and op != OP_WRITE:
-                continue
-            tid = tids[i]
-            var = vars_get(adrs[i])
-            if var is None:
-                var = variables[adrs[i]] = _VarState()
-            state = var.state
-            if state is _EXCLUSIVE:
-                if tid == var.owner:
-                    var.last_by_thread[tid] = i
-                    continue
-                is_write = op == OP_WRITE
-                var.lockset = locktab[lcks[i]]
-                var.state = _SHARED_MODIFIED if is_write else _SHARED
-                check_row(packed, var, i, is_write)
-            elif state is _VIRGIN:
-                var.state = _EXCLUSIVE
-                var.owner = tid
-            else:
-                is_write = op == OP_WRITE
-                lockset = var.lockset
-                if lockset:
-                    var.lockset = lockset & locktab[lcks[i]]
-                if state is _SHARED and is_write:
-                    var.state = _SHARED_MODIFIED
-                check_row(packed, var, i, is_write)
-            var.last_by_thread[tid] = i
+        run_sweep((self,), packed, start=start, stop=stop)
 
     def _check_row(self, packed, var: _VarState, row: int, is_write: bool) -> None:
         """Row-index twin of :meth:`_check` (cold reporting path)."""

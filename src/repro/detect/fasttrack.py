@@ -26,16 +26,10 @@ every last-access pointer update is preserved, only their cost changed.
 
 from __future__ import annotations
 
+from repro.analysis.sweep import KernelSpec, run_sweep
 from repro.detect.clock import VectorClock
 from repro.detect.report import AccessInfo, RaceRecord, RaceSet
-from repro.trace.columnar import (
-    OP_FORK,
-    OP_JOIN,
-    OP_LOCK,
-    OP_READ,
-    OP_UNLOCK,
-    OP_WRITE,
-)
+from repro.trace.columnar import OP_READ, OP_WRITE
 from repro.trace.events import (
     AccessEvent,
     Event,
@@ -62,6 +56,52 @@ class _VarState:
         self.read_clock: VectorClock | None = None  # inflated read-shared state
         self.last_write: AccessEvent | None = None
         self.last_reads: dict[int, AccessEvent] = {}
+
+
+# Sweep-kernel fragments (see analysis/sweep.py for the placeholder
+# contract).  These are the feed_packed access rules verbatim: the
+# epoch checks read ``VectorClock._times`` directly via the sweep's
+# shared ``times_get``, and per-variable state lives in the shared
+# per-address slot list.
+_READ_FRAGMENT = """\
+P_var = slot[SLOT]
+if P_var is None:
+    P_var = slot[SLOT] = P_Var()
+if P_var.write_time > times_get(P_var.write_tid, 0) and P_var.last_write is not None:
+    P_report(packed, P_var.last_write, i)
+if P_var.read_clock is not None:
+    P_var.read_clock.set_time(tid, my_time)
+elif P_var.read_tid == tid:
+    P_var.read_time = my_time
+elif P_var.read_time <= times_get(P_var.read_tid, 0):
+    P_var.read_tid = tid
+    P_var.read_time = my_time
+else:
+    P_var.read_clock = VectorClock({P_var.read_tid: P_var.read_time, tid: my_time})
+P_var.last_reads[tid] = i
+"""
+
+_WRITE_FRAGMENT = """\
+P_var = slot[SLOT]
+if P_var is None:
+    P_var = slot[SLOT] = P_Var()
+if P_var.write_time > times_get(P_var.write_tid, 0) and P_var.last_write is not None:
+    P_report(packed, P_var.last_write, i)
+if P_var.read_clock is not None:
+    if not P_var.read_clock.leq(clock):
+        for P_reader_tid, P_read_row in P_var.last_reads.items():
+            if P_reader_tid != tid and P_var.read_clock.time_of(P_reader_tid) > times_get(P_reader_tid, 0):
+                P_report(packed, P_read_row, i)
+    P_var.read_clock = None
+    P_var.last_reads = {tid: P_var.last_reads[tid]} if tid in P_var.last_reads else {}
+elif P_var.read_time > times_get(P_var.read_tid, 0):
+    P_previous = P_var.last_reads.get(P_var.read_tid)
+    if P_previous is not None and tids[P_previous] != tid:
+        P_report(packed, P_previous, i)
+P_var.write_tid = tid
+P_var.write_time = my_time
+P_var.last_write = i
+"""
 
 
 class FastTrackDetector:
@@ -190,131 +230,28 @@ class FastTrackDetector:
         var.last_write = event
 
     # ------------------------------------------------------------------
-    # Streaming feed protocol (see trace/columnar.py and DESIGN.md §8).
+    # Sweep-engine pass protocol (see analysis/sweep.py and DESIGN.md §9).
+
+    def kernel_spec(self, packed) -> KernelSpec:
+        return KernelSpec(
+            needs_clock=True,
+            fragments={OP_READ: _READ_FRAGMENT, OP_WRITE: _WRITE_FRAGMENT},
+            env={"Var": _VarState, "report": self._report_rows},
+        )
 
     def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:
         """Batch-consume rows of a :class:`PackedTrace`.
 
         Semantically identical to replaying ``on_event`` over the
-        reconstructed events, but the access rules are inlined over the
-        raw columns: no event objects, no handler dispatch, no
-        attribute lookups, and per-variable state keyed on the interned
-        address id instead of an ``(obj, field, elem)`` tuple.  Feed a
-        given detector instance through exactly one protocol — packed
-        var-state rows and object var-state events do not mix.
-
-        The loop reaches into ``VectorClock._times`` directly: the
-        epoch checks are two or three component reads per access row,
-        and the ``time_of`` method-call overhead dominates them.  The
-        dict must be re-fetched per row (mutation may replace it under
-        copy-on-write), but the clock *object* for a thread is stable
-        once created, so it is cached across consecutive same-thread
-        rows.
+        reconstructed events, but runs as a singleton sweep of the
+        fused analysis engine: the access rules from
+        :data:`_READ_FRAGMENT` / :data:`_WRITE_FRAGMENT` are inlined
+        into the generated sweep loop — no event objects, no handler
+        dispatch, per-variable state keyed on the interned address id.
+        Feed a given detector instance through exactly one protocol —
+        packed var-state rows and object var-state events do not mix.
         """
-        ops = packed.op
-        tids = packed.tid
-        xs = packed.x
-        adrs = packed.adr
-        threads = self._threads
-        locks = self._locks
-        variables = self._vars
-        threads_get = threads.get
-        vars_get = variables.get
-        report_rows = self._report_rows
-        if stop is None:
-            stop = len(ops)
-        last_tid = None
-        clock = None
-        for i in range(start, stop):
-            op = ops[i]
-            if op == OP_READ:
-                tid = tids[i]
-                if tid != last_tid:
-                    clock = threads_get(tid)
-                    if clock is None:
-                        clock = self._clock(tid)
-                    last_tid = tid
-                key = adrs[i]
-                var = vars_get(key)
-                if var is None:
-                    var = variables[key] = _VarState()
-                times_get = clock._times.get
-                if (
-                    var.write_time > times_get(var.write_tid, 0)
-                    and var.last_write is not None
-                ):
-                    report_rows(packed, var.last_write, i)
-                my_time = times_get(tid, 0)
-                if var.read_clock is not None:
-                    var.read_clock.set_time(tid, my_time)
-                elif var.read_tid == tid:
-                    var.read_time = my_time
-                elif var.read_time <= times_get(var.read_tid, 0):
-                    var.read_tid = tid
-                    var.read_time = my_time
-                else:
-                    var.read_clock = VectorClock(
-                        {var.read_tid: var.read_time, tid: my_time}
-                    )
-                var.last_reads[tid] = i
-            elif op == OP_WRITE:
-                tid = tids[i]
-                if tid != last_tid:
-                    clock = threads_get(tid)
-                    if clock is None:
-                        clock = self._clock(tid)
-                    last_tid = tid
-                key = adrs[i]
-                var = vars_get(key)
-                if var is None:
-                    var = variables[key] = _VarState()
-                times_get = clock._times.get
-                if (
-                    var.write_time > times_get(var.write_tid, 0)
-                    and var.last_write is not None
-                ):
-                    report_rows(packed, var.last_write, i)
-                if var.read_clock is not None:
-                    if not var.read_clock.leq(clock):
-                        for reader_tid, read_row in var.last_reads.items():
-                            if reader_tid == tid:
-                                continue
-                            if var.read_clock.time_of(reader_tid) > times_get(
-                                reader_tid, 0
-                            ):
-                                report_rows(packed, read_row, i)
-                    var.read_clock = None
-                    var.last_reads = (
-                        {tid: var.last_reads[tid]}
-                        if tid in var.last_reads
-                        else {}
-                    )
-                elif var.read_time > times_get(var.read_tid, 0):
-                    previous = var.last_reads.get(var.read_tid)
-                    if previous is not None and tids[previous] != tid:
-                        report_rows(packed, previous, i)
-                var.write_tid = tid
-                var.write_time = times_get(tid, 0)
-                var.last_write = i
-            elif op == OP_LOCK:
-                lock_clock = locks.get(xs[i])
-                if lock_clock is not None:
-                    self._clock(tids[i]).join(lock_clock)
-            elif op == OP_UNLOCK:
-                # NB: must not clobber the cached access-row ``clock``.
-                tid = tids[i]
-                releasing = self._clock(tid)
-                locks[xs[i]] = releasing.snapshot()
-                releasing.tick(tid)
-            elif op == OP_FORK:
-                tid = tids[i]
-                parent = self._clock(tid)
-                self._clock(xs[i]).join(parent)
-                parent.tick(tid)
-            elif op == OP_JOIN:
-                child = self._clock(xs[i])
-                self._clock(tids[i]).join(child)
-                child.tick(xs[i])
+        run_sweep((self,), packed, start=start, stop=stop)
 
     # ------------------------------------------------------------------
 

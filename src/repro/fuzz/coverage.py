@@ -19,21 +19,43 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.sweep import KernelSpec, interest_union, run_sweep
 from repro.detect.fasttrack import FastTrackDetector
 from repro.detect.report import RaceSet
 from repro.lang.classtable import ClassTable
 from repro.runtime.scheduler import RandomScheduler
 from repro.synth.runner import TestRunner
 from repro.synth.synthesizer import SynthesizedTest
+from repro.trace.columnar import OP_READ, OP_WRITE, ColumnarRecorder
 from repro.trace.events import AccessEvent, Event, WriteEvent
 
-#: An interleaving unit: (class, field, predecessor site, successor site).
+#: An interleaving unit: (class, field, predecessor site, succ site).
 InterleavingUnit = tuple[str, str, int, int]
+
+# Sweep-kernel fragments (see analysis/sweep.py).  Units are *ordered*
+# site pairs (predecessor -> successor) and, unlike the adjacency
+# probe, there is no common-lock exclusion; a read only forms a unit
+# when its predecessor was a write.
+_READ_FRAGMENT = """\
+P_previous = slot[SLOT]
+slot[SLOT] = i
+if P_previous is not None and tids[P_previous] != tid and ops[P_previous] == OP_WRITE:
+    P_add((strtab[clss[i]], strtab[flds[i]], nodes[P_previous], nodes[i]))
+"""
+
+_WRITE_FRAGMENT = """\
+P_previous = slot[SLOT]
+slot[SLOT] = i
+if P_previous is not None and tids[P_previous] != tid:
+    P_add((strtab[clss[i]], strtab[flds[i]], nodes[P_previous], nodes[i]))
+"""
 
 
 @dataclass
 class InterleavingCoverageProbe:
     """Listener collecting observed inter-thread dependency units."""
+
+    name = "coverage"
 
     interests = (AccessEvent,)
 
@@ -53,6 +75,17 @@ class InterleavingCoverageProbe:
         self.units.add(
             (event.class_name, event.field_name, previous.node_id, event.node_id)
         )
+
+    def kernel_spec(self, packed) -> KernelSpec:
+        return KernelSpec(
+            fragments={OP_READ: _READ_FRAGMENT, OP_WRITE: _WRITE_FRAGMENT},
+            env={"add": self.units.add},
+        )
+
+    def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:
+        """Batch twin of :meth:`on_event` over a packed trace (runs as
+        a singleton sweep of the fused analysis engine)."""
+        run_sweep((self,), packed, start=start, stop=stop)
 
 
 @dataclass
@@ -96,20 +129,23 @@ class CoverageGuidedFuzzer:
 
     def fuzz(self, test: SynthesizedTest) -> CoverageReport:
         report = CoverageReport(test_name=test.name)
+        interests = interest_union((InterleavingCoverageProbe, FastTrackDetector))
         stale = 0
         for run_index in range(self._max_runs):
             probe = InterleavingCoverageProbe()
             detector = FastTrackDetector()
+            recorder = ColumnarRecorder(test.name, interests=interests)
             runner = TestRunner(
                 self._table,
                 vm_seed=self._vm_seed,
-                listeners=(probe, detector),
+                listeners=(recorder,),
             )
             runner.run(
                 test,
                 RandomScheduler(seed=run_index * 2_654_435_761 + 1,
                                 switch_bias=0.5),
             )
+            run_sweep((probe, detector), recorder.packed)
             report.runs += 1
             before = len(report.units)
             report.units |= probe.units

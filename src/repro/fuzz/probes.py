@@ -16,13 +16,39 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.sweep import KernelSpec, run_sweep
 from repro.trace.columnar import OP_READ, OP_WRITE
 from repro.trace.events import AccessEvent, Event, WriteEvent
+
+# Sweep-kernel fragments (see analysis/sweep.py): adjacency tracked per
+# interned address id in the shared slot list, remembering row indices.
+# The read rule additionally requires the previous access to be a write.
+_READ_FRAGMENT = """\
+P_previous = slot[SLOT]
+slot[SLOT] = i
+if P_previous is not None and tids[P_previous] != tid and ops[P_previous] == OP_WRITE:
+    if not (locktab[lcks[P_previous]] & locktab[lcks[i]]):
+        P_a = nodes[P_previous]
+        P_b = nodes[i]
+        P_add((strtab[clss[i]], strtab[flds[i]], (P_a, P_b) if P_a <= P_b else (P_b, P_a)))
+"""
+
+_WRITE_FRAGMENT = """\
+P_previous = slot[SLOT]
+slot[SLOT] = i
+if P_previous is not None and tids[P_previous] != tid:
+    if not (locktab[lcks[P_previous]] & locktab[lcks[i]]):
+        P_a = nodes[P_previous]
+        P_b = nodes[i]
+        P_add((strtab[clss[i]], strtab[flds[i]], (P_a, P_b) if P_a <= P_b else (P_b, P_a)))
+"""
 
 
 @dataclass
 class AdjacencyProbe:
     """Records site pairs of adjacent conflicting same-address accesses."""
+
+    name = "adjacency"
 
     interests = (AccessEvent,)
 
@@ -47,47 +73,21 @@ class AdjacencyProbe:
         sites = tuple(sorted((previous.node_id, event.node_id)))
         self.confirmed.add((event.class_name, event.field_name, sites))
 
+    def kernel_spec(self, packed) -> KernelSpec:
+        return KernelSpec(
+            fragments={OP_READ: _READ_FRAGMENT, OP_WRITE: _WRITE_FRAGMENT},
+            env={"add": self.confirmed.add},
+        )
+
     def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:
         """Batch twin of :meth:`on_event` over a :class:`PackedTrace`.
 
-        Adjacency is tracked per interned address id (bijective with
+        Runs as a singleton sweep of the fused analysis engine;
+        adjacency is tracked per interned address id (bijective with
         the event-model address), remembering row indices.  Do not mix
         packed and object feeding on one probe instance.
         """
-        ops = packed.op
-        tids = packed.tid
-        nodes = packed.node
-        adrs = packed.adr
-        lcks = packed.lck
-        locktab = packed.locktab
-        last = self._last_by_address
-        confirmed = self.confirmed
-        if stop is None:
-            stop = len(ops)
-        for i in range(start, stop):
-            op = ops[i]
-            if op != OP_READ and op != OP_WRITE:
-                continue
-            address = adrs[i]
-            previous = last.get(address)
-            last[address] = i
-            if previous is None:
-                continue
-            if tids[previous] == tids[i]:
-                continue
-            if op != OP_WRITE and ops[previous] != OP_WRITE:
-                continue
-            if locktab[lcks[previous]] & locktab[lcks[i]]:
-                continue
-            pair = (nodes[previous], nodes[i])
-            sites = pair if pair[0] <= pair[1] else (pair[1], pair[0])
-            confirmed.add(
-                (
-                    packed.strtab[packed.cls[i]],
-                    packed.strtab[packed.fld[i]],
-                    sites,
-                )
-            )
+        run_sweep((self,), packed, start=start, stop=stop)
 
 
 @dataclass

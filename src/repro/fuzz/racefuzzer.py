@@ -19,8 +19,10 @@ Our analogue does the same over the MiniJ VM:
 Since PR 3 the detectors are decoupled from execution: each run records
 its detector-relevant event stream into a :class:`PackedTrace` (one
 listener, columnar storage, identical elision/scheduling to attaching
-the detectors directly) and the detectors consume it afterwards via
-their batch ``feed_packed`` loops.  That split enables
+the detectors directly) and the detectors consume it afterwards — now
+as one **fused sweep** of the analysis engine (analysis/sweep.py): the
+trace is decoded once and FastTrack, Eraser, and the adjacency probe
+run as passes of a single generated loop.  That split enables
 **interleaving-digest memoization**: runs of one test whose packed
 streams digest equal would feed the detectors bit-identical input, so
 the detector replay is skipped and the memoized race sets are unioned
@@ -37,6 +39,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from repro.analysis.sweep import interest_union, memo_key, run_sweep
 from repro.detect.eraser import EraserDetector
 from repro.detect.fasttrack import FastTrackDetector
 from repro.detect.report import RaceRecord, RaceSet, collect_constant_write_sites
@@ -46,11 +49,20 @@ from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler
 from repro.runtime.vm import ThreadStatus
 from repro.synth.runner import PreparedRun, TestRunner
 from repro.synth.synthesizer import SynthesizedTest
-from repro.trace.columnar import DETECTOR_INTERESTS, ColumnarRecorder, PackedTrace
+from repro.trace.columnar import ColumnarRecorder, PackedTrace
 from repro.trace.events import AccessEvent
 
 #: Step budget for each phase of a directed confirmation attempt.
 DIRECTED_PHASE_STEPS = 20_000
+
+#: The fuzz analysis stack, swept fused over each recorded run.
+_FUZZ_PASSES = (FastTrackDetector, EraserDetector, AdjacencyProbe)
+_FUZZ_PASS_NAMES = tuple(p.name for p in _FUZZ_PASSES)
+
+#: Recorder interest set: the union of the stack's declared interests,
+#: so recording elides/schedules exactly like attaching the passes as
+#: live listeners (see interest_union in analysis/sweep.py).
+_FUZZ_INTERESTS = interest_union(_FUZZ_PASSES)
 
 
 def schedule_seed(test_name: str, run_index: int) -> int:
@@ -187,7 +199,7 @@ class RaceFuzzer:
         self, test: SynthesizedTest, report: FuzzReport, memo: dict
     ) -> None:
         for run_index in range(self._random_runs):
-            recorder = ColumnarRecorder(test.name, interests=DETECTOR_INTERESTS)
+            recorder = ColumnarRecorder(test.name, interests=_FUZZ_INTERESTS)
             runner = TestRunner(
                 self._table,
                 vm_seed=self._vm_seed,
@@ -212,16 +224,14 @@ class RaceFuzzer:
         """
         report.trace_events += len(packed)
         report.packed_bytes += packed.nbytes()
-        digest = packed.digest()
+        digest = memo_key(_FUZZ_PASS_NAMES, packed)
         entry = memo.get(digest)
         if entry is None:
             report.memo_misses += 1
             fasttrack = FastTrackDetector()
             eraser = EraserDetector()
             probe = AdjacencyProbe()
-            fasttrack.feed_packed(packed)
-            eraser.feed_packed(packed)
-            probe.feed_packed(packed)
+            run_sweep((fasttrack, eraser, probe), packed)
             entry = memo[digest] = (
                 fasttrack.races,
                 eraser.races,
@@ -298,7 +308,7 @@ class RaceFuzzer:
         leader: int,
         memo: dict,
     ) -> bool:
-        recorder = ColumnarRecorder(test.name, interests=DETECTOR_INTERESTS)
+        recorder = ColumnarRecorder(test.name, interests=_FUZZ_INTERESTS)
         runner = TestRunner(
             self._table,
             vm_seed=self._vm_seed,

@@ -14,8 +14,10 @@ pool while keeping results **bit-identical to the serial order**:
 * work units are pure functions of ``(source text, target class,
   config)`` — never of pool scheduling.  Every fuzz schedule seed is
   derived from ``(test name, run index)`` (see
-  :func:`repro.fuzz.racefuzzer.schedule_seed`), so a test fuzzes the
-  same way whichever worker picks it up;
+  :func:`repro.fuzz.racefuzzer.schedule_seed`), and each run's detector
+  stack is replayed as one fused engine sweep keyed by
+  :func:`repro.analysis.sweep.memo_key`, so a test fuzzes the same way
+  whichever worker picks it up;
 * tasks are submitted and collected in deterministic (subject, test)
   order, and reports cross the process boundary in the canonical dict
   form of :mod:`repro.narada.serial`;

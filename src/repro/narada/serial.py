@@ -22,6 +22,11 @@ slots, pairs, plans, tests); references between encoded values are
 indices into those tables.  Tables only ever reference *earlier* tables
 (pairs -> summaries, plans -> pairs/slots, tests -> plans/pairs), so
 decoding is a single pass in table order.
+
+Decoded packed traces round-trip the intern indexes, so a restored
+seed trace digests identically to the original — which keeps the sweep
+engine's :func:`repro.analysis.sweep.memo_key` stable across cache
+replays and worker boundaries.
 """
 
 from __future__ import annotations

@@ -18,17 +18,12 @@ from repro.trace.events import (
     WaitEvent,
     WriteEvent,
 )
-from repro.trace.columnar import (
-    DETECTOR_INTERESTS,
-    ColumnarRecorder,
-    PackedTrace,
-)
+from repro.trace.columnar import ColumnarRecorder, PackedTrace
 from repro.trace.recorder import Recorder, format_event, format_trace
 
 __all__ = [
     "AccessEvent",
     "ColumnarRecorder",
-    "DETECTOR_INTERESTS",
     "PackedTrace",
     "AllocEvent",
     "BlockedEvent",

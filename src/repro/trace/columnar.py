@@ -13,11 +13,14 @@ with strings, lock sets, access addresses, and rare payloads interned
 into side tables.  Three access protocols sit on top:
 
 * **streaming feed** — consumers iterate the raw columns directly
-  (``packed.op``, ``packed.tid``, ...).  The race detectors implement
-  ``feed_packed(packed)`` batch loops over these columns with no
-  per-event object, no ``on_event`` dispatch, and no attribute lookups;
-  the interned address id (``packed.adr``) replaces the per-access
-  ``(obj, field, elem)`` tuple key.
+  (``packed.op``, ``packed.tid``, ...).  Detectors and probes declare
+  per-opcode kernel fragments and the fused sweep engine
+  (``analysis/sweep.py``) runs the whole pass stack in one traversal
+  over these columns — no per-event object, no ``on_event`` dispatch,
+  opcode decode and address lookup shared across passes; the interned
+  address id (``packed.adr``) replaces the per-access
+  ``(obj, field, elem)`` tuple key.  ``feed_packed(packed)`` remains on
+  each pass as a one-pass sweep shim.
 * **lazy object view** — ``packed.event(i)`` / iteration reconstruct
   ordinary :class:`~repro.trace.events.Event` objects on demand for
   code that wants rich events (the analyzer, formatters, tests).  A
@@ -30,8 +33,9 @@ into side tables.  Three access protocols sit on top:
 :class:`ColumnarRecorder` is the listener that packs events as they are
 emitted, so no intermediate ``Trace`` list ever exists.  Its
 ``interests`` default to None (record everything — the seed-suite
-path); the fuzz loop passes :data:`DETECTOR_INTERESTS` so elision and
-scheduling stay bit-identical to attaching the detectors directly.
+path); analysis consumers pass the ``interest_union`` of their pass
+stack (see ``analysis/sweep.py``) so elision and scheduling stay
+bit-identical to attaching the passes directly.
 """
 
 from __future__ import annotations
@@ -79,15 +83,10 @@ OP_NAMES = (
     "blocked", "wait", "notify", "fork", "join", "fault",
 )
 
-#: The exact union of interests the fuzz loop's detector stack declares
-#: (FastTrack + Eraser + AdjacencyProbe).  A ColumnarRecorder created
-#: with these interests triggers the same event-construction elision and
-#: the same scheduling points as attaching the detectors directly, which
-#: is what keeps the packed fuzz path bit-identical to the object path.
-DETECTOR_INTERESTS = (
-    AccessEvent, ReadEvent, WriteEvent,
-    LockEvent, UnlockEvent, ForkEvent, JoinEvent,
-)
+# NB: consumers no longer hard-code an interest union here; each
+# recording site derives it from its pass stack with
+# ``repro.analysis.sweep.interest_union`` so elision and scheduling
+# points always match the passes actually swept.
 
 # Value packing: a MiniJ value is None | bool | int | ObjRef.  Values
 # are packed into (kind, int, class-id) triples; ints outside 64 bits
@@ -541,10 +540,10 @@ class ColumnarRecorder:
 
     The streaming analogue of :class:`~repro.trace.recorder.Recorder`:
     no intermediate event list is built.  ``interests`` defaults to None
-    (record every event — seed-suite recording); pass
-    :data:`DETECTOR_INTERESTS` to record exactly the stream the race
-    detector stack consumes while keeping event elision, scheduling
-    points, and labels identical to attaching the detectors directly.
+    (record every event — seed-suite recording); pass the
+    ``interest_union`` of an analysis-pass stack to record exactly the
+    stream those passes consume while keeping event elision, scheduling
+    points, and labels identical to attaching the passes directly.
     """
 
     def __init__(self, test_name: str = "", interests=None) -> None:
@@ -556,7 +555,6 @@ class ColumnarRecorder:
 
 __all__ = [
     "ColumnarRecorder",
-    "DETECTOR_INTERESTS",
     "OP_ALLOC",
     "OP_BLOCKED",
     "OP_FAULT",
