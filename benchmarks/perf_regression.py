@@ -103,6 +103,10 @@ EXPECTED_REPORTS = {
         1,
         "PYTHONPATH=src python benchmarks/bench_sweep_fusion.py",
     ),
+    "BENCH_fault.json": (
+        1,
+        "PYTHONPATH=src python benchmarks/bench_fault_overhead.py",
+    ),
 }
 
 

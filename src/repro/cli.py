@@ -12,6 +12,9 @@ writing Python:
 * ``emit     (--subject K | FILE)`` — standalone racy tests (``fork {}``)
 * ``run      FILE``                 — execute a MiniJ file's tests with
   detectors attached (nonzero exit when races/crashes are found)
+* ``run      --subjects C1,C8``     — fault-tolerant pipeline run over
+  built-in subjects: survives worker crashes/hangs, prints the fault
+  ledger, exits 0 with partial results
 * ``deadlock (--subject K | FILE)`` — the OOPSLA'14 sibling pipeline
 * ``contege  (--subject K | FILE)`` — run the random baseline
 * ``tables``                        — regenerate the evaluation tables
@@ -25,6 +28,13 @@ process pool (results are bit-identical to ``--jobs 1``), ``--no-cache``
 disables the persistent content-addressed artifact cache, and
 ``--cache-dir`` points the cache somewhere other than
 ``$REPRO_CACHE_DIR`` / ``~/.cache/repro-narada``.
+
+They also share the fault-tolerance flags: ``--unit-timeout`` arms a
+per-unit wall-clock watchdog, ``--max-retries``/``--retry-backoff``
+bound the retry loop, ``--resume`` skips units journaled as completed by
+an interrupted run, and ``--fault-inject crash:0.3,hang:0.1`` is the
+test-only deterministic fault hook.  None of these change cache keys or
+results — a retried run is bit-identical to a clean one.
 """
 
 from __future__ import annotations
@@ -90,6 +100,34 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
         help="print packed-trace statistics: per-stage event counts, "
              "packed bytes, detector events/sec, fuzz memo hit rate",
     )
+    parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-clock watchdog deadline (default: none)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per failed/hung unit before recording a failure "
+             "(default: 2)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base retry backoff; attempt n waits backoff*2^(n-1) "
+             "(default: 0.05)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip units journaled as completed by a previous "
+             "(interrupted) run of the same subjects + config",
+    )
+    parser.add_argument(
+        "--run-dir", metavar="DIR",
+        help="resume-journal directory (default: <cache root>/runs)",
+    )
+    parser.add_argument(
+        "--fault-inject", metavar="SPEC",
+        help="test-only deterministic fault injection, e.g. "
+             "crash:0.3,hang:0.1,corrupt:0.05",
+    )
 
 
 def _add_target_args(parser: argparse.ArgumentParser) -> None:
@@ -112,11 +150,38 @@ def _cache_from(args) -> ArtifactCache | None:
 
 
 def _orchestrator(args, **config) -> PipelineOrchestrator:
-    return PipelineOrchestrator(
-        jobs=args.jobs,
-        cache=_cache_from(args),
-        config=PipelineConfig(**config),
+    try:
+        return PipelineOrchestrator(
+            jobs=args.jobs,
+            cache=_cache_from(args),
+            config=PipelineConfig(
+                unit_timeout=args.unit_timeout,
+                max_retries=args.max_retries,
+                retry_backoff=args.retry_backoff,
+                fault_inject=args.fault_inject,
+                **config,
+            ),
+            resume=args.resume,
+            run_dir=args.run_dir,
+        )
+    except ValueError as error:  # e.g. --resume with --no-cache
+        raise SystemExit(f"error: {error}")
+
+
+def _print_fault_summary(orch: PipelineOrchestrator, always=False) -> None:
+    """Print the fault ledger when anything noteworthy happened."""
+    ledger = orch.fault_ledger
+    noteworthy = (
+        not ledger.ok()
+        or ledger.retries
+        or ledger.timeouts
+        or ledger.pool_respawns
+        or ledger.quarantined
+        or ledger.resumed
     )
+    if always or noteworthy:
+        print()
+        print(ledger.describe())
 
 
 def _synthesize(args, target: str, source: str):
@@ -230,6 +295,10 @@ def cmd_fuzz(args) -> int:
     ) as orch:
         outcome = orch.run([spec])[0]
     report, detection = outcome.synthesis, outcome.detection
+    if report is None or detection is None:
+        print(f"{target}: pipeline FAILED")
+        print(orch.fault_ledger.describe())
+        return 1
     if args.json:
         print(json.dumps(_detection_json(target, report, detection), indent=2))
         return 0
@@ -239,10 +308,13 @@ def cmd_fuzz(args) -> int:
         f"({detection.harmful} harmful, {detection.benign} benign), "
         f"manual TP/FP {detection.manual_tp}/{detection.manual_fp}"
     )
+    if outcome.detection_partial:
+        print("(partial: some fuzz units failed; see the fault ledger)")
     for fuzz in detection.fuzz_reports:
         if fuzz.detected:
             print()
             print(fuzz.describe())
+    _print_fault_summary(orch)
     if args.trace_stats:
         _trace_stats(source, [detection])
     return int(detection.detected == 0)
@@ -290,6 +362,41 @@ def cmd_emit(args) -> int:
     return 0
 
 
+def _run_subjects_pipeline(args) -> int:
+    """``repro run --subjects``: the fault-tolerant pipeline mode.
+
+    Exits 0 as long as the orchestrator survived — failed units are
+    reported in the fault ledger, not via the exit code, because partial
+    results are the whole point of the fault-tolerance layer.
+    """
+    keys = [k.strip() for k in args.subjects.split(",") if k.strip()]
+    if keys == ["all"]:
+        subjects = all_subjects()
+    else:
+        try:
+            subjects = [get_subject(k) for k in keys]
+        except KeyError as error:
+            raise SystemExit(f"error: unknown subject {error.args[0]!r}")
+    with _orchestrator(args, random_runs=args.runs) as orch:
+        outcomes = orch.run(subject_specs(subjects))
+        for outcome in outcomes:
+            if outcome.synthesis is None:
+                print(f"{outcome.spec.name}: synthesis FAILED")
+                continue
+            line = f"{outcome.spec.name}: {outcome.synthesis.test_count} test(s)"
+            detection = outcome.detection
+            if detection is not None:
+                line += (
+                    f", {detection.detected} race(s) detected, "
+                    f"{detection.reproduced} reproduced"
+                )
+                if outcome.detection_partial:
+                    line += " [partial]"
+            print(line)
+        _print_fault_summary(orch, always=True)
+    return 0
+
+
 def cmd_run(args) -> int:
     from repro.analysis.sweep import (
         UnknownPassError,
@@ -300,6 +407,12 @@ def cmd_run(args) -> int:
     from repro.runtime import Execution, RandomScheduler
     from repro.trace.columnar import ColumnarRecorder
 
+    if args.subjects:
+        return _run_subjects_pipeline(args)
+    if not args.file:
+        raise SystemExit(
+            "error: provide a MiniJ FILE or --subjects C1,C2,... (or all)"
+        )
     with open(args.file) as handle:
         table = load(handle.read())
     names = [n.strip() for n in args.detectors.split(",") if n.strip()]
@@ -395,19 +508,24 @@ def cmd_tables(args) -> int:
     rows = [
         (subject, outcome.synthesis)
         for subject, outcome in zip(subjects, outcomes)
+        if outcome.synthesis is not None
     ]
     print(format_table4(rows))
     if args.detect:
         detections = [
             (subject, outcome.detection)
             for subject, outcome in zip(subjects, outcomes)
+            if outcome.detection is not None
         ]
         print()
         print(format_table5(detections))
+    _print_fault_summary(orch)
     if args.trace_stats and args.detect:
         # Aggregate the deterministic fuzz counters across subjects.
         events = bytes_total = hits = misses = 0
         for outcome in outcomes:
+            if outcome.detection is None:
+                continue
             for fuzz in outcome.detection.fuzz_reports:
                 events += fuzz.trace_events
                 bytes_total += fuzz.packed_bytes
@@ -602,9 +720,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_emit)
 
     p = sub.add_parser(
-        "run", help="run a MiniJ file's tests under random schedules + detectors"
+        "run",
+        help="run a MiniJ file's tests under random schedules + detectors, "
+        "or (--subjects) the fault-tolerant pipeline over paper subjects",
     )
-    p.add_argument("file", help="MiniJ source file")
+    p.add_argument("file", nargs="?", help="MiniJ source file")
     p.add_argument("--test", help="run only this test")
     p.add_argument("--runs", type=int, default=6)
     p.add_argument(
@@ -613,6 +733,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated analysis passes to sweep over each run "
         "(registered: see analysis/sweep.py)",
     )
+    p.add_argument(
+        "--subjects", metavar="KEYS",
+        help="comma-separated subject keys (or 'all'): run the "
+        "fault-tolerant pipeline instead of a MiniJ file",
+    )
+    _add_pipeline_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("deadlock", help="synthesize + confirm deadlock tests")

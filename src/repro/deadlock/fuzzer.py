@@ -40,6 +40,8 @@ class DeadlockFuzzReport:
     directed_manifested: bool = False
     potential: list[PotentialDeadlock] = field(default_factory=list)
     synthesis_failed: bool = False
+    failure_trace: str | None = None
+    """Full traceback behind ``synthesis_failed`` (kept for triage)."""
 
     @property
     def confirmed(self) -> bool:
@@ -74,10 +76,13 @@ class DeadlockFuzzer:
             if not report.manifested:
                 report.directed_manifested = self._directed(test, report)
         except Exception as error:
+            import traceback
+
             from repro._util.errors import SynthesisError
 
             if isinstance(error, SynthesisError):
                 report.synthesis_failed = True
+                report.failure_trace = traceback.format_exc()
                 return report
             raise
         return report

@@ -96,6 +96,9 @@ class FuzzReport:
     faults: int = 0
     timeouts: int = 0
     synthesis_failed: bool = False
+    failure_trace: str | None = None
+    """Full traceback of the synthesis/collection failure, when one was
+    swallowed into ``synthesis_failed`` — triage evidence, not debris."""
     constant_sites: set[int] = field(default_factory=set)
     """Constant-RHS write sites of the program (benign classification)."""
     trace_events: int = 0
@@ -184,10 +187,15 @@ class RaceFuzzer:
             if self._directed:
                 self._directed_phase(test, report, memo)
         except Exception as error:  # synthesis/collection failures
+            import traceback
+
             from repro._util.errors import SynthesisError
 
             if isinstance(error, SynthesisError):
+                # Absorbed into the report, but with the evidence kept:
+                # the stack is what a triage actually needs.
                 report.synthesis_failed = True
+                report.failure_trace = traceback.format_exc()
                 return report
             raise
         return report

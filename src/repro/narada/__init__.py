@@ -1,9 +1,18 @@
 """The end-to-end Narada pipeline."""
 
 from repro.narada.cache import ArtifactCache, default_cache_dir, table_digest
+from repro.narada.faults import (
+    FaultInjector,
+    FaultLedger,
+    FaultPlan,
+    RunLedger,
+    UnitExecutionError,
+    UnitFailure,
+)
 from repro.narada.orchestrator import (
     PipelineConfig,
     PipelineOrchestrator,
+    SubjectOutcome,
     SubjectSpec,
     subject_specs,
 )
@@ -12,11 +21,18 @@ from repro.narada.pipeline import DetectionReport, Narada, SynthesisReport
 __all__ = [
     "ArtifactCache",
     "DetectionReport",
+    "FaultInjector",
+    "FaultLedger",
+    "FaultPlan",
     "Narada",
     "PipelineConfig",
     "PipelineOrchestrator",
+    "RunLedger",
+    "SubjectOutcome",
     "SubjectSpec",
     "SynthesisReport",
+    "UnitExecutionError",
+    "UnitFailure",
     "default_cache_dir",
     "subject_specs",
     "table_digest",

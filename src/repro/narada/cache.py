@@ -18,9 +18,12 @@ exactly those:
 Entries are JSON files under ``<root>/<stage>/<digest[:2]>/<digest>.json``.
 Writes are crash-safe: content goes to a same-directory temp file first
 and is published with ``os.replace`` (atomic on POSIX), so a reader can
-never observe a half-written entry.  A corrupted or truncated entry
-(killed writer predating this scheme, disk trouble) is treated as a
-cache miss and evicted, never as an error.
+never observe a half-written entry.  A corrupted, truncated, or
+schema-stale entry (killed writer predating this scheme, disk trouble,
+an artifact written by an incompatible serial format) is **quarantined**
+— moved to a ``quarantine/<stage>/`` sibling directory next to a
+``.reason.txt`` explaining why — and reported as a cache miss, never an
+error: the pipeline recomputes and the operator keeps the evidence.
 """
 
 from __future__ import annotations
@@ -33,11 +36,12 @@ from dataclasses import dataclass, field
 
 from repro.lang import ClassTable, load
 from repro.lang.pretty import pretty_program
+from repro.narada.faults import FaultInjector
 from repro.narada.serial import SERIAL_VERSION, canonical_json
 
 #: Bump to invalidate every cached artifact after a semantic change to
 #: any pipeline stage (analysis rules, synthesis, fuzz seed derivation).
-CODE_SALT = "narada-pipeline-v4"
+CODE_SALT = "narada-pipeline-v5"
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -79,6 +83,7 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     evictions: int = 0
+    quarantined: int = 0
 
 
 @dataclass
@@ -89,35 +94,74 @@ class ArtifactCache:
     stats: CacheStats = field(default_factory=CacheStats)
     _tmp_counter: int = 0
 
-    def __init__(self, root: str | pathlib.Path | None = None) -> None:
+    def __init__(
+        self,
+        root: str | pathlib.Path | None = None,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
         self.stats = CacheStats()
+        self.fault_injector = fault_injector
         self._tmp_counter = 0
 
     def _path(self, stage: str, key: str) -> pathlib.Path:
         return self.root / stage / key[:2] / f"{key}.json"
 
+    def quarantine(self, stage: str, key: str, reason: str) -> None:
+        """Move a bad entry to ``quarantine/<stage>/`` with a reason file.
+
+        Quarantined entries are out of the lookup path (the next ``get``
+        is a clean miss) but preserved for post-mortem instead of being
+        destroyed; the eviction counter still ticks so existing health
+        checks keep working.
+        """
+        path = self._path(stage, key)
+        qdir = self.root / "quarantine" / stage
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / f"{key}.json")
+            (qdir / f"{key}.reason.txt").write_text(reason + "\n")
+        except OSError:
+            # Quarantine is best-effort; fall back to plain eviction so
+            # a poisoned entry can never be served again.
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.stats.evictions += 1
+        self.stats.quarantined += 1
+
     def get(self, stage: str, key: str) -> dict | None:
-        """Load an entry; any unreadable/corrupt entry is a miss."""
+        """Load an entry; unreadable/corrupt/stale entries are misses."""
         path = self._path(stage, key)
         try:
             text = path.read_text()
         except OSError:
             self.stats.misses += 1
             return None
+        except UnicodeDecodeError as error:
+            self.stats.misses += 1
+            self.quarantine(stage, key, f"unreadable entry: {error!r}")
+            return None
         try:
             data = json.loads(text)
             if not isinstance(data, dict):
                 raise ValueError("cache entry is not an object")
-        except (ValueError, UnicodeDecodeError):
-            # Truncated or garbled entry: evict and report a miss so the
-            # pipeline recomputes instead of crashing.
-            self.stats.evictions += 1
+        except (ValueError, UnicodeDecodeError) as error:
+            # Truncated or garbled entry: quarantine and report a miss
+            # so the pipeline recomputes instead of crashing.
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.quarantine(stage, key, f"unreadable entry: {error!r}")
+            return None
+        version = data.get("version")
+        if version is not None and version != SERIAL_VERSION:
+            self.stats.misses += 1
+            self.quarantine(
+                stage,
+                key,
+                f"schema-stale entry: version {version!r} != "
+                f"serial version {SERIAL_VERSION}",
+            )
             return None
         self.stats.hits += 1
         return data
@@ -138,6 +182,12 @@ class ArtifactCache:
                 pass
             raise
         self.stats.writes += 1
+        injector = self.fault_injector
+        if injector is not None and injector.corrupt_write(key):
+            # Test-only torn-write simulation: shear the published entry
+            # so the next read exercises the quarantine path.
+            text = path.read_text()
+            path.write_text(text[: max(1, len(text) // 3)])
 
     def clear(self) -> None:
         """Remove every entry (directories are left in place)."""

@@ -1,0 +1,740 @@
+"""Fault-tolerance layer for the parallel pipeline.
+
+Narada's value (paper §3.4) is that every seed run yields synthesized
+racy tests even when individual subjects misbehave: RaceFuzzer and
+ConTeGe both survive per-test failures by recording them and moving on.
+This module gives the orchestrator the same property at every stage:
+
+* :class:`FaultTolerantPool` — a small process pool built on per-worker
+  pipes instead of ``concurrent.futures``.  Because each worker runs
+  exactly one dispatched unit at a time over its own connection, a dead
+  or hung worker is blamed on *precisely* the unit it was running (a
+  ``BrokenProcessPool`` cannot say which task killed it); the worker is
+  killed and respawned and only that unit is retried.
+* :class:`RetryPolicy` — per-unit wall-clock watchdog deadlines and
+  bounded retries with exponential backoff.  Retries re-run the same
+  pure unit (schedule seeds depend only on content), so a retried
+  result is bit-identical to a first-try one.
+* :class:`FaultLedger` / :class:`UnitFailure` — the structured run
+  report of everything that went wrong: failed units carry their stage,
+  subject, exception repr, traceback, and attempt count; counters cover
+  retries, pool respawns, watchdog kills, quarantined cache entries and
+  resumed (skipped) units.  ``run()`` returns partial results plus this
+  ledger instead of propagating the first worker death.
+* :class:`RunLedger` — a crash-safe append-only JSONL journal of
+  completed unit keys, so ``--resume`` after an interrupted run skips
+  straight past finished work (the artifact cache holds the results;
+  the journal records which units completed and is tolerant of a torn
+  final line).
+* :class:`FaultInjector` — the test-only probabilistic fault hook
+  (``--fault-inject crash:0.3,hang:0.1,corrupt:0.05`` or the
+  ``REPRO_FAULT_INJECT`` environment variable).  Draws are sha-derived
+  from ``(kind, unit key, attempt)`` — deterministic per revision,
+  independent of pool scheduling, and different per attempt so injected
+  failures are transient and retries converge.
+
+Nothing here imports the rest of :mod:`repro.narada`; the orchestrator
+and cache layer on top of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import signal
+import threading
+import time
+import traceback
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from multiprocessing import Pipe, Process, connection
+
+#: Environment variable carrying a fault-injection spec into worker
+#: processes (test-only; same syntax as ``--fault-inject``).
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+
+#: How long an injected hang sleeps when no watchdog deadline exists, so
+#: an unwatched hang degrades to latency instead of blocking forever.
+UNWATCHED_HANG_SECONDS = 5.0
+
+#: Exit code an injected worker crash dies with (visible in waitpid).
+INJECTED_CRASH_EXIT = 13
+
+
+class UnitTimeout(Exception):
+    """A work unit exceeded its wall-clock watchdog deadline."""
+
+
+class WorkerCrash(Exception):
+    """A worker process died (killed, segfaulted, or ``os._exit``)."""
+
+
+class InjectedCrash(RuntimeError):
+    """Inline-mode analogue of an injected worker death."""
+
+
+class UnitExecutionError(Exception):
+    """A unit failed permanently; carries the structured failure."""
+
+    def __init__(self, failure: "UnitFailure") -> None:
+        super().__init__(
+            f"{failure.stage} unit {failure.unit!r} of {failure.subject} "
+            f"failed after {failure.attempts} attempt(s): {failure.error}"
+        )
+        self.failure = failure
+
+
+# ----------------------------------------------------------------------
+# Fault injection.
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed ``--fault-inject`` spec: per-kind injection probabilities."""
+
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+
+    KINDS = ("crash", "hang", "corrupt")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``"crash:0.3,hang:0.1"`` (unknown kinds are an error)."""
+        rates = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                kind, _, rate = part.partition(":")
+                rates[kind.strip()] = float(rate)
+            except ValueError:
+                raise ValueError(f"bad fault-inject entry {part!r}") from None
+        unknown = set(rates) - set(cls.KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {sorted(unknown)}; "
+                f"expected {'/'.join(cls.KINDS)}"
+            )
+        return cls(**rates)
+
+    def to_spec(self) -> str:
+        parts = [
+            f"{kind}:{getattr(self, kind)}"
+            for kind in self.KINDS
+            if getattr(self, kind) > 0.0
+        ]
+        return ",".join(parts)
+
+    def active(self) -> bool:
+        return any(getattr(self, kind) > 0.0 for kind in self.KINDS)
+
+
+def _draw(kind: str, key: str, attempt: int) -> float:
+    """Deterministic uniform [0, 1) draw for one injection decision.
+
+    Keyed on content only — never on wall clock, process identity, or
+    pool scheduling — so a fault-injected run is reproducible, and on
+    the attempt index so retries redraw and eventually pass.
+    """
+    digest = hashlib.sha256(f"{kind}\x1f{key}\x1f{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Applies a :class:`FaultPlan` at the unit and cache-write hooks."""
+
+    plan: FaultPlan
+    hang_seconds: float = UNWATCHED_HANG_SECONDS
+
+    @classmethod
+    def from_spec(
+        cls, spec: str | None, unit_timeout: float | None = None
+    ) -> "FaultInjector | None":
+        """Injector for a spec string (or the env fallback), or None.
+
+        An injected hang must outlive the watchdog deadline to trigger
+        it, but must still terminate when no deadline is armed — so the
+        sleep is ``3 * unit_timeout`` when one exists and a small
+        constant otherwise.
+        """
+        spec = spec if spec is not None else os.environ.get(FAULT_INJECT_ENV)
+        if not spec:
+            return None
+        plan = FaultPlan.parse(spec)
+        if not plan.active():
+            return None
+        hang = (
+            3.0 * unit_timeout
+            if unit_timeout is not None
+            else UNWATCHED_HANG_SECONDS
+        )
+        return cls(plan=plan, hang_seconds=hang)
+
+    def before_unit(self, key: str, attempt: int, in_worker: bool) -> None:
+        """Maybe crash or hang at the start of a unit execution."""
+        if self.plan.crash and _draw("crash", key, attempt) < self.plan.crash:
+            if in_worker:
+                os._exit(INJECTED_CRASH_EXIT)  # a real, uncatchable death
+            raise InjectedCrash(f"injected crash (unit {key[:12]})")
+        if self.plan.hang and _draw("hang", key, attempt) < self.plan.hang:
+            # In a worker the watchdog SIGTERMs us mid-sleep; inline the
+            # SIGALRM watchdog interrupts the sleep with UnitTimeout.
+            time.sleep(self.hang_seconds)
+
+    def corrupt_write(self, key: str) -> bool:
+        """Should this cache entry be torn after its atomic publish?"""
+        return bool(
+            self.plan.corrupt and _draw("corrupt", key, 0) < self.plan.corrupt
+        )
+
+
+# ----------------------------------------------------------------------
+# Structured failure reporting.
+
+
+@dataclass
+class UnitFailure:
+    """One work unit that failed permanently (all retries exhausted)."""
+
+    stage: str
+    subject: str
+    unit: str
+    error: str
+    """``repr()`` of the terminal exception."""
+    trace: str
+    """Traceback text (worker-side when the unit ran in a worker)."""
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "subject": self.subject,
+            "unit": self.unit,
+            "error": self.error,
+            "trace": self.trace,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UnitFailure":
+        return cls(**data)
+
+
+@dataclass
+class FaultLedger:
+    """Everything that went wrong (and was survived) during one run."""
+
+    failures: list[UnitFailure] = field(default_factory=list)
+    completed: int = 0
+    retries: int = 0
+    pool_respawns: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    resumed: int = 0
+
+    def ok(self) -> bool:
+        return not self.failures
+
+    def record(self, failure: UnitFailure) -> None:
+        self.failures.append(failure)
+
+    def describe(self) -> str:
+        """The CLI failure-summary table."""
+        lines = ["-- fault ledger --"]
+        if self.failures:
+            rows = [("stage", "subject", "unit", "attempts", "error")]
+            for f in self.failures:
+                rows.append(
+                    (f.stage, f.subject, f.unit or "-", str(f.attempts), f.error)
+                )
+            widths = [
+                max(len(row[col]) for row in rows) for col in range(4)
+            ]
+            for row in rows:
+                cells = [row[col].ljust(widths[col]) for col in range(4)]
+                lines.append("  ".join(cells + [row[4]]))
+        else:
+            lines.append("no failed units")
+        lines.append(
+            f"completed={self.completed} retries={self.retries} "
+            f"timeouts={self.timeouts} pool_respawns={self.pool_respawns} "
+            f"quarantined={self.quarantined} resumed={self.resumed}"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Canonical dict form (see :mod:`repro.narada.serial`)."""
+        from repro.narada.serial import encode_fault_ledger
+
+        return encode_fault_ledger(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultLedger":
+        from repro.narada.serial import decode_fault_ledger
+
+        return decode_fault_ledger(data)
+
+
+# ----------------------------------------------------------------------
+# Checkpointed resume: the completed-unit journal.
+
+
+class RunLedger:
+    """Crash-safe append-only journal of completed unit keys.
+
+    One JSONL line per completed unit, flushed immediately so a killed
+    run loses at most the in-flight units.  Loading tolerates a torn
+    final line (the writer died mid-append) by ignoring it.
+    """
+
+    def __init__(self, path: str | pathlib.Path, resume: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self._done: set[str] = set()
+        if resume:
+            self._load()
+        else:
+            # A fresh (non-resume) run starts a fresh journal.
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn final append from a killed run
+            key = entry.get("key")
+            if isinstance(key, str):
+                self._done.add(key)
+
+    @property
+    def done(self) -> frozenset[str]:
+        return frozenset(self._done)
+
+    def has(self, key: str) -> bool:
+        return key in self._done
+
+    def mark_done(self, key: str, stage: str, subject: str) -> None:
+        if key in self._done:
+            return
+        self._done.add(key)
+        self._handle.write(
+            json.dumps({"key": key, "stage": stage, "subject": subject}) + "\n"
+        )
+        self._handle.flush()
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Retry policy + inline watchdog.
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Watchdog + retry/backoff parameters shared by both run modes."""
+
+    unit_timeout: float | None = None
+    max_retries: int = 2
+    backoff: float = 0.05
+    """Base backoff in seconds; attempt ``n`` sleeps ``backoff * 2**n``."""
+
+    def backoff_seconds(self, failed_attempts: int) -> float:
+        if self.backoff <= 0.0:
+            return 0.0
+        return self.backoff * (2.0 ** max(0, failed_attempts - 1))
+
+
+@contextmanager
+def watchdog(seconds: float | None):
+    """SIGALRM-based wall-clock deadline for inline (jobs=1) units.
+
+    Only armed on the main thread of a POSIX process — elsewhere the
+    context is a no-op and inline units run unwatched (pooled units are
+    always watched, by killing the worker).
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0.0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise UnitTimeout(f"unit exceeded {seconds:.1f}s watchdog deadline")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# Work units.
+
+
+@dataclass
+class PoolUnit:
+    """One isolatable work unit.
+
+    ``fn(*args, key, attempt)`` must be a module-level (picklable)
+    function returning a picklable payload; ``inline_fn(unit)`` is the
+    zero-serialization equivalent used when jobs=1.  ``key`` doubles as
+    the resume-journal key and the fault-injection draw key.
+    """
+
+    key: str
+    stage: str
+    subject: str
+    name: str
+    fn: object = None
+    args: tuple = ()
+    attempts: int = 0
+    not_before: float = 0.0
+
+
+class _Worker:
+    """Parent-side handle: one process, one pipe, one in-flight unit."""
+
+    __slots__ = ("process", "conn", "unit", "started")
+
+    def __init__(self, process: Process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.unit: PoolUnit | None = None
+        self.started: float = 0.0
+
+
+def _pool_worker(conn) -> None:
+    """Worker loop: one task per message, result per reply.
+
+    Anything that escapes as an ordinary exception is reported with its
+    traceback; a hard death (``os._exit``, segfault, SIGTERM from the
+    watchdog) closes the pipe, which the parent reads as a crash of
+    exactly the unit this worker was running.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "exit":
+            break
+        _, fn, args = message
+        try:
+            payload = fn(*args)
+        except Exception as error:  # noqa: BLE001 — reported, not hidden
+            reply = ("err", repr(error), traceback.format_exc())
+        else:
+            reply = ("ok", payload)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class FaultTolerantPool:
+    """Process pool with per-unit crash isolation and watchdog kills.
+
+    Dispatch is one unit per worker at a time over a dedicated pipe, so
+    the parent always knows which unit each worker is running:
+
+    * pipe EOF / worker death → blame exactly that unit, respawn one
+      worker, retry the unit (bounded by the policy);
+    * deadline exceeded → SIGTERM the worker, respawn, retry;
+    * ordinary exception → retry without touching the process.
+
+    Results are assembled by unit identity in submission order, so the
+    output is independent of completion order — the determinism
+    contract of the orchestrator is preserved.
+    """
+
+    #: Parent-side poll granularity when watchdog deadlines are armed.
+    _POLL_SECONDS = 0.1
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: RetryPolicy,
+        ledger: FaultLedger,
+        on_complete=None,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.policy = policy
+        self.ledger = ledger
+        self.on_complete = on_complete
+        self._workers: list[_Worker] = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = Pipe()
+        process = Process(target=_pool_worker, args=(child_conn,), daemon=True)
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def _ensure_workers(self, needed: int) -> None:
+        while len(self._workers) < min(self.jobs, needed):
+            self._workers.append(self._spawn())
+
+    def _discard_worker(self, worker: _Worker) -> None:
+        self._workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=2.0)
+        if worker.process.is_alive():  # pragma: no cover — stuck in kernel
+            worker.process.kill()
+            worker.process.join(timeout=1.0)
+
+    def close(self) -> None:
+        for worker in list(self._workers):
+            try:
+                worker.conn.send(("exit",))
+            except OSError:
+                pass
+        for worker in list(self._workers):
+            self._discard_worker(worker)
+
+    def __enter__(self) -> "FaultTolerantPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- failure handling ----------------------------------------------
+
+    def _handle_failure(
+        self,
+        unit: PoolUnit,
+        pending: deque,
+        error_repr: str,
+        trace: str,
+    ) -> None:
+        unit.attempts += 1
+        if unit.attempts <= self.policy.max_retries:
+            self.ledger.retries += 1
+            unit.not_before = time.monotonic() + self.policy.backoff_seconds(
+                unit.attempts
+            )
+            pending.append(unit)
+            return
+        self.ledger.record(
+            UnitFailure(
+                stage=unit.stage,
+                subject=unit.subject,
+                unit=unit.name,
+                error=error_repr,
+                trace=trace,
+                attempts=unit.attempts,
+            )
+        )
+
+    def _respawn_after(self, worker: _Worker) -> None:
+        self._discard_worker(worker)
+        self.ledger.pool_respawns += 1
+
+    # -- the dispatch loop ---------------------------------------------
+
+    def run(self, units: list[PoolUnit]) -> dict[str, object]:
+        """Run every unit; return ``{unit.key: payload}`` for successes.
+
+        Permanently failed units are absent from the result and present
+        in the ledger — the caller degrades gracefully.
+        """
+        if not units:
+            return {}
+        results: dict[str, object] = {}
+        pending: deque[PoolUnit] = deque(units)
+        in_flight = 0
+        while pending or in_flight:
+            now = time.monotonic()
+            self._ensure_workers(len(pending) + in_flight)
+            # Dispatch ready units to idle workers.
+            for worker in self._workers:
+                if worker.unit is not None or not pending:
+                    continue
+                unit = self._next_ready(pending, now)
+                if unit is None:
+                    break
+                try:
+                    worker.conn.send(
+                        ("task", unit.fn, unit.args + (unit.key, unit.attempts))
+                    )
+                except OSError:
+                    self._respawn_after(worker)
+                    pending.appendleft(unit)
+                    break
+                worker.unit = unit
+                worker.started = now
+                in_flight += 1
+            busy = [w for w in self._workers if w.unit is not None]
+            if not busy:
+                # Everything pending is backing off; sleep until ready.
+                wake = min(unit.not_before for unit in pending)
+                time.sleep(max(0.0, min(wake - time.monotonic(), 1.0)))
+                continue
+            timeout = (
+                self._POLL_SECONDS
+                if self.policy.unit_timeout is not None
+                else 1.0
+            )
+            ready = connection.wait([w.conn for w in busy], timeout=timeout)
+            for conn in ready:
+                worker = next(w for w in busy if w.conn is conn)
+                unit = worker.unit
+                try:
+                    reply = worker.conn.recv()
+                except (EOFError, OSError):
+                    # The worker died running exactly this unit.
+                    worker.unit = None
+                    in_flight -= 1
+                    self._respawn_after(worker)
+                    self._handle_failure(
+                        unit,
+                        pending,
+                        repr(WorkerCrash("worker process died mid-unit")),
+                        "",
+                    )
+                    continue
+                worker.unit = None
+                in_flight -= 1
+                if reply[0] == "ok":
+                    results[unit.key] = reply[1]
+                    self.ledger.completed += 1
+                    if self.on_complete is not None:
+                        self.on_complete(unit, reply[1])
+                else:
+                    self._handle_failure(unit, pending, reply[1], reply[2])
+            # Watchdog: kill workers whose unit blew its deadline.
+            if self.policy.unit_timeout is not None:
+                now = time.monotonic()
+                for worker in list(self._workers):
+                    unit = worker.unit
+                    if unit is None:
+                        continue
+                    if now - worker.started <= self.policy.unit_timeout:
+                        continue
+                    worker.unit = None
+                    in_flight -= 1
+                    self.ledger.timeouts += 1
+                    self._respawn_after(worker)
+                    self._handle_failure(
+                        unit,
+                        pending,
+                        repr(
+                            UnitTimeout(
+                                f"unit exceeded {self.policy.unit_timeout:.1f}s "
+                                f"watchdog deadline"
+                            )
+                        ),
+                        "",
+                    )
+        return results
+
+    @staticmethod
+    def _next_ready(pending: deque, now: float) -> PoolUnit | None:
+        """Pop the first unit whose backoff delay has elapsed."""
+        for _ in range(len(pending)):
+            unit = pending.popleft()
+            if unit.not_before <= now:
+                return unit
+            pending.append(unit)
+        return None
+
+
+class InlineRunner:
+    """jobs=1 analogue of the pool: same policy, ledger, and injection.
+
+    Units run in-process (no pickling) under the SIGALRM watchdog;
+    ordinary exceptions and injected crashes are retried with backoff
+    and recorded as :class:`UnitFailure` when retries are exhausted.
+    ``KeyboardInterrupt``/``SystemExit`` propagate — a user abort is not
+    a unit fault.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        ledger: FaultLedger,
+        injector: FaultInjector | None = None,
+        on_complete=None,
+    ) -> None:
+        self.policy = policy
+        self.ledger = ledger
+        self.injector = injector
+        self.on_complete = on_complete
+
+    def run(self, units: list[PoolUnit], inline_fn) -> dict[str, object]:
+        """Run every unit via ``inline_fn(unit)``; see pool.run()."""
+        results: dict[str, object] = {}
+        for unit in units:
+            while True:
+                try:
+                    with watchdog(self.policy.unit_timeout):
+                        if self.injector is not None:
+                            self.injector.before_unit(
+                                unit.key, unit.attempts, in_worker=False
+                            )
+                        payload = inline_fn(unit)
+                except Exception as error:  # noqa: BLE001 — recorded below
+                    trace = traceback.format_exc()
+                    if isinstance(error, UnitTimeout):
+                        self.ledger.timeouts += 1
+                    unit.attempts += 1
+                    if unit.attempts <= self.policy.max_retries:
+                        self.ledger.retries += 1
+                        time.sleep(self.policy.backoff_seconds(unit.attempts))
+                        continue
+                    self.ledger.record(
+                        UnitFailure(
+                            stage=unit.stage,
+                            subject=unit.subject,
+                            unit=unit.name,
+                            error=repr(error),
+                            trace=trace,
+                            attempts=unit.attempts,
+                        )
+                    )
+                    break
+                else:
+                    results[unit.key] = payload
+                    self.ledger.completed += 1
+                    if self.on_complete is not None:
+                        self.on_complete(unit, payload)
+                    break
+        return results

@@ -1,4 +1,4 @@
-"""Parallel pipeline orchestrator with stage-level artifact caching.
+"""Parallel pipeline orchestrator with stage caching and fault tolerance.
 
 The Fig. 6 pipeline is embarrassingly parallel at two granularities:
 
@@ -8,8 +8,8 @@ The Fig. 6 pipeline is embarrassingly parallel at two granularities:
 * **per test** — the RaceFuzzer loop treats each synthesized test as an
   independent work unit.
 
-The orchestrator fans both out over a ``concurrent.futures`` process
-pool while keeping results **bit-identical to the serial order**:
+The orchestrator fans both out over a process pool while keeping
+results **bit-identical to the serial order**:
 
 * work units are pure functions of ``(source text, target class,
   config)`` — never of pool scheduling.  Every fuzz schedule seed is
@@ -17,33 +17,57 @@ pool while keeping results **bit-identical to the serial order**:
   :func:`repro.fuzz.racefuzzer.schedule_seed`), and each run's detector
   stack is replayed as one fused engine sweep keyed by
   :func:`repro.analysis.sweep.memo_key`, so a test fuzzes the same way
-  whichever worker picks it up;
-* tasks are submitted and collected in deterministic (subject, test)
-  order, and reports cross the process boundary in the canonical dict
-  form of :mod:`repro.narada.serial`;
+  whichever worker picks it up — and the same way on a retry;
+* results are assembled in deterministic (subject, test) order from a
+  key-addressed result map, so completion order cannot reorder them;
+* reports cross the process boundary in the canonical dict form of
+  :mod:`repro.narada.serial`;
 * ``jobs=1`` bypasses the pool entirely — no pickling, no subprocesses —
   which keeps single-job runs debuggable and exactly as cheap as the old
   serial pipeline.
 
 Every stage is backed by the persistent content-addressed
-:class:`~repro.narada.cache.ArtifactCache`: analysis, synthesis, and
-detection artifacts are keyed by (table digest, stage config, code
-salt), so a rerun with unchanged subjects skips straight to the first
-invalidated stage.
+:class:`~repro.narada.cache.ArtifactCache`: analysis, synthesis,
+per-test fuzz, and detection artifacts are keyed by (table digest,
+stage config, code salt), so a rerun with unchanged subjects skips
+straight to the first invalidated stage.
+
+Since the fault-tolerance PR the execution substrate is
+:mod:`repro.narada.faults`: worker death, hung units, and unit
+exceptions are isolated per unit, retried with backoff, and — when
+retries are exhausted — recorded as :class:`UnitFailure` entries in the
+run's :class:`FaultLedger` while every other unit proceeds.  ``run()``
+therefore returns *partial* results on a bad day instead of raising on
+the first casualty; completed unit keys are journaled to a crash-safe
+:class:`RunLedger` so an interrupted run can ``--resume`` past its
+finished work.
 """
 
 from __future__ import annotations
 
 import functools
-from concurrent.futures import Future, ProcessPoolExecutor
+import hashlib
+import pathlib
 from dataclasses import dataclass, field
 
 from repro.fuzz import RaceFuzzer
 from repro.lang import ClassTable, load
 from repro.narada.cache import ArtifactCache, stage_key, table_digest
+from repro.narada.faults import (
+    FaultInjector,
+    FaultLedger,
+    FaultTolerantPool,
+    InlineRunner,
+    PoolUnit,
+    RetryPolicy,
+    RunLedger,
+    UnitExecutionError,
+)
 from repro.narada.pipeline import DetectionReport, Narada, SynthesisReport
 from repro.narada.serial import (
+    canonical_json,
     decode_analysis,
+    decode_detection,
     decode_fuzz_bundle,
     decode_seed_traces,
     decode_synthesis,
@@ -68,12 +92,23 @@ class SubjectSpec:
 
 @dataclass(frozen=True)
 class PipelineConfig:
-    """Everything a work unit's result may depend on (and nothing else)."""
+    """Everything a work unit's result may depend on (and nothing else).
+
+    The fault-tolerance knobs (``unit_timeout``, ``max_retries``,
+    ``retry_backoff``, ``fault_inject``) deliberately stay *out* of the
+    per-stage cache-key configs below: how patiently a unit was babysat
+    never changes what the unit computes, so toggling them must not
+    invalidate artifacts.
+    """
 
     vm_seed: int = 0
     rng_seed: int | None = None
     random_runs: int = 8
     directed: bool = True
+    unit_timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    fault_inject: str | None = None
 
     def analysis_config(self) -> dict:
         return {"vm_seed": self.vm_seed}
@@ -92,12 +127,27 @@ class PipelineConfig:
             "directed": self.directed,
         }
 
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            unit_timeout=self.unit_timeout,
+            max_retries=self.max_retries,
+            backoff=self.retry_backoff,
+        )
+
+    def injector(self) -> FaultInjector | None:
+        """The configured (or env-keyed) fault injector, if any."""
+        return FaultInjector.from_spec(self.fault_inject, self.unit_timeout)
+
     def to_dict(self) -> dict:
         return {
             "vm_seed": self.vm_seed,
             "rng_seed": self.rng_seed,
             "random_runs": self.random_runs,
             "directed": self.directed,
+            "unit_timeout": self.unit_timeout,
+            "max_retries": self.max_retries,
+            "retry_backoff": self.retry_backoff,
+            "fault_inject": self.fault_inject,
         }
 
     @classmethod
@@ -107,19 +157,27 @@ class PipelineConfig:
 
 @dataclass
 class SubjectOutcome:
-    """Pipeline results for one subject, plus cache provenance."""
+    """Pipeline results for one subject, plus cache/fault provenance.
+
+    ``synthesis`` is None when the synthesis unit failed permanently
+    (see :attr:`failures`); ``detection_partial`` marks a detection
+    report that is missing the fuzz results of failed units but carries
+    every successful one.
+    """
 
     spec: SubjectSpec
-    synthesis: SynthesisReport
+    synthesis: SynthesisReport | None
     detection: DetectionReport | None = None
     synthesis_cached: bool = False
     detection_cached: bool = False
+    detection_partial: bool = False
+    failures: list = field(default_factory=list)
     _synthesis_dict: dict | None = field(default=None, repr=False)
     _detection_dict: dict | None = field(default=None, repr=False)
 
     @property
-    def synthesis_dict(self) -> dict:
-        if self._synthesis_dict is None:
+    def synthesis_dict(self) -> dict | None:
+        if self._synthesis_dict is None and self.synthesis is not None:
             self._synthesis_dict = encode_synthesis(self.synthesis)
         return self._synthesis_dict
 
@@ -131,6 +189,8 @@ class SubjectOutcome:
 
     def digest(self) -> str:
         """Content digest of this subject's serialized reports."""
+        if self.synthesis is None:
+            return "failed"
         parts = [report_digest(self.synthesis_dict)]
         if self.detection is not None:
             parts.append(report_digest(self.detection_dict))
@@ -140,7 +200,8 @@ class SubjectOutcome:
 # ----------------------------------------------------------------------
 # Work units.  Module-level so they are picklable by the process pool;
 # the inline (jobs=1) path calls the *_unit functions directly and never
-# serializes anything.
+# serializes anything.  The trailing ``(unit_key, attempt)`` pair is the
+# pool's dispatch envelope: it keys the (test-only) fault injector.
 
 
 @functools.lru_cache(maxsize=16)
@@ -167,7 +228,11 @@ def _synthesize_unit(
     """
     table = _load_table(source)
     narada = Narada(table, seed=config.vm_seed, rng_seed=config.rng_seed)
-    cache = ArtifactCache(cache_root) if cache_root is not None else None
+    cache = (
+        ArtifactCache(cache_root, fault_injector=config.injector())
+        if cache_root is not None
+        else None
+    )
     if cache is not None:
         dig = table_digest(table)
         analysis_key = stage_key(dig, "analysis", config.analysis_config())
@@ -193,11 +258,18 @@ def _synthesize_unit(
 
 
 def _synthesize_worker(
-    source: str, target_class: str, config: dict, cache_root: str | None
+    source: str,
+    target_class: str,
+    config: dict,
+    cache_root: str | None,
+    unit_key: str = "",
+    attempt: int = 0,
 ) -> dict:
-    report = _synthesize_unit(
-        source, target_class, PipelineConfig.from_dict(config), cache_root
-    )
+    cfg = PipelineConfig.from_dict(config)
+    injector = cfg.injector()
+    if injector is not None:
+        injector.before_unit(unit_key, attempt, in_worker=True)
+    report = _synthesize_unit(source, target_class, cfg, cache_root)
     return encode_synthesis(report)
 
 
@@ -211,12 +283,22 @@ def _fuzz_unit(table: ClassTable, test, config: PipelineConfig):
     return fuzzer.fuzz(test)
 
 
-def _fuzz_worker(source: str, test_bundle: dict, config: dict) -> dict:
+def _fuzz_worker(
+    source: str,
+    test_bundle: dict,
+    config: dict,
+    unit_key: str = "",
+    attempt: int = 0,
+) -> dict:
     from repro.narada.serial import decode_test_bundle
 
+    cfg = PipelineConfig.from_dict(config)
+    injector = cfg.injector()
+    if injector is not None:
+        injector.before_unit(unit_key, attempt, in_worker=True)
     table = _load_table(source)
     test = decode_test_bundle(test_bundle)
-    report = _fuzz_unit(table, test, PipelineConfig.from_dict(config))
+    report = _fuzz_unit(table, test, cfg)
     return encode_fuzz_bundle(report)
 
 
@@ -231,7 +313,13 @@ class PipelineOrchestrator:
         jobs: worker process count; ``1`` runs everything inline in this
             process with no pool and no serialization round-trips.
         cache: persistent artifact cache, or None to always recompute.
-        config: the deterministic pipeline parameters.
+        config: the deterministic pipeline parameters (including the
+            fault-tolerance policy).
+        resume: skip units journaled as completed by a previous
+            (interrupted) run of the same specs + config; requires a
+            cache, since that is where the completed results live.
+        run_dir: where the resume journal lives (default:
+            ``<cache root>/runs``).
     """
 
     def __init__(
@@ -239,22 +327,38 @@ class PipelineOrchestrator:
         jobs: int = 1,
         cache: ArtifactCache | None = None,
         config: PipelineConfig | None = None,
+        resume: bool = False,
+        run_dir: str | pathlib.Path | None = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache
         self.config = config if config is not None else PipelineConfig()
-        self._pool: ProcessPoolExecutor | None = None
+        self.resume = resume
+        self.run_dir = run_dir
+        self.fault_ledger = FaultLedger()
+        self._pool: FaultTolerantPool | None = None
+        if resume and cache is None:
+            raise ValueError(
+                "resume requires the artifact cache: completed units are "
+                "replayed from it (run without --no-cache)"
+            )
+        if cache is not None:
+            cache.fault_injector = self.config.injector()
 
     # -- lifecycle -----------------------------------------------------
 
-    def _executor(self) -> ProcessPoolExecutor:
+    def _executor(self) -> FaultTolerantPool:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = FaultTolerantPool(
+                self.jobs, self.config.retry_policy(), self.fault_ledger
+            )
+        else:
+            self._pool.ledger = self.fault_ledger
         return self._pool
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.close()
             self._pool = None
 
     def __enter__(self) -> "PipelineOrchestrator":
@@ -272,168 +376,388 @@ class PipelineOrchestrator:
     def _get(self, stage: str, key: str) -> dict | None:
         return None if self.cache is None else self.cache.get(stage, key)
 
+    def _get_decoded(self, stage: str, key: str, decoder):
+        """Cached ``(decoded, raw dict)`` or None; bad entries quarantine.
+
+        The cache layer already quarantines unreadable JSON; this adds
+        the same treatment for entries that parse but fail to *decode*
+        (a structurally valid payload from a semantically incompatible
+        writer) — recompute, never crash.
+        """
+        data = self._get(stage, key)
+        if data is None:
+            return None
+        try:
+            return decoder(data), data
+        except Exception as error:  # noqa: BLE001 — quarantined below
+            if self.cache is not None:
+                self.cache.quarantine(stage, key, f"decode failure: {error!r}")
+            return None
+
     def _put(self, stage: str, key: str, data: dict) -> None:
         if self.cache is not None:
             self.cache.put(stage, key, data)
 
+    # -- fault plumbing ------------------------------------------------
+
+    def _run_units(
+        self, units: list[PoolUnit], inline_fn, on_complete=None
+    ) -> dict[str, object]:
+        """Execute units under the fault policy; ``{key: payload}``.
+
+        ``on_complete(unit, payload)`` fires in the parent as each unit
+        finishes — publication and journaling happen there, per unit,
+        so a kill mid-batch checkpoints everything already completed.
+        """
+        if not units:
+            return {}
+        if self.jobs == 1:
+            runner = InlineRunner(
+                self.config.retry_policy(),
+                self.fault_ledger,
+                injector=self.config.injector(),
+                on_complete=on_complete,
+            )
+            return runner.run(units, inline_fn)
+        pool = self._executor()
+        pool.on_complete = on_complete
+        try:
+            return pool.run(units)
+        finally:
+            pool.on_complete = None
+
+    def _open_journal(self, digests: list[str]) -> RunLedger | None:
+        """The resume journal for this (specs, config) identity."""
+        if self.cache is None:
+            return None
+        ident = canonical_json(
+            {
+                "digests": sorted(digests),
+                "config": {
+                    "vm_seed": self.config.vm_seed,
+                    "rng_seed": self.config.rng_seed,
+                    "random_runs": self.config.random_runs,
+                    "directed": self.config.directed,
+                },
+            }
+        )
+        run_id = hashlib.sha256(ident.encode()).hexdigest()[:16]
+        base = (
+            pathlib.Path(self.run_dir)
+            if self.run_dir is not None
+            else self.cache.root / "runs"
+        )
+        return RunLedger(base / f"run-{run_id}.jsonl", resume=self.resume)
+
+    def _mark_done(
+        self,
+        journal: RunLedger | None,
+        key: str,
+        stage: str,
+        subject: str,
+        from_cache: bool = False,
+    ) -> None:
+        if journal is None:
+            return
+        if from_cache and self.resume and journal.has(key):
+            self.fault_ledger.resumed += 1
+        journal.mark_done(key, stage, subject)
+
     # -- synthesis phase -----------------------------------------------
 
     def synthesize(self, spec: SubjectSpec) -> SynthesisReport:
-        """Synthesis for one subject (inline, cache-backed)."""
-        return self.run([spec], detect=False)[0].synthesis
+        """Synthesis for one subject (inline, cache-backed).
+
+        Single-subject callers want the old raise-on-failure contract:
+        a permanently failed unit raises :class:`UnitExecutionError`
+        carrying the structured failure.
+        """
+        outcome = self.run([spec], detect=False)[0]
+        if outcome.synthesis is None:
+            raise UnitExecutionError(outcome.failures[0])
+        return outcome.synthesis
 
     def _synthesis_phase(
-        self, specs: list[SubjectSpec], keys: list[str]
-    ) -> list[tuple[SynthesisReport, dict | None, bool]]:
-        """Per spec: (report, encoded dict when one exists, cache hit?)."""
+        self,
+        specs: list[SubjectSpec],
+        keys: list[str],
+        journal: RunLedger | None,
+    ) -> list[tuple[SynthesisReport, dict | None, bool] | None]:
+        """Per spec: (report, encoded dict when one exists, cache hit?),
+        or None for a permanently failed synthesis unit."""
         results: list = [None] * len(specs)
-        pending: list[int] = []
+        pending: list[tuple[int, PoolUnit]] = []
+        spec_by_key: dict[str, SubjectSpec] = {}
         for i, spec in enumerate(specs):
-            cached = self._get("synthesis", keys[i])
+            cached = self._get_decoded("synthesis", keys[i], decode_synthesis)
             if cached is not None:
-                results[i] = (decode_synthesis(cached), cached, True)
+                results[i] = (cached[0], cached[1], True)
+                self._mark_done(
+                    journal, keys[i], "synthesis", spec.name, from_cache=True
+                )
             else:
-                pending.append(i)
-        if pending and self.jobs == 1:
-            for i in pending:
-                report = _synthesize_unit(
-                    specs[i].source,
-                    specs[i].target_class,
-                    self.config,
-                    self._cache_root,
+                spec_by_key[keys[i]] = spec
+                pending.append(
+                    (
+                        i,
+                        PoolUnit(
+                            key=keys[i],
+                            stage="synthesis",
+                            subject=spec.name,
+                            name=spec.target_class,
+                            fn=_synthesize_worker,
+                            args=(
+                                spec.source,
+                                spec.target_class,
+                                self.config.to_dict(),
+                                self._cache_root,
+                            ),
+                        ),
+                    )
                 )
-                results[i] = (report, None, False)
-        elif pending:
-            futures: list[tuple[int, Future]] = [
-                (
-                    i,
-                    self._executor().submit(
-                        _synthesize_worker,
-                        specs[i].source,
-                        specs[i].target_class,
-                        self.config.to_dict(),
-                        self._cache_root,
-                    ),
-                )
-                for i in pending
-            ]
-            for i, future in futures:
-                data = future.result()
-                results[i] = (decode_synthesis(data), data, False)
-        for i in pending:
-            report, data, _ = results[i]
-            if data is None:
-                data = encode_synthesis(report)
-                results[i] = (report, data, False)
-            self._put("synthesis", keys[i], data)
+        if not pending:
+            return results
+
+        def inline_synthesis(unit: PoolUnit):
+            spec = spec_by_key[unit.key]
+            return _synthesize_unit(
+                spec.source, spec.target_class, self.config, self._cache_root
+            )
+
+        index_by_key = {unit.key: i for i, unit in pending}
+
+        def on_complete(unit: PoolUnit, payload) -> None:
+            if isinstance(payload, dict):
+                report, data = decode_synthesis(payload), payload
+            else:
+                report, data = payload, encode_synthesis(payload)
+            self._put("synthesis", unit.key, data)
+            self._mark_done(journal, unit.key, "synthesis", unit.subject)
+            results[index_by_key[unit.key]] = (report, data, False)
+
+        self._run_units(
+            [u for _, u in pending], inline_synthesis, on_complete
+        )
         return results
 
     # -- detection phase -----------------------------------------------
+
+    def _fuzzunit_key(
+        self, digest: str, target_class: str, test_name: str
+    ) -> str:
+        """Content address of one test's fuzz artifact.
+
+        Finer-grained than the per-subject ``detection`` stage: these
+        per-test entries are what lets an interrupted or partially
+        failed detection phase resume without re-fuzzing finished tests.
+        """
+        config = dict(self.config.detection_config(target_class))
+        config["test"] = test_name
+        return stage_key(digest, "fuzzunit", config)
 
     def _detection_phase(
         self,
         specs: list[SubjectSpec],
         keys: list[str],
-        syntheses: list[SynthesisReport],
-    ) -> list[tuple[DetectionReport, dict | None, bool]]:
+        syntheses: list[SynthesisReport | None],
+        digests: list[str],
+        journal: RunLedger | None,
+    ) -> list[tuple[DetectionReport, dict | None, bool, bool] | None]:
+        """Per spec: (report, encoded dict, cache hit?, partial?), or
+        None when the subject had no synthesis to detect against."""
         results: list = [None] * len(specs)
-        pending: list[int] = []
+        config_dict = self.config.to_dict()
+        pending: list[tuple[int, object, PoolUnit]] = []
+        reports: dict[int, dict[str, object]] = {}
         for i, spec in enumerate(specs):
-            cached = self._get("detection", keys[i])
+            if syntheses[i] is None:
+                continue  # synthesis failed; nothing to fuzz
+            cached = self._get_decoded("detection", keys[i], decode_detection)
             if cached is not None:
-                from repro.narada.serial import decode_detection
-
-                results[i] = (decode_detection(cached), cached, True)
-            else:
-                pending.append(i)
-        if pending and self.jobs == 1:
-            for i in pending:
-                table = _load_table(specs[i].source)
-                detection = DetectionReport(class_name=specs[i].target_class)
-                for test in syntheses[i].tests:
-                    detection.add(_fuzz_unit(table, test, self.config))
-                results[i] = (detection, None, False)
-        elif pending:
-            # One task per synthesized test, submitted and joined in
-            # (subject, test) order — scheduling cannot reorder results.
-            futures: list[tuple[int, list[Future]]] = []
-            config_dict = self.config.to_dict()
-            for i in pending:
-                per_test = [
-                    self._executor().submit(
-                        _fuzz_worker,
-                        specs[i].source,
+                results[i] = (cached[0], cached[1], True, False)
+                self._mark_done(
+                    journal, keys[i], "detection", spec.name, from_cache=True
+                )
+                continue
+            reports[i] = {}
+            for test in syntheses[i].tests:
+                ukey = self._fuzzunit_key(
+                    digests[i], spec.target_class, test.name
+                )
+                unit_cached = self._get_decoded(
+                    "fuzzunit", ukey, decode_fuzz_bundle
+                )
+                if unit_cached is not None:
+                    reports[i][test.name] = unit_cached[0]
+                    self._mark_done(
+                        journal, ukey, "fuzz", spec.name, from_cache=True
+                    )
+                    continue
+                unit = PoolUnit(
+                    key=ukey,
+                    stage="fuzz",
+                    subject=spec.name,
+                    name=test.name,
+                )
+                if self.jobs > 1:
+                    unit.fn = _fuzz_worker
+                    unit.args = (
+                        spec.source,
                         encode_test_bundle(test),
                         config_dict,
                     )
-                    for test in syntheses[i].tests
-                ]
-                futures.append((i, per_test))
-            for i, per_test in futures:
-                detection = DetectionReport(class_name=specs[i].target_class)
-                for future in per_test:
-                    detection.add(decode_fuzz_bundle(future.result()))
-                results[i] = (detection, None, False)
-        for i in pending:
-            detection, data, _ = results[i]
-            if data is None:
-                data = encode_detection(detection)
-                results[i] = (detection, data, False)
-            self._put("detection", keys[i], data)
+                pending.append((i, test, unit))
+
+        meta = {u.key: (i, t) for i, t, u in pending}
+
+        def inline_fuzz(unit: PoolUnit):
+            i, test = meta[unit.key]
+            return _fuzz_unit(_load_table(specs[i].source), test, self.config)
+
+        def on_complete(unit: PoolUnit, payload) -> None:
+            i, test = meta[unit.key]
+            if isinstance(payload, dict):
+                fuzz, data = decode_fuzz_bundle(payload), payload
+            else:
+                fuzz, data = payload, None
+            if self.cache is not None:
+                self._put(
+                    "fuzzunit", unit.key, data or encode_fuzz_bundle(fuzz)
+                )
+            self._mark_done(journal, unit.key, "fuzz", unit.subject)
+            reports[i][test.name] = fuzz
+
+        self._run_units([u for _, _, u in pending], inline_fuzz, on_complete)
+        for i, per_test in reports.items():
+            detection = DetectionReport(class_name=specs[i].target_class)
+            complete = True
+            for test in syntheses[i].tests:
+                fuzz = per_test.get(test.name)
+                if fuzz is None:
+                    complete = False
+                    continue
+                detection.add(fuzz)
+            if complete:
+                data = (
+                    encode_detection(detection)
+                    if self.cache is not None
+                    else None
+                )
+                if data is not None:
+                    self._put("detection", keys[i], data)
+                self._mark_done(journal, keys[i], "detection", specs[i].name)
+                results[i] = (detection, data, False, False)
+            else:
+                # Graceful degradation: every successful test's fuzz
+                # report is kept; the subject-level artifact is NOT
+                # cached, so a later clean run recomputes the holes
+                # instead of replaying a partial result forever.
+                results[i] = (detection, None, False, True)
         return results
 
     def detect(
         self, spec: SubjectSpec, synthesis: SynthesisReport
     ) -> DetectionReport:
-        """Detection for one already-synthesized subject."""
+        """Detection for one already-synthesized subject.
+
+        Like :meth:`synthesize`, the single-subject API keeps the
+        raise-on-failure contract of the serial fuzz loop.
+        """
+        self.fault_ledger = FaultLedger()
+        digest = table_digest(spec.source)
         key = stage_key(
-            table_digest(spec.source),
+            digest,
             "detection",
             self.config.detection_config(spec.target_class),
         )
-        return self._detection_phase([spec], [key], [synthesis])[0][0]
+        journal = self._open_journal([digest])
+        try:
+            result = self._detection_phase(
+                [spec], [key], [synthesis], [digest], journal
+            )[0]
+        finally:
+            if journal is not None:
+                journal.close()
+        if result is None or result[3]:
+            mine = [
+                f for f in self.fault_ledger.failures if f.subject == spec.name
+            ]
+            raise UnitExecutionError(mine[0])
+        return result[0]
 
     # -- the whole pipeline --------------------------------------------
 
     def run(
         self, specs: list[SubjectSpec], detect: bool = True
     ) -> list[SubjectOutcome]:
-        """Run the pipeline for every spec; results follow spec order."""
+        """Run the pipeline for every spec; results follow spec order.
+
+        Unit failures do not abort the run: the returned outcomes carry
+        whatever completed (``synthesis``/``detection`` may be None or
+        partial) and :attr:`fault_ledger` carries the structured record
+        of everything that failed, was retried, timed out, was
+        quarantined, or was skipped via ``resume``.
+        """
+        ledger = self.fault_ledger = FaultLedger()
+        quarantined_before = (
+            self.cache.stats.quarantined if self.cache is not None else 0
+        )
         digests = [table_digest(spec.source) for spec in specs]
-        synth_keys = [
-            stage_key(
-                digests[i],
-                "synthesis",
-                self.config.synthesis_config(spec.target_class),
-            )
-            for i, spec in enumerate(specs)
-        ]
-        synthesis = self._synthesis_phase(specs, synth_keys)
-        outcomes = [
-            SubjectOutcome(
-                spec=spec,
-                synthesis=synthesis[i][0],
-                synthesis_cached=synthesis[i][2],
-                _synthesis_dict=synthesis[i][1],
-            )
-            for i, spec in enumerate(specs)
-        ]
-        if detect:
-            detect_keys = [
+        journal = self._open_journal(digests)
+        try:
+            synth_keys = [
                 stage_key(
                     digests[i],
-                    "detection",
-                    self.config.detection_config(spec.target_class),
+                    "synthesis",
+                    self.config.synthesis_config(spec.target_class),
                 )
                 for i, spec in enumerate(specs)
             ]
-            detections = self._detection_phase(
-                specs, detect_keys, [o.synthesis for o in outcomes]
-            )
-            for outcome, (report, data, hit) in zip(outcomes, detections):
-                outcome.detection = report
-                outcome.detection_cached = hit
-                outcome._detection_dict = data
+            synthesis = self._synthesis_phase(specs, synth_keys, journal)
+            outcomes = [
+                SubjectOutcome(
+                    spec=spec,
+                    synthesis=synthesis[i][0] if synthesis[i] else None,
+                    synthesis_cached=bool(synthesis[i] and synthesis[i][2]),
+                    _synthesis_dict=synthesis[i][1] if synthesis[i] else None,
+                )
+                for i, spec in enumerate(specs)
+            ]
+            if detect:
+                detect_keys = [
+                    stage_key(
+                        digests[i],
+                        "detection",
+                        self.config.detection_config(spec.target_class),
+                    )
+                    for i, spec in enumerate(specs)
+                ]
+                detections = self._detection_phase(
+                    specs,
+                    detect_keys,
+                    [o.synthesis for o in outcomes],
+                    digests,
+                    journal,
+                )
+                for outcome, result in zip(outcomes, detections):
+                    if result is None:
+                        continue
+                    report, data, hit, partial = result
+                    outcome.detection = report
+                    outcome.detection_cached = hit
+                    outcome.detection_partial = partial
+                    outcome._detection_dict = data
+        finally:
+            if journal is not None:
+                journal.close()
+            if self.cache is not None:
+                ledger.quarantined += (
+                    self.cache.stats.quarantined - quarantined_before
+                )
+        for outcome in outcomes:
+            outcome.failures = [
+                f for f in ledger.failures if f.subject == outcome.spec.name
+            ]
         return outcomes
 
 

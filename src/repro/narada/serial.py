@@ -52,7 +52,7 @@ from repro.synth.synthesizer import SynthesizedTest
 
 #: Bump when the encoding changes shape; cache keys include it so stale
 #: artifacts from older encodings are never decoded.
-SERIAL_VERSION = 2
+SERIAL_VERSION = 3
 
 #: Top-level keys that legitimately differ between identical runs (wall
 #: clock); stripped before hashing for determinism comparisons.
@@ -390,6 +390,7 @@ class Codec:
             "packed_bytes": report.packed_bytes,
             "memo_hits": report.memo_hits,
             "memo_misses": report.memo_misses,
+            "failure_trace": report.failure_trace,
         }
 
     @staticmethod
@@ -538,6 +539,7 @@ class Codec:
             packed_bytes=data["packed_bytes"],
             memo_hits=data["memo_hits"],
             memo_misses=data["memo_misses"],
+            failure_trace=data.get("failure_trace"),
         )
 
     @staticmethod
@@ -745,6 +747,44 @@ def encode_test_bundle(test: SynthesizedTest) -> dict:
 def decode_test_bundle(data: dict) -> SynthesizedTest:
     codec = Codec.from_tables(data)
     return codec.test(data["test"])
+
+
+def encode_fault_ledger(ledger) -> dict:
+    """Self-contained encoding of a FaultLedger (the run's fault report).
+
+    Failures are emitted in recording order — it is chronology, not an
+    artifact of scheduling, that the operator wants to read back — and
+    the payload carries no shared-object tables: failures are flat
+    strings by construction (exception reprs and traceback text).
+    """
+    return {
+        "kind": "faults",
+        "version": SERIAL_VERSION,
+        "failures": [f.to_dict() for f in ledger.failures],
+        "counters": {
+            "completed": ledger.completed,
+            "retries": ledger.retries,
+            "pool_respawns": ledger.pool_respawns,
+            "timeouts": ledger.timeouts,
+            "quarantined": ledger.quarantined,
+            "resumed": ledger.resumed,
+        },
+    }
+
+
+def decode_fault_ledger(data: dict):
+    from repro.narada.faults import FaultLedger, UnitFailure
+
+    counters = data["counters"]
+    return FaultLedger(
+        failures=[UnitFailure.from_dict(f) for f in data["failures"]],
+        completed=counters["completed"],
+        retries=counters["retries"],
+        pool_respawns=counters["pool_respawns"],
+        timeouts=counters["timeouts"],
+        quarantined=counters["quarantined"],
+        resumed=counters["resumed"],
+    )
 
 
 # ----------------------------------------------------------------------
