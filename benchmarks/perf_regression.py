@@ -107,6 +107,10 @@ EXPECTED_REPORTS = {
         1,
         "PYTHONPATH=src python benchmarks/bench_fault_overhead.py",
     ),
+    "BENCH_corpus.json": (
+        1,
+        "PYTHONPATH=src python benchmarks/bench_corpus_recall.py",
+    ),
 }
 
 

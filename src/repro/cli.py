@@ -18,6 +18,12 @@ writing Python:
 * ``deadlock (--subject K | FILE)`` — the OOPSLA'14 sibling pipeline
 * ``contege  (--subject K | FILE)`` — run the random baseline
 * ``tables``                        — regenerate the evaluation tables
+* ``corpus generate``               — emit seeded synthetic subjects with
+  known-answer race oracles (``--out`` writes ``.minij`` +
+  ``.oracle.json`` pairs)
+* ``corpus run``                    — pipeline the generated corpus and
+  score recall/precision against the oracles (nonzero exit on any lost
+  race or failed subject)
 
 ``FILE`` is a MiniJ source file containing the library classes and its
 sequential seed tests.
@@ -543,6 +549,113 @@ def cmd_tables(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# Generated corpus commands.
+
+
+def _corpus_config(args):
+    from repro.corpus import CorpusConfig, template_names
+
+    templates = template_names()
+    if args.templates:
+        templates = tuple(
+            t.strip() for t in args.templates.split(",") if t.strip()
+        )
+    try:
+        return CorpusConfig(
+            seed=args.seed,
+            count=args.count,
+            templates=templates,
+            min_templates=args.min_templates,
+            max_templates=args.max_templates,
+        ).validate()
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def cmd_corpus_generate(args) -> int:
+    import os
+
+    from repro.corpus import generate_corpus
+
+    subjects = generate_corpus(_corpus_config(args))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for subject in subjects:
+            base = os.path.join(args.out, subject.key)
+            with open(base + ".minij", "w") as handle:
+                handle.write(subject.source)
+            with open(base + ".oracle.json", "w") as handle:
+                json.dump(subject.verdict.to_dict(), handle, indent=2)
+                handle.write("\n")
+        print(f"wrote {len(subjects)} subject(s) to {args.out}")
+        return 0
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "key": s.key,
+                        "class": s.class_name,
+                        "templates": list(s.template_keys),
+                        "oracle": s.verdict.to_dict(),
+                        "source": s.source,
+                    }
+                    for s in subjects
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    for subject in subjects:
+        verdict = subject.verdict
+        line = (
+            f"{subject.key}: {subject.class_name} "
+            f"[{', '.join(subject.template_keys)}] "
+            f"{len(verdict.races)} oracle race(s) "
+            f"({verdict.harmful_count()} harmful, "
+            f"{verdict.benign_count()} benign)"
+        )
+        if verdict.deadlock_potential:
+            line += ", deadlock potential"
+        print(line)
+    return 0
+
+
+def cmd_corpus_run(args) -> int:
+    from repro.corpus import run_corpus
+
+    config = _corpus_config(args)
+    with _orchestrator(args, random_runs=args.runs) as orch:
+        result = run_corpus(config, orch, batch_size=args.batch_size)
+        problems = result.problems()
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "subjects": result.subjects,
+                        "recall": result.recall,
+                        "precision": result.precision,
+                        "pair_precision": result.pair_precision,
+                        "oracle_races": result.oracle_races,
+                        "detected_races": result.detected_races,
+                        "missed_races": result.missed_races,
+                        "deadlock_expected": result.deadlock_expected,
+                        "deadlock_observed": result.deadlock_observed,
+                        "failed_subjects": result.failed_subjects,
+                        "problems": problems,
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(result.summary())
+            for problem in problems:
+                print(f"  {problem}")
+        _print_fault_summary(orch)
+    return int(bool(problems))
+
+
+# ----------------------------------------------------------------------
 # --trace-stats reporting.
 
 
@@ -761,6 +874,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=4)
     _add_pipeline_args(p)
     p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser(
+        "corpus",
+        help="generate and score the synthetic subject corpus",
+    )
+    corpus_sub = p.add_subparsers(dest="corpus_command", required=True)
+
+    def _add_corpus_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--seed", type=int, default=0, help="corpus seed")
+        sp.add_argument(
+            "--count", type=int, default=200, metavar="N",
+            help="subjects to generate (default: 200)",
+        )
+        sp.add_argument(
+            "--templates", metavar="T1,T2",
+            help="template pool (default: all; see repro.corpus.templates)",
+        )
+        sp.add_argument(
+            "--min-templates", type=int, default=2, metavar="N",
+            help="minimum templates per subject (default: 2)",
+        )
+        sp.add_argument(
+            "--max-templates", type=int, default=4, metavar="N",
+            help="maximum templates per subject (default: 4)",
+        )
+        sp.add_argument("--json", action="store_true", help="JSON output")
+
+    g = corpus_sub.add_parser(
+        "generate",
+        help="emit generated subjects with known-answer oracles",
+    )
+    _add_corpus_args(g)
+    g.add_argument(
+        "--out", metavar="DIR",
+        help="write <key>.minij + <key>.oracle.json files here",
+    )
+    g.set_defaults(func=cmd_corpus_generate)
+
+    r = corpus_sub.add_parser(
+        "run",
+        help="pipeline the generated corpus; score recall/precision "
+        "against the oracles",
+    )
+    _add_corpus_args(r)
+    r.add_argument(
+        "--runs", type=int, default=2, help="random schedules/test"
+    )
+    r.add_argument(
+        "--batch-size", type=int, default=25, metavar="N",
+        help="orchestrator wave size (bounds memory; results identical)",
+    )
+    _add_pipeline_args(r)
+    r.set_defaults(func=cmd_corpus_run)
 
     return parser
 

@@ -1,0 +1,43 @@
+"""Procedural subject corpus: seeded MiniJ generation with ground truth.
+
+The paper evaluates Narada on nine hand-ported classes; this package
+manufactures *hundreds* — each generated class is a seeded, deterministic
+composition of locking-discipline templates (:mod:`repro.corpus.templates`),
+and each comes with a known-answer :class:`OracleVerdict` derived
+constructively from the composition (:mod:`repro.corpus.oracle`), never
+from running a detector.  The recall/precision harness
+(:mod:`repro.corpus.runner`) pushes generated subjects through the
+unchanged Narada pipeline and scores the detected races against the
+oracle.
+"""
+
+from repro.corpus.generator import (
+    CorpusConfig,
+    GeneratedSubject,
+    compose_subject,
+    generate_corpus,
+    generate_subject,
+    register_corpus,
+)
+from repro.corpus.oracle import AccessSpec, OracleRace, OracleVerdict, derive_races
+from repro.corpus.runner import CorpusResult, SubjectScore, run_corpus, score_outcome
+from repro.corpus.templates import TEMPLATES, template_names
+
+__all__ = [
+    "AccessSpec",
+    "CorpusConfig",
+    "CorpusResult",
+    "GeneratedSubject",
+    "OracleRace",
+    "OracleVerdict",
+    "SubjectScore",
+    "TEMPLATES",
+    "compose_subject",
+    "derive_races",
+    "generate_corpus",
+    "generate_subject",
+    "register_corpus",
+    "run_corpus",
+    "score_outcome",
+    "template_names",
+]

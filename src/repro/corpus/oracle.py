@@ -1,0 +1,170 @@
+"""Constructive race oracles for generated subjects.
+
+A template instantiation declares, alongside the AST it builds, one
+:class:`AccessSpec` per *shared-state* field access its methods perform:
+which method, which field, read or write, and the set of **symbolic
+locks** held at the access (``"this"`` for a synchronized method or a
+``synchronized (this) {}`` block, or the name of the lock field for
+``synchronized (this.lockField) {}``).  Symbolic names suffice because a
+generated subject has exactly one shared receiver: every ``this``-rooted
+lock expression denotes one runtime object per name.
+
+The ground truth then falls out of the memory model, with no detector in
+the loop — two accesses race iff
+
+* both reach state shared between the test's threads (``shared``),
+* they touch the same field,
+* at least one is a write, and
+* the symbolic lock sets are disjoint (no common monitor ordering them).
+
+Races are reported at the granularity Narada's Table-5 counting reduces
+to: ``(field, {method, method})`` — which two client-invokable methods
+must run concurrently, racing on which field.  A race is *benign* when
+every access-level pair behind it is a pair of constant writes of the
+same value (the paper's "reset to constant" triage, §5); one harmful
+constituent makes the method-level race harmful.
+
+``deadlock_potential`` is equally constructive: the lock-order-inversion
+template (and only it) composes monitors in opposite orders, so the
+verdict simply records whether such a template is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """One field access a template's method performs, symbolically.
+
+    ``locks`` holds symbolic monitor names (``"this"`` or a lock field's
+    name).  ``shared`` is False for accesses that can only ever reach
+    thread-confined state (a freshly allocated, non-escaping object);
+    such accesses still participate in Narada's static pairing — that is
+    the false-alarm surface the corpus measures — but never in a true
+    race.  ``const_value`` carries the literal written when
+    ``is_const_write`` (``int``/``bool`` literals, or the string
+    ``"null"``).
+    """
+
+    method: str
+    field: str
+    kind: str  # "R" | "W"
+    locks: frozenset[str]
+    shared: bool = True
+    is_const_write: bool = False
+    const_value: object = None
+
+
+@dataclass(frozen=True, order=True)
+class OracleRace:
+    """One true race: a field plus the method pair that exposes it."""
+
+    field: str
+    methods: tuple[str, str]  # sorted; identical entries = same-method race
+    benign: bool = False
+
+    @property
+    def key(self) -> tuple[str, tuple[str, str]]:
+        return (self.field, self.methods)
+
+    def to_dict(self) -> dict:
+        return {
+            "field": self.field,
+            "methods": list(self.methods),
+            "benign": self.benign,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OracleRace":
+        return cls(
+            field=data["field"],
+            methods=tuple(data["methods"]),
+            benign=data["benign"],
+        )
+
+
+def _pair_races(a: AccessSpec, b: AccessSpec) -> bool:
+    """Whether the two accesses can race when run from two threads."""
+    if a.field != b.field:
+        return False
+    if not (a.shared and b.shared):
+        return False
+    if "W" not in (a.kind, b.kind):
+        return False
+    return not (a.locks & b.locks)
+
+
+def _pair_benign(a: AccessSpec, b: AccessSpec) -> bool:
+    return (
+        a.kind == "W"
+        and b.kind == "W"
+        and a.is_const_write
+        and b.is_const_write
+        and a.const_value == b.const_value
+    )
+
+
+def derive_races(specs: list[AccessSpec]) -> tuple[OracleRace, ...]:
+    """The complete set of true races over a subject's access specs.
+
+    Enumerates unordered spec pairs *including a spec with itself*: one
+    static write executed by two threads is the ``same_site`` race the
+    pair generator also models.  Method-level benignity is the
+    conjunction over constituent access pairs — a single harmful
+    combination (e.g. a constant reset racing a parameter write) makes
+    the whole method pair harmful.
+    """
+    verdicts: dict[tuple[str, tuple[str, str]], bool] = {}
+    for a, b in combinations_with_replacement(specs, 2):
+        if a is b and a.kind != "W":
+            continue  # a lone read cannot race with itself
+        if not _pair_races(a, b):
+            continue
+        key = (a.field, tuple(sorted((a.method, b.method))))
+        benign = _pair_benign(a, b)
+        verdicts[key] = verdicts.get(key, True) and benign
+    return tuple(
+        sorted(
+            OracleRace(field=f, methods=m, benign=benign)
+            for (f, m), benign in verdicts.items()
+        )
+    )
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """Ground truth for one generated subject."""
+
+    class_name: str
+    races: tuple[OracleRace, ...] = ()
+    deadlock_potential: bool = False
+    template_keys: tuple[str, ...] = ()
+
+    def race_keys(self) -> set[tuple[str, tuple[str, str]]]:
+        return {race.key for race in self.races}
+
+    def harmful_count(self) -> int:
+        return sum(1 for race in self.races if not race.benign)
+
+    def benign_count(self) -> int:
+        return sum(1 for race in self.races if race.benign)
+
+    def to_dict(self) -> dict:
+        return {
+            "class_name": self.class_name,
+            "races": [race.to_dict() for race in self.races],
+            "deadlock_potential": self.deadlock_potential,
+            "template_keys": list(self.template_keys),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OracleVerdict":
+        return cls(
+            class_name=data["class_name"],
+            races=tuple(OracleRace.from_dict(r) for r in data["races"]),
+            deadlock_potential=data["deadlock_potential"],
+            template_keys=tuple(data["template_keys"]),
+        )

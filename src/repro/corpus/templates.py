@@ -1,0 +1,406 @@
+"""Locking-discipline templates: the corpus generator's building blocks.
+
+Each template manufactures one *slice* of a generated class — fields,
+methods, constructor statements, seed-test statements, and the
+:class:`~repro.corpus.oracle.AccessSpec` list its ground truth derives
+from.  A template function takes the instance index ``n`` (every name it
+emits is suffixed with ``n``, so arbitrarily many instances compose into
+one class without collisions) and the subject's RNG (used only to vary
+literal constants — structure is never randomized, so the oracle
+construction stays syntax-directed).
+
+The seven disciplines, and what each contributes to the corpus:
+
+====================== ====================================================
+``wrong_mutex``        C1's headline defect: a reset path guards the data
+                       with a *different* monitor than the synchronized
+                       accessors — mutual exclusion in name only.
+``unguarded_reader``   C3's defect: a bare read racing a synchronized
+                       writer.
+``double_checked_init`` The classic broken DCL: unguarded fast-path read
+                       racing the lock-guarded initializing write, plus an
+                       unguarded teardown write.
+``lock_order_inversion`` Two monitors taken in opposite orders: **no**
+                       race (every data access holds both), but deadlock
+                       potential — exercises the verdict's second axis.
+``benign_constant_reset`` C6's pattern: two unguarded resets writing the
+                       same constant (benign races) alongside a
+                       synchronized parameter write (harmful ones).
+``guarded_stale_publication`` A flag-guarded publish where the reader
+                       checks the flag without any lock: races on both the
+                       flag and the payload.  The reader loads both fields
+                       unconditionally (guard tested on locals) so every
+                       oracle race is expressed in *every* schedule — the
+                       recall gate must not depend on schedule luck.
+``thread_local_receiver`` The false-alarm control: a method reading a
+                       caller-supplied object statically pairs with a
+                       method writing a *fresh, non-escaping* object.
+                       Narada generates the candidate pair; the context
+                       deriver's ⊥-owner fallback yields a no-sharing
+                       test; no race is dynamically possible.  Keeps the
+                       corpus's precision measurement honest.
+====================== ====================================================
+
+Seed statements assume the test body declares the shared receiver as
+local ``o`` (the generator emits it) and must invoke every method once
+— client invocations are what bootstrap controllability in the trace
+analysis, and the synthesizer's :class:`SeedCollector` replays them to
+capture receivers and arguments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field as dc_field
+
+from repro.corpus.oracle import AccessSpec
+from repro.lang import ast
+from repro.lang.build import (
+    assign,
+    call,
+    class_decl,
+    constructor,
+    eq,
+    expr_stmt,
+    field_decl,
+    get,
+    iff,
+    lit,
+    method,
+    new,
+    null,
+    param,
+    ret,
+    set_field,
+    set_this,
+    sync,
+    this,
+    this_get,
+    var,
+    vdecl,
+)
+from repro.lang.types import INT, VOID
+
+#: Shared helper classes, emitted once per program when any instance
+#: needs them.  ``Pad`` is a plain lock object; ``Box`` a payload cell.
+SHARED_HELPERS = {
+    "Pad": lambda: class_decl(
+        "Pad", [field_decl("p", INT)], [constructor("Pad", [], [])]
+    ),
+    "Box": lambda: class_decl(
+        "Box", [field_decl("v", INT)], [constructor("Box", [], [])]
+    ),
+}
+
+
+@dataclass
+class TemplateInstance:
+    """One template's contribution to a generated class."""
+
+    template: str
+    fields: list[ast.FieldDecl]
+    methods: list[ast.MethodDecl]
+    ctor_stmts: list[ast.Stmt]
+    seed_stmts: list[ast.Stmt]
+    accesses: list[AccessSpec]
+    helper_classes: list[ast.ClassDecl] = dc_field(default_factory=list)
+    shared_helpers: tuple[str, ...] = ()
+    deadlock_potential: bool = False
+
+
+def _recv() -> ast.VarRef:
+    return var("o")
+
+
+def t_wrong_mutex(n: int, rng: random.Random) -> TemplateInstance:
+    data, lock = f"wmData{n}", f"wmLock{n}"
+    getm, putm, resetm = f"wmGet{n}", f"wmPut{n}", f"wmReset{n}"
+    v = rng.randrange(1, 10)
+    return TemplateInstance(
+        template="wrong_mutex",
+        fields=[field_decl(data, INT), field_decl(lock, "Pad")],
+        ctor_stmts=[set_this(lock, new("Pad"))],
+        methods=[
+            method(getm, [], INT, [ret(this_get(data))], synchronized=True),
+            method(
+                putm, [param("v", INT)], VOID,
+                [set_this(data, var("v"))], synchronized=True,
+            ),
+            method(
+                resetm, [], VOID,
+                [sync(this_get(lock), set_this(data, lit(0)))],
+            ),
+        ],
+        seed_stmts=[
+            expr_stmt(call(_recv(), putm, lit(v))),
+            vdecl(INT, f"wa{n}", call(_recv(), getm)),
+            expr_stmt(call(_recv(), resetm)),
+        ],
+        accesses=[
+            AccessSpec(getm, data, "R", frozenset({"this"})),
+            AccessSpec(putm, data, "W", frozenset({"this"})),
+            AccessSpec(
+                resetm, data, "W", frozenset({lock}),
+                is_const_write=True, const_value=0,
+            ),
+            AccessSpec(resetm, lock, "R", frozenset()),
+        ],
+        shared_helpers=("Pad",),
+    )
+
+
+def t_unguarded_reader(n: int, rng: random.Random) -> TemplateInstance:
+    data = f"urData{n}"
+    readm, writem = f"urRead{n}", f"urWrite{n}"
+    v = rng.randrange(1, 10)
+    return TemplateInstance(
+        template="unguarded_reader",
+        fields=[field_decl(data, INT)],
+        ctor_stmts=[],
+        methods=[
+            method(
+                writem, [param("v", INT)], VOID,
+                [set_this(data, var("v"))], synchronized=True,
+            ),
+            method(readm, [], INT, [ret(this_get(data))]),
+        ],
+        seed_stmts=[
+            expr_stmt(call(_recv(), writem, lit(v))),
+            vdecl(INT, f"ua{n}", call(_recv(), readm)),
+        ],
+        accesses=[
+            AccessSpec(writem, data, "W", frozenset({"this"})),
+            AccessSpec(readm, data, "R", frozenset()),
+        ],
+    )
+
+
+def t_double_checked_init(n: int, rng: random.Random) -> TemplateInstance:
+    slot = f"dcSlot{n}"
+    getm, clearm = f"dcGet{n}", f"dcClear{n}"
+    return TemplateInstance(
+        template="double_checked_init",
+        fields=[field_decl(slot, "Box")],
+        ctor_stmts=[],
+        methods=[
+            method(
+                getm, [], "Box",
+                [
+                    iff(
+                        eq(this_get(slot), null()),
+                        [
+                            sync(
+                                this(),
+                                iff(
+                                    eq(this_get(slot), null()),
+                                    [set_this(slot, new("Box"))],
+                                ),
+                            )
+                        ],
+                    ),
+                    ret(this_get(slot)),
+                ],
+            ),
+            method(clearm, [], VOID, [set_this(slot, null())]),
+        ],
+        seed_stmts=[
+            vdecl("Box", f"db{n}", call(_recv(), getm)),
+            expr_stmt(call(_recv(), clearm)),
+        ],
+        accesses=[
+            AccessSpec(getm, slot, "R", frozenset()),
+            AccessSpec(getm, slot, "R", frozenset({"this"})),
+            AccessSpec(getm, slot, "W", frozenset({"this"})),
+            AccessSpec(
+                clearm, slot, "W", frozenset(),
+                is_const_write=True, const_value="null",
+            ),
+        ],
+        shared_helpers=("Box",),
+    )
+
+
+def t_lock_order_inversion(n: int, rng: random.Random) -> TemplateInstance:
+    data, lock_a, lock_b = f"loData{n}", f"loA{n}", f"loB{n}"
+    fwdm, revm = f"loFwd{n}", f"loRev{n}"
+    v = rng.randrange(1, 10)
+    return TemplateInstance(
+        template="lock_order_inversion",
+        fields=[
+            field_decl(data, INT),
+            field_decl(lock_a, "Pad"),
+            field_decl(lock_b, "Pad"),
+        ],
+        ctor_stmts=[
+            set_this(lock_a, new("Pad")),
+            set_this(lock_b, new("Pad")),
+        ],
+        methods=[
+            method(
+                fwdm, [param("v", INT)], VOID,
+                [
+                    sync(
+                        this_get(lock_a),
+                        sync(this_get(lock_b), set_this(data, var("v"))),
+                    )
+                ],
+            ),
+            method(
+                revm, [], INT,
+                [
+                    vdecl(INT, "r", lit(0)),
+                    sync(
+                        this_get(lock_b),
+                        sync(this_get(lock_a), assign("r", this_get(data))),
+                    ),
+                    ret(var("r")),
+                ],
+            ),
+        ],
+        seed_stmts=[
+            expr_stmt(call(_recv(), fwdm, lit(v))),
+            vdecl(INT, f"la{n}", call(_recv(), revm)),
+        ],
+        accesses=[
+            AccessSpec(fwdm, data, "W", frozenset({lock_a, lock_b})),
+            AccessSpec(fwdm, lock_a, "R", frozenset()),
+            AccessSpec(fwdm, lock_b, "R", frozenset({lock_a})),
+            AccessSpec(revm, data, "R", frozenset({lock_a, lock_b})),
+            AccessSpec(revm, lock_b, "R", frozenset()),
+            AccessSpec(revm, lock_a, "R", frozenset({lock_b})),
+        ],
+        shared_helpers=("Pad",),
+        deadlock_potential=True,
+    )
+
+
+def t_benign_constant_reset(n: int, rng: random.Random) -> TemplateInstance:
+    flag = f"bcFlag{n}"
+    clearm, dropm, setm = f"bcClear{n}", f"bcDrop{n}", f"bcSet{n}"
+    # The reset constant and the seed's parameter value must differ, or
+    # the set-vs-reset races would look benign at runtime by accident.
+    c = rng.randrange(0, 5)
+    v = rng.randrange(5, 10)
+    return TemplateInstance(
+        template="benign_constant_reset",
+        fields=[field_decl(flag, INT)],
+        ctor_stmts=[],
+        methods=[
+            method(clearm, [], VOID, [set_this(flag, lit(c))]),
+            method(dropm, [], VOID, [set_this(flag, lit(c))]),
+            method(
+                setm, [param("v", INT)], VOID,
+                [set_this(flag, var("v"))], synchronized=True,
+            ),
+        ],
+        seed_stmts=[
+            expr_stmt(call(_recv(), clearm)),
+            expr_stmt(call(_recv(), dropm)),
+            expr_stmt(call(_recv(), setm, lit(v))),
+        ],
+        accesses=[
+            AccessSpec(
+                clearm, flag, "W", frozenset(),
+                is_const_write=True, const_value=c,
+            ),
+            AccessSpec(
+                dropm, flag, "W", frozenset(),
+                is_const_write=True, const_value=c,
+            ),
+            AccessSpec(setm, flag, "W", frozenset({"this"})),
+        ],
+    )
+
+
+def t_guarded_stale_publication(n: int, rng: random.Random) -> TemplateInstance:
+    val, ready = f"gpVal{n}", f"gpReady{n}"
+    pubm, peekm = f"gpPublish{n}", f"gpPeek{n}"
+    v = rng.randrange(1, 10)
+    return TemplateInstance(
+        template="guarded_stale_publication",
+        fields=[field_decl(val, INT), field_decl(ready, INT)],
+        ctor_stmts=[],
+        methods=[
+            method(
+                pubm, [param("v", INT)], VOID,
+                [set_this(val, var("v")), set_this(ready, lit(1))],
+                synchronized=True,
+            ),
+            method(
+                peekm, [], INT,
+                [
+                    vdecl(INT, "r", this_get(ready)),
+                    vdecl(INT, "w", this_get(val)),
+                    iff(eq(var("r"), lit(1)), [ret(var("w"))]),
+                    ret(lit(0)),
+                ],
+            ),
+        ],
+        seed_stmts=[
+            expr_stmt(call(_recv(), pubm, lit(v))),
+            vdecl(INT, f"ga{n}", call(_recv(), peekm)),
+        ],
+        accesses=[
+            AccessSpec(pubm, val, "W", frozenset({"this"})),
+            AccessSpec(
+                pubm, ready, "W", frozenset({"this"}),
+                is_const_write=True, const_value=1,
+            ),
+            AccessSpec(peekm, ready, "R", frozenset()),
+            AccessSpec(peekm, val, "R", frozenset()),
+        ],
+    )
+
+
+def t_thread_local_receiver(n: int, rng: random.Random) -> TemplateInstance:
+    cell = f"Cell{n}"
+    touchm, churnm = f"tlTouch{n}", f"tlChurn{n}"
+    return TemplateInstance(
+        template="thread_local_receiver",
+        fields=[],
+        ctor_stmts=[],
+        methods=[
+            method(touchm, [param("c", cell)], INT, [ret(get(var("c"), "load"))]),
+            method(
+                churnm, [], VOID,
+                [
+                    vdecl(cell, "t", new(cell)),
+                    set_field(var("t"), "load", lit(1)),
+                ],
+            ),
+        ],
+        seed_stmts=[
+            vdecl(cell, f"c{n}", new(cell)),
+            vdecl(INT, f"ta{n}", call(_recv(), touchm, var(f"c{n}"))),
+            expr_stmt(call(_recv(), churnm)),
+        ],
+        accesses=[
+            AccessSpec(touchm, "load", "R", frozenset(), shared=True),
+            AccessSpec(churnm, "load", "W", frozenset(), shared=False),
+        ],
+        helper_classes=[
+            class_decl(
+                cell,
+                [field_decl("load", INT)],
+                [constructor(cell, [], [])],
+            )
+        ],
+    )
+
+
+#: Template registry in canonical order.  The order is part of the
+#: deterministic-generation contract: subject composition draws from
+#: this tuple by index.
+TEMPLATES: dict = {
+    "wrong_mutex": t_wrong_mutex,
+    "unguarded_reader": t_unguarded_reader,
+    "double_checked_init": t_double_checked_init,
+    "lock_order_inversion": t_lock_order_inversion,
+    "benign_constant_reset": t_benign_constant_reset,
+    "guarded_stale_publication": t_guarded_stale_publication,
+    "thread_local_receiver": t_thread_local_receiver,
+}
+
+
+def template_names() -> tuple[str, ...]:
+    return tuple(TEMPLATES)

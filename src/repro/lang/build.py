@@ -1,0 +1,192 @@
+"""Programmatic AST construction helpers for MiniJ.
+
+The parser is the normal way MiniJ programs come to exist; this module
+is the other way: building :mod:`repro.lang.ast` nodes directly, for
+code that *manufactures* programs (the procedural subject corpus,
+``repro.corpus``).  The helpers deliberately mirror source syntax —
+``set_this("count", lit(0))`` reads like ``this.count = 0;`` — and leave
+``line``/``node_id`` at their defaults: a built program is canonicalized
+by pretty-printing (:func:`repro.lang.pretty.pretty_program`) and
+re-parsing, which assigns real site ids.  That round trip, not the raw
+built tree, is the artifact every downstream stage consumes, so built
+nodes never need ids of their own.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.types import Type, class_type
+
+# ----------------------------------------------------------------------
+# Expressions.
+
+
+def lit(value: int) -> ast.IntLit:
+    """``value`` — a non-negative integer literal (MiniJ has no ``-n``)."""
+    if value < 0:
+        raise ValueError("MiniJ has no negative literals; build `0 - n`")
+    return ast.IntLit(value=value)
+
+
+def boolean(value: bool) -> ast.BoolLit:
+    return ast.BoolLit(value=value)
+
+
+def null() -> ast.NullLit:
+    return ast.NullLit()
+
+
+def this() -> ast.This:
+    return ast.This()
+
+
+def var(name: str) -> ast.VarRef:
+    return ast.VarRef(name=name)
+
+
+def get(target: ast.Expr, field_name: str) -> ast.FieldGet:
+    """``target.field`` — a field read."""
+    return ast.FieldGet(target=target, field_name=field_name)
+
+
+def this_get(field_name: str) -> ast.FieldGet:
+    """``this.field``."""
+    return get(this(), field_name)
+
+
+def call(target: ast.Expr, method: str, *args: ast.Expr) -> ast.Call:
+    return ast.Call(target=target, method=method, args=list(args))
+
+
+def new(class_name: str, *args: ast.Expr) -> ast.New:
+    return ast.New(class_name=class_name, args=list(args))
+
+
+def binop(op: str, left: ast.Expr, right: ast.Expr) -> ast.Binary:
+    return ast.Binary(op=op, left=left, right=right)
+
+
+def eq(left: ast.Expr, right: ast.Expr) -> ast.Binary:
+    return binop("==", left, right)
+
+
+# ----------------------------------------------------------------------
+# Statements.
+
+
+def block(*stmts: ast.Stmt) -> ast.Block:
+    return ast.Block(stmts=list(stmts))
+
+
+def vdecl(decl_type: Type | str, name: str, init: ast.Expr | None = None) -> ast.VarDecl:
+    if isinstance(decl_type, str):
+        decl_type = class_type(decl_type)
+    return ast.VarDecl(decl_type=decl_type, name=name, init=init)
+
+
+def assign(name: str, value: ast.Expr) -> ast.AssignVar:
+    return ast.AssignVar(name=name, value=value)
+
+
+def set_field(target: ast.Expr, field_name: str, value: ast.Expr) -> ast.AssignField:
+    return ast.AssignField(target=target, field_name=field_name, value=value)
+
+
+def set_this(field_name: str, value: ast.Expr) -> ast.AssignField:
+    """``this.field = value;``"""
+    return set_field(this(), field_name, value)
+
+
+def iff(cond: ast.Expr, then: list[ast.Stmt], els: list[ast.Stmt] | None = None) -> ast.If:
+    return ast.If(
+        cond=cond,
+        then_body=block(*then),
+        else_body=block(*els) if els is not None else None,
+    )
+
+
+def ret(value: ast.Expr | None = None) -> ast.Return:
+    return ast.Return(value=value)
+
+
+def sync(lock: ast.Expr, *stmts: ast.Stmt) -> ast.Sync:
+    """``synchronized (lock) { ... }``"""
+    return ast.Sync(lock=lock, body=block(*stmts))
+
+
+def expr_stmt(expr: ast.Expr) -> ast.ExprStmt:
+    return ast.ExprStmt(expr=expr)
+
+
+# ----------------------------------------------------------------------
+# Declarations.
+
+
+def param(name: str, param_type: Type | str) -> ast.Param:
+    if isinstance(param_type, str):
+        param_type = class_type(param_type)
+    return ast.Param(name=name, param_type=param_type)
+
+
+def field_decl(name: str, field_type: Type | str) -> ast.FieldDecl:
+    if isinstance(field_type, str):
+        field_type = class_type(field_type)
+    return ast.FieldDecl(name=name, field_type=field_type)
+
+
+def method(
+    name: str,
+    params: list[ast.Param],
+    return_type: Type | str,
+    body: list[ast.Stmt],
+    synchronized: bool = False,
+) -> ast.MethodDecl:
+    if isinstance(return_type, str):
+        return_type = class_type(return_type)
+    return ast.MethodDecl(
+        name=name,
+        params=params,
+        return_type=return_type,
+        body=block(*body),
+        synchronized=synchronized,
+    )
+
+
+def constructor(class_name: str, params: list[ast.Param], body: list[ast.Stmt]) -> ast.MethodDecl:
+    from repro.lang.types import VOID
+
+    return ast.MethodDecl(
+        name=class_name,
+        params=params,
+        return_type=VOID,
+        body=block(*body),
+        is_constructor=True,
+    )
+
+
+def class_decl(
+    name: str,
+    fields: list[ast.FieldDecl],
+    methods: list[ast.MethodDecl],
+    implements: list[str] | None = None,
+) -> ast.ClassDecl:
+    return ast.ClassDecl(
+        name=name,
+        implements=list(implements or []),
+        fields=fields,
+        methods=methods,
+    )
+
+
+def test_decl(name: str, stmts: list[ast.Stmt]) -> ast.TestDecl:
+    return ast.TestDecl(name=name, body=block(*stmts))
+
+
+def program(
+    classes: list[ast.ClassDecl],
+    tests: list[ast.TestDecl],
+    interfaces: list[ast.InterfaceDecl] | None = None,
+) -> ast.Program:
+    return ast.Program(
+        classes=classes, interfaces=list(interfaces or []), tests=tests
+    )

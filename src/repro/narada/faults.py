@@ -244,6 +244,16 @@ class FaultLedger:
     def record(self, failure: UnitFailure) -> None:
         self.failures.append(failure)
 
+    def absorb(self, other: "FaultLedger") -> None:
+        """Fold another run's ledger into this one (wave aggregation)."""
+        self.failures.extend(other.failures)
+        self.completed += other.completed
+        self.retries += other.retries
+        self.pool_respawns += other.pool_respawns
+        self.timeouts += other.timeouts
+        self.quarantined += other.quarantined
+        self.resumed += other.resumed
+
     def describe(self) -> str:
         """The CLI failure-summary table."""
         lines = ["-- fault ledger --"]

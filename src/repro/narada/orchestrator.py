@@ -761,6 +761,37 @@ class PipelineOrchestrator:
         return outcomes
 
 
+    def run_stream(
+        self,
+        specs: list[SubjectSpec],
+        detect: bool = True,
+        batch_size: int = 25,
+    ):
+        """Corpus-scale :meth:`run`: yield outcomes in spec order, in waves.
+
+        ``run`` holds every subject's synthesis and fuzz artifacts alive
+        until the whole list finishes — fine for nine subjects, hostile
+        to hundreds.  This generator cuts the spec list into waves of
+        ``batch_size``, runs each wave through the normal (cached,
+        fault-tolerant, deterministic) ``run``, and yields outcomes as
+        each wave completes, so a caller that scores-and-drops keeps at
+        most one wave's reports in memory.
+
+        Results are identical to one big ``run``: work units are pure
+        functions of (source, target class, config), so batch boundaries
+        cannot change what any unit computes — only when it runs.  The
+        per-``run`` fault ledgers are absorbed into one aggregate, left
+        on :attr:`fault_ledger` when the stream is exhausted.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        aggregate = FaultLedger()
+        for start in range(0, len(specs), batch_size):
+            yield from self.run(specs[start : start + batch_size], detect=detect)
+            aggregate.absorb(self.fault_ledger)
+        self.fault_ledger = aggregate
+
+
 def subject_specs(subjects=None) -> list[SubjectSpec]:
     """Specs for the built-in paper subjects (all nine by default)."""
     from repro.subjects import all_subjects

@@ -6,6 +6,7 @@ from repro.subjects.base import (
     all_subjects,
     get_subject,
     register,
+    unregister,
 )
 
 __all__ = [
@@ -14,4 +15,5 @@ __all__ = [
     "all_subjects",
     "get_subject",
     "register",
+    "unregister",
 ]

@@ -52,12 +52,35 @@ class SubjectInfo:
 
 _REGISTRY: dict[str, SubjectInfo] = {}
 
+#: Whether the built-in C1..C9 modules have been imported.  Tracked
+#: separately from registry emptiness: dynamically registered subjects
+#: (the generated corpus) may arrive *before* the first lookup, and
+#: "the registry is non-empty" must not be mistaken for "the builtins
+#: are loaded" — that was an import-order trap.
+_BUILTINS_LOADED = False
+
 
 def register(info: SubjectInfo) -> SubjectInfo:
-    if info.key in _REGISTRY:
-        raise ValueError(f"duplicate subject {info.key}")
+    """Add a subject to the registry.
+
+    Idempotent for identical re-registration (re-running a corpus
+    generator with the same config is a no-op); a key collision with
+    *different* content is still an error.
+    """
+    existing = _REGISTRY.get(info.key)
+    if existing is not None:
+        if existing == info:
+            return existing
+        raise ValueError(
+            f"duplicate subject {info.key} with conflicting definitions"
+        )
     _REGISTRY[info.key] = info
     return info
+
+
+def unregister(key: str) -> None:
+    """Remove a dynamically registered subject (test teardown hook)."""
+    _REGISTRY.pop(key, None)
 
 
 def get_subject(key: str) -> SubjectInfo:
@@ -71,14 +94,16 @@ def get_subject(key: str) -> SubjectInfo:
 
 
 def all_subjects() -> list[SubjectInfo]:
-    """All subjects in C1..C9 order."""
+    """All registered subjects in key order (C1..C9, then generated)."""
     _ensure_loaded()
     return [_REGISTRY[key] for key in sorted(_REGISTRY)]
 
 
 def _ensure_loaded() -> None:
-    if _REGISTRY:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
         return
+    _BUILTINS_LOADED = True
     # Importing the modules populates the registry via register().
     from repro.subjects import (  # noqa: F401
         c1_hazelcast_wbq,

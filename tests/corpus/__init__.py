@@ -1,0 +1,1 @@
+"""Tests for the generated subject corpus (repro.corpus)."""
