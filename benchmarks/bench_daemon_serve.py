@@ -1,0 +1,288 @@
+"""Warm-daemon service benchmark + gates: writes BENCH_daemon.json.
+
+Starts a :class:`ReproDaemon` in-process on a unix socket, then drives
+it with :class:`DaemonClient` the way a long-lived tool integration
+would:
+
+* **cold request** — first ``detect`` over the workload subjects: pays
+  pipeline work plus one pool spawn, populates the daemon's cache;
+* **warm latency** — the identical request repeated: every stage
+  replays from the in-process cache, so this measures pure service
+  overhead (framing + dispatch + cache lookup);
+* **sustained throughput** — several concurrent clients issuing warm
+  requests back-to-back; reported as requests per second end-to-end;
+* **digest identity** — the daemon's per-subject digests must equal a
+  direct in-process :class:`PipelineOrchestrator` run with the same
+  config: the service front-end must not perturb results, ever.
+
+Gates (always enforced — both hold on any machine because warm requests
+replay from cache and the daemon reuses the exact pipeline code path):
+
+* digest identity between daemon responses and the direct run;
+* warm median latency >= 2x faster than the cold request.
+
+Sustained requests/s is recorded, not gated (machine-dependent).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_daemon_serve.py \
+        [--subjects C1,C8] [--runs N] [--repeats N] [--clients N] \
+        [--jobs N] [--out PATH]
+
+or via pytest (reduced repeats): see ``test_daemon_serve_smoke`` below.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro.narada import (  # noqa: E402
+    ArtifactCache,
+    DaemonClient,
+    PipelineConfig,
+    PipelineOrchestrator,
+    ReproDaemon,
+    subject_specs,
+)
+from repro.subjects import get_subject  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_daemon.json"
+
+#: Payload schema; bump on any shape change so stale reports are caught
+#: by ``perf_regression.py --check``.
+SCHEMA_VERSION = 1
+
+DEFAULT_SUBJECTS = ["C1", "C8"]
+DEFAULT_RUNS = 2
+DEFAULT_REPEATS = 10
+DEFAULT_CLIENTS = 4
+DEFAULT_JOBS = 2
+
+#: Warm requests replay from cache; anything under 2x means the service
+#: layer itself is eating the savings.
+REQUIRED_WARM_SPEEDUP = 2.0
+
+
+def _timed_detect(client: DaemonClient, subjects, runs):
+    start = time.perf_counter()
+    response = client.request(
+        {"op": "detect", "subjects": subjects, "runs": runs}
+    )
+    elapsed = time.perf_counter() - start
+    if not response.get("ok"):
+        raise RuntimeError(f"daemon error: {response.get('error')}")
+    return elapsed, response
+
+
+def _digests(response: dict) -> dict:
+    return {
+        name: entry["digest"]
+        for name, entry in response["subjects"].items()
+    }
+
+
+def run_bench(
+    subject_keys=None,
+    runs: int = DEFAULT_RUNS,
+    repeats: int = DEFAULT_REPEATS,
+    clients: int = DEFAULT_CLIENTS,
+    jobs: int = DEFAULT_JOBS,
+    out_path: pathlib.Path = OUT_PATH,
+) -> dict:
+    """Benchmark the daemon service path; write and return the payload."""
+    subjects = subject_keys or DEFAULT_SUBJECTS
+    workdir = tempfile.mkdtemp(prefix="repro-bench-daemon-")
+    socket_path = os.path.join(workdir, "daemon.sock")
+    daemon = ReproDaemon(
+        socket_path=socket_path,
+        jobs=jobs,
+        cache=ArtifactCache(os.path.join(workdir, "cache")),
+    )
+    daemon.bind()
+    server = threading.Thread(target=daemon.serve_forever, daemon=True)
+    server.start()
+    try:
+        with DaemonClient(socket_path=socket_path) as client:
+            cold_s, cold_response = _timed_detect(client, subjects, runs)
+            warm_times = []
+            for _ in range(repeats):
+                elapsed, response = _timed_detect(client, subjects, runs)
+                warm_times.append(elapsed)
+                if _digests(response) != _digests(cold_response):
+                    raise RuntimeError("warm digests drifted from cold")
+
+        # Sustained throughput: N clients, each hammering warm requests.
+        per_client = max(2, repeats // 2)
+        errors: list[BaseException] = []
+
+        def hammer():
+            try:
+                with DaemonClient(socket_path=socket_path) as c:
+                    for _ in range(per_client):
+                        _timed_detect(c, subjects, runs)
+            except BaseException as exc:  # surface in the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(clients)
+        ]
+        sustained_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sustained_s = time.perf_counter() - sustained_start
+        if errors:
+            raise errors[0]
+        total_requests = clients * per_client
+        requests_per_s = total_requests / sustained_s
+    finally:
+        daemon.initiate_drain()
+        server.join(timeout=30)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    # Direct in-process run with the same config: the ground truth the
+    # daemon must match byte-for-byte.
+    config = PipelineConfig(random_runs=runs)
+    specs = subject_specs([get_subject(k) for k in subjects])
+    with PipelineOrchestrator(jobs=1, cache=None, config=config) as orch:
+        direct = {o.spec.name: o.digest() for o in orch.run(specs)}
+    daemon_digests = _digests(cold_response)
+    identical = daemon_digests == direct
+
+    warm_median = statistics.median(warm_times)
+    warm_speedup = cold_s / warm_median
+
+    failures = []
+    if not identical:
+        failures.append(
+            "digest identity: daemon responses differ from direct run"
+        )
+    if warm_speedup < REQUIRED_WARM_SPEEDUP:
+        failures.append(
+            f"warm latency: {warm_speedup:.1f}x < required "
+            f"{REQUIRED_WARM_SPEEDUP}x (cold {cold_s:.3f}s, "
+            f"warm median {warm_median:.3f}s)"
+        )
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": {
+            "subjects": subjects,
+            "random_runs": runs,
+            "repeats": repeats,
+            "clients": clients,
+            "requests_per_client": per_client,
+            "jobs": jobs,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "latency_s": {
+            "cold": round(cold_s, 4),
+            "warm_median": round(warm_median, 4),
+            "warm_mean": round(statistics.fmean(warm_times), 4),
+            "warm_max": round(max(warm_times), 4),
+        },
+        "throughput": {
+            "sustained_requests": total_requests,
+            "sustained_s": round(sustained_s, 3),
+            "requests_per_s": round(requests_per_s, 1),
+        },
+        "speedups": {"warm_vs_cold": round(warm_speedup, 1)},
+        "required": {"warm_vs_cold": REQUIRED_WARM_SPEEDUP},
+        "determinism": {
+            "byte_identical": identical,
+            "digests": daemon_digests,
+        },
+        "failures": failures,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _summarize(payload: dict) -> str:
+    latency = payload["latency_s"]
+    throughput = payload["throughput"]
+    lines = [
+        "daemon serve ({}; runs={}, jobs={})".format(
+            ",".join(payload["scenario"]["subjects"]),
+            payload["scenario"]["random_runs"],
+            payload["scenario"]["jobs"],
+        ),
+        f"  cold request    {latency['cold']:8.3f}s",
+        "  warm median     {:8.3f}s  ({}x vs cold)".format(
+            latency["warm_median"], payload["speedups"]["warm_vs_cold"]
+        ),
+        "  sustained       {:8.1f} req/s  ({} requests, {} clients)".format(
+            throughput["requests_per_s"],
+            throughput["sustained_requests"],
+            payload["scenario"]["clients"],
+        ),
+        "  digest identity vs direct run: {}".format(
+            payload["determinism"]["byte_identical"]
+        ),
+    ]
+    for failure in payload["failures"]:
+        lines.append(f"  GATE FAILED: {failure}")
+    return "\n".join(lines)
+
+
+def test_daemon_serve_smoke(tmp_path):
+    """Reduced-repeats smoke: identity + warm-latency gates must hold."""
+    payload = run_bench(
+        repeats=4,
+        clients=2,
+        out_path=tmp_path / "BENCH_daemon_smoke.json",
+    )
+    try:
+        from conftest import report_table
+
+        report_table("daemon_serve_smoke", _summarize(payload))
+    except ImportError:  # standalone collection
+        pass
+    assert payload["determinism"]["byte_identical"]
+    assert payload["speedups"]["warm_vs_cold"] >= REQUIRED_WARM_SPEEDUP
+    assert not payload["failures"], payload["failures"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--subjects", help="comma-separated subject keys")
+    parser.add_argument("--runs", type=int, default=DEFAULT_RUNS)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+    keys = args.subjects.split(",") if args.subjects else None
+    payload = run_bench(
+        subject_keys=keys,
+        runs=args.runs,
+        repeats=args.repeats,
+        clients=args.clients,
+        jobs=args.jobs,
+        out_path=args.out,
+    )
+    print(_summarize(payload))
+    print(f"wrote {args.out}")
+    return 1 if payload["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,37 +1,44 @@
 """End-to-end pipeline benchmark + perf gate: writes BENCH_pipeline.json.
 
-Runs the full Narada pipeline (synthesis + detection) over paper
-subjects three ways and compares wall-clock:
+Runs the full Narada pipeline (synthesis + detection) over a generated
+corpus (default: the 200-subject procedural corpus, the workload where
+parallel dispatch actually matters) four ways and compares wall-clock:
 
 * **serial** — ``jobs=1``, no cache: the pre-orchestrator baseline path;
-* **parallel cold** — ``jobs=N`` over a fresh artifact cache: process
-  pool fan-out of the per-subject pipeline and the per-test fuzz loop;
-* **warm cache** — an identical rerun against the now-populated cache:
-  every stage replays from content-addressed artifacts.
+* **parallel cold** — ``jobs=N`` over a fresh artifact cache: batched
+  process-pool fan-out of the per-subject pipeline and per-test fuzz
+  loop, batch size auto-tuned from the unit-cost EMA;
+* **parallel big-batch** — same, no cache, ``batch_ms`` forced high so
+  many units ride per worker round-trip: batch boundaries must not
+  change a single byte of output;
+* **warm cache** — rerun against the now-populated cache: every stage
+  replays from content-addressed artifacts.
 
 Three gates:
 
 * the canonical serialized reports must be **byte-identical** across all
-  three runs (the orchestrator's determinism contract) — always enforced;
+  four runs (the orchestrator's determinism contract; batching changes
+  scheduling, never results) — always enforced;
 * the warm-cache rerun must be >= 5x faster than the cold run — always
   enforced (cache replay does no pipeline work, so this holds on any
   machine);
-* the parallel run must be >= 2.5x faster than serial — enforced only
-  when the machine actually has >= 4 CPUs (a process pool cannot beat
-  serial on fewer cores; the measured ratio is still recorded).
+* the parallel run must be >= 2.5x faster than serial — enforced
+  whenever the machine has >= 4 CPUs (a process pool cannot beat serial
+  on fewer cores; the measured ratio is still recorded).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline_e2e.py \
-        [--subjects C1,C2,...] [--jobs N] [--runs N] [--out PATH]
+        [--count N] [--seed N] [--jobs N] [--runs N] [--out PATH]
 
-or via pytest (smoke variant over two subjects): see
+or via pytest (smoke variant over a small corpus slice): see
 ``test_pipeline_e2e_smoke`` below.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import pathlib
@@ -43,22 +50,29 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
+from repro.corpus.generator import CorpusConfig, generate_corpus  # noqa: E402
+from repro.corpus.runner import corpus_specs  # noqa: E402
 from repro.narada import (  # noqa: E402
     ArtifactCache,
     PipelineConfig,
     PipelineOrchestrator,
-    subject_specs,
 )
-from repro.subjects import get_subject  # noqa: E402
 
 OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_pipeline.json"
 
 #: Payload schema; bump on any shape change so stale reports are caught
 #: by ``perf_regression.py --check`` instead of KeyErrors downstream.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Corpus workload defaults (mirrors ``repro corpus run``).
+DEFAULT_COUNT = 200
+DEFAULT_SEED = 0
 
 #: Random schedules per synthesized test (modest: relative times matter).
-DEFAULT_RUNS = 3
+DEFAULT_RUNS = 2
+
+#: batch_ms for the big-batch determinism leg (vs the ~75 ms default).
+BIG_BATCH_MS = 500.0
 
 #: Acceptance ratios.
 REQUIRED_PARALLEL_SPEEDUP = 2.5
@@ -69,43 +83,58 @@ PARALLEL_GATE_MIN_CPUS = 4
 
 
 def _run(specs, jobs, cache, config):
+    """One timed leg: stream the corpus, keep only digests + ledger."""
+    digests = {}
     start = time.perf_counter()
     with PipelineOrchestrator(jobs=jobs, cache=cache, config=config) as orch:
-        outcomes = orch.run(specs, detect=True)
+        for outcome in orch.run_stream(specs, detect=True):
+            digests[outcome.spec.name] = outcome.digest()
+        ledger = orch.fault_ledger
     elapsed = time.perf_counter() - start
-    return elapsed, outcomes
+    return elapsed, digests, ledger
+
+
+def _combined(digests: dict) -> str:
+    """One hash over every per-subject digest, in spec (key) order."""
+    h = hashlib.sha256()
+    for name in sorted(digests):
+        h.update(f"{name}={digests[name]}\n".encode())
+    return h.hexdigest()
 
 
 def run_bench(
-    subject_keys: list[str] | None = None,
+    count: int = DEFAULT_COUNT,
+    seed: int = DEFAULT_SEED,
     jobs: int = 4,
     runs: int = DEFAULT_RUNS,
     out_path: pathlib.Path = OUT_PATH,
 ) -> dict:
-    """Measure serial vs parallel vs warm-cache; write and return payload."""
-    if subject_keys is None:
-        specs = subject_specs()
-    else:
-        specs = subject_specs([get_subject(k) for k in subject_keys])
+    """Measure serial/parallel/big-batch/warm; write and return payload."""
+    subjects = generate_corpus(CorpusConfig(seed=seed, count=count))
+    specs = corpus_specs(subjects)
     config = PipelineConfig(random_runs=runs)
+    big_batch = PipelineConfig(random_runs=runs, batch_ms=BIG_BATCH_MS)
     cpu_count = os.cpu_count() or 1
 
-    serial_s, serial = _run(specs, jobs=1, cache=None, config=config)
+    serial_s, serial_digests, _ = _run(specs, jobs=1, cache=None, config=config)
     cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
     try:
-        cold_s, cold = _run(
+        cold_s, cold_digests, cold_ledger = _run(
             specs, jobs=jobs, cache=ArtifactCache(cache_dir), config=config
         )
-        warm_s, warm = _run(
+        batch_s, batch_digests, _ = _run(
+            specs, jobs=jobs, cache=None, config=big_batch
+        )
+        warm_s, warm_digests, _ = _run(
             specs, jobs=jobs, cache=ArtifactCache(cache_dir), config=config
         )
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
-    digests = {o.spec.name: o.digest() for o in serial}
     identical = (
-        digests == {o.spec.name: o.digest() for o in cold}
-        and digests == {o.spec.name: o.digest() for o in warm}
+        serial_digests == cold_digests
+        and serial_digests == batch_digests
+        and serial_digests == warm_digests
     )
     parallel_speedup = serial_s / cold_s
     warm_speedup = cold_s / warm_s
@@ -115,7 +144,7 @@ def run_bench(
     if not identical:
         failures.append(
             "determinism: serialized reports differ across "
-            "serial/parallel/warm runs"
+            "serial/parallel/big-batch/warm runs"
         )
     if warm_speedup < REQUIRED_WARM_SPEEDUP:
         failures.append(
@@ -131,10 +160,13 @@ def run_bench(
     payload = {
         "schema_version": SCHEMA_VERSION,
         "scenario": {
-            "subjects": [spec.name for spec in specs],
+            "workload": "generated-corpus",
+            "corpus_seed": seed,
+            "corpus_count": count,
             "random_runs": runs,
             "directed": True,
             "jobs": jobs,
+            "big_batch_ms": BIG_BATCH_MS,
         },
         "machine": {
             "cpu_count": cpu_count,
@@ -144,10 +176,13 @@ def run_bench(
         "times_s": {
             "serial": round(serial_s, 3),
             "parallel_cold": round(cold_s, 3),
+            "parallel_big_batch": round(batch_s, 3),
             "warm_cache": round(warm_s, 3),
         },
-        "per_subject_serial_s": {
-            o.spec.name: round(o.synthesis.seconds, 3) for o in serial
+        "dispatch": {
+            "units": cold_ledger.completed,
+            "batches": cold_ledger.batches,
+            "warm_reuses": cold_ledger.warm_reuses,
         },
         "speedups": {
             "parallel_vs_serial": round(parallel_speedup, 2),
@@ -160,7 +195,8 @@ def run_bench(
         },
         "determinism": {
             "byte_identical": identical,
-            "digests": digests,
+            "subjects": len(serial_digests),
+            "combined_digest": _combined(serial_digests),
         },
         "failures": failures,
     }
@@ -172,20 +208,27 @@ def run_bench(
 def _summarize(payload: dict) -> str:
     times = payload["times_s"]
     speedups = payload["speedups"]
+    dispatch = payload["dispatch"]
     lines = [
-        "pipeline e2e ({} subject(s), runs={}, jobs={})".format(
-            len(payload["scenario"]["subjects"]),
+        "pipeline e2e (corpus x{}, runs={}, jobs={})".format(
+            payload["scenario"]["corpus_count"],
             payload["scenario"]["random_runs"],
             payload["scenario"]["jobs"],
         ),
-        f"  serial        {times['serial']:8.2f}s",
-        "  parallel cold {:8.2f}s  ({}x vs serial, gate {})".format(
+        f"  serial          {times['serial']:8.2f}s",
+        "  parallel cold   {:8.2f}s  ({}x vs serial, gate {})".format(
             times["parallel_cold"],
             speedups["parallel_vs_serial"],
             "on" if payload["required"]["parallel_gate_enforced"] else "off",
         ),
-        "  warm cache    {:8.2f}s  ({}x vs cold)".format(
+        "  big batch       {:8.2f}s  (batch_ms={})".format(
+            times["parallel_big_batch"], payload["scenario"]["big_batch_ms"]
+        ),
+        "  warm cache      {:8.2f}s  ({}x vs cold)".format(
             times["warm_cache"], speedups["warm_vs_cold"]
+        ),
+        "  dispatch: {} unit(s) in {} batch(es), {} warm reuse(s)".format(
+            dispatch["units"], dispatch["batches"], dispatch["warm_reuses"]
         ),
         "  byte-identical reports: {}".format(
             payload["determinism"]["byte_identical"]
@@ -197,9 +240,9 @@ def _summarize(payload: dict) -> str:
 
 
 def test_pipeline_e2e_smoke(tmp_path):
-    """Two-subject smoke: determinism + warm-cache gates must hold."""
+    """Small-corpus smoke: determinism + warm-cache gates must hold."""
     payload = run_bench(
-        subject_keys=["C1", "C8"],
+        count=12,
         jobs=2,
         runs=2,
         out_path=tmp_path / "BENCH_pipeline_smoke.json",
@@ -212,22 +255,24 @@ def test_pipeline_e2e_smoke(tmp_path):
         pass
     assert payload["determinism"]["byte_identical"]
     assert payload["speedups"]["warm_vs_cold"] >= REQUIRED_WARM_SPEEDUP
+    assert payload["dispatch"]["batches"] <= payload["dispatch"]["units"]
     assert not payload["failures"], payload["failures"]
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--subjects",
-        help="comma-separated subject keys (default: all nine)",
-    )
+    parser.add_argument("--count", type=int, default=DEFAULT_COUNT)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--jobs", type=int, default=4)
     parser.add_argument("--runs", type=int, default=DEFAULT_RUNS)
     parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
     args = parser.parse_args(argv)
-    keys = args.subjects.split(",") if args.subjects else None
     payload = run_bench(
-        subject_keys=keys, jobs=args.jobs, runs=args.runs, out_path=args.out
+        count=args.count,
+        seed=args.seed,
+        jobs=args.jobs,
+        runs=args.runs,
+        out_path=args.out,
     )
     print(_summarize(payload))
     print(f"wrote {args.out}")

@@ -92,8 +92,12 @@ EXPECTED_REPORTS = {
         "PYTHONPATH=src python benchmarks/perf_regression.py",
     ),
     "BENCH_pipeline.json": (
-        1,
+        2,
         "PYTHONPATH=src python benchmarks/bench_pipeline_e2e.py",
+    ),
+    "BENCH_daemon.json": (
+        1,
+        "PYTHONPATH=src python benchmarks/bench_daemon_serve.py",
     ),
     "BENCH_trace.json": (
         1,

@@ -24,6 +24,10 @@ writing Python:
 * ``corpus run``                    — pipeline the generated corpus and
   score recall/precision against the oracles (nonzero exit on any lost
   race or failed subject)
+* ``serve``                         — warm-pool pipeline daemon on a
+  unix/TCP socket; drains gracefully on SIGTERM/SIGINT
+* ``client``                        — talk to a running daemon
+  (``ping``/``stats``/``detect``/``synthesize``/``corpus``/``shutdown``)
 
 ``FILE`` is a MiniJ source file containing the library classes and its
 sequential seed tests.
@@ -33,7 +37,9 @@ fans the per-subject pipeline and the per-test fuzz loop out over a
 process pool (results are bit-identical to ``--jobs 1``), ``--no-cache``
 disables the persistent content-addressed artifact cache, and
 ``--cache-dir`` points the cache somewhere other than
-``$REPRO_CACHE_DIR`` / ``~/.cache/repro-narada``.
+``$REPRO_CACHE_DIR`` / ``~/.cache/repro-narada``.  With a pool,
+``--batch-ms`` tunes how much unit compute each worker round-trip
+carries (0 disables batching); batch boundaries never change results.
 
 They also share the fault-tolerance flags: ``--unit-timeout`` arms a
 per-unit wall-clock watchdog, ``--max-retries``/``--retry-backoff``
@@ -47,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.baseline import ConTeGe
@@ -91,6 +98,12 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes; 1 runs inline with no pool (default)",
+    )
+    parser.add_argument(
+        "--batch-ms", type=float, default=None, metavar="MS",
+        help="target work per worker dispatch; batches of small units "
+             "are auto-sized to amortize IPC under this much compute "
+             "(default: 75; 0 disables batching; results identical)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -155,18 +168,26 @@ def _cache_from(args) -> ArtifactCache | None:
     return ArtifactCache(args.cache_dir)
 
 
+def _pipeline_config(args, **config) -> PipelineConfig:
+    extra = {}
+    if getattr(args, "batch_ms", None) is not None:
+        extra["batch_ms"] = args.batch_ms
+    return PipelineConfig(
+        unit_timeout=args.unit_timeout,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        fault_inject=args.fault_inject,
+        **extra,
+        **config,
+    )
+
+
 def _orchestrator(args, **config) -> PipelineOrchestrator:
     try:
         return PipelineOrchestrator(
             jobs=args.jobs,
             cache=_cache_from(args),
-            config=PipelineConfig(
-                unit_timeout=args.unit_timeout,
-                max_retries=args.max_retries,
-                retry_backoff=args.retry_backoff,
-                fault_inject=args.fault_inject,
-                **config,
-            ),
+            config=_pipeline_config(args, **config),
             resume=args.resume,
             run_dir=args.run_dir,
         )
@@ -573,8 +594,6 @@ def _corpus_config(args):
 
 
 def cmd_corpus_generate(args) -> int:
-    import os
-
     from repro.corpus import generate_corpus
 
     subjects = generate_corpus(_corpus_config(args))
@@ -643,6 +662,7 @@ def cmd_corpus_run(args) -> int:
                         "deadlock_observed": result.deadlock_observed,
                         "failed_subjects": result.failed_subjects,
                         "problems": problems,
+                        "digests": result.digests,
                     },
                     indent=2,
                 )
@@ -653,6 +673,156 @@ def cmd_corpus_run(args) -> int:
                 print(f"  {problem}")
         _print_fault_summary(orch)
     return int(bool(problems))
+
+
+# ----------------------------------------------------------------------
+# Daemon commands: ``repro serve`` / ``repro client``.
+
+
+def _daemon_endpoint(args) -> dict:
+    """Resolve --socket/--tcp into daemon/client constructor kwargs."""
+    from repro.narada.daemon import default_socket_path, parse_tcp
+
+    if args.tcp:
+        try:
+            return {"tcp": parse_tcp(args.tcp)}
+        except ValueError as error:
+            raise SystemExit(f"error: {error}")
+    return {"socket_path": args.socket or default_socket_path()}
+
+
+def cmd_serve(args) -> int:
+    """Run the warm-pool pipeline daemon until SIGTERM/SIGINT.
+
+    The daemon owns one batched worker pool, the parsed-table and
+    batch-cost caches, and the persistent artifact cache; requests from
+    ``repro client`` (or any length-prefixed-JSON speaker) share all of
+    them.  Signals drain gracefully: in-flight requests finish and
+    answer before the process exits.
+    """
+    import signal as _signal
+
+    from repro.narada.daemon import ReproDaemon
+
+    daemon = ReproDaemon(
+        jobs=args.jobs,
+        cache=_cache_from(args),
+        base_config=_pipeline_config(args),
+        **_daemon_endpoint(args),
+    )
+    daemon.bind()
+
+    def _drain(signum, frame):
+        print(f"\nrepro serve: draining on signal {signum}", flush=True)
+        daemon.initiate_drain()
+
+    for sig in (_signal.SIGTERM, _signal.SIGINT):
+        _signal.signal(sig, _drain)
+    print(
+        f"repro serve: listening on {daemon.address} "
+        f"(jobs={daemon.jobs}, pid={os.getpid()})",
+        flush=True,
+    )
+    daemon.serve_forever()
+    print(
+        f"repro serve: drained after {daemon.stats.requests} request(s)",
+        flush=True,
+    )
+    return 0
+
+
+def _client_request(args) -> dict:
+    """Build the request object for the chosen client subcommand."""
+    request: dict = {"op": args.client_command}
+    if args.client_command in ("detect", "synthesize"):
+        if args.file:
+            with open(args.file) as handle:
+                request["source"] = handle.read()
+            if args.target_class:
+                request["target_class"] = args.target_class
+        elif args.subjects:
+            keys = [k.strip() for k in args.subjects.split(",") if k.strip()]
+            request["subjects"] = "all" if keys == ["all"] else keys
+        else:
+            raise SystemExit("error: provide --subjects C1,C8 or a FILE")
+        request["runs"] = args.runs
+        if args.vm_seed is not None:
+            request["vm_seed"] = args.vm_seed
+    elif args.client_command == "corpus":
+        request.update(
+            seed=args.seed, count=args.count, runs=args.runs,
+            batch_size=args.batch_size,
+        )
+        if args.templates:
+            request["templates"] = [
+                t.strip() for t in args.templates.split(",") if t.strip()
+            ]
+    return request
+
+
+def cmd_client(args) -> int:
+    """Send one request to a running daemon and print the response."""
+    from repro.narada.daemon import DaemonClient
+
+    request = _client_request(args)
+    client = DaemonClient(
+        timeout=args.timeout, retries=args.connect_retries,
+        **_daemon_endpoint(args),
+    )
+    try:
+        with client:
+            response = client.request(request)
+    except (ConnectionError, OSError) as error:
+        raise SystemExit(f"error: {error}")
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 1
+    if not response.get("ok"):
+        print(f"error from daemon: {response.get('error')}")
+        return 1
+    op = response.get("op")
+    if op == "ping":
+        print(
+            f"daemon pid={response['pid']} up {response['uptime_s']}s, "
+            f"jobs={response['jobs']}, "
+            f"{response['requests_served']} request(s) served"
+        )
+    elif op in ("detect", "synthesize"):
+        for name, entry in sorted(response["subjects"].items()):
+            line = f"{name}: {entry.get('tests', 0)} test(s)"
+            if "detected" in entry:
+                line += (
+                    f", {entry['detected']} race(s) detected, "
+                    f"{entry['reproduced']} reproduced"
+                )
+                if entry.get("partial"):
+                    line += " [partial]"
+            caches = [
+                flag
+                for flag in ("synthesis_cached", "detection_cached")
+                if entry.get(flag)
+            ]
+            if caches:
+                line += f" [{', '.join(c.split('_')[0] for c in caches)} cached]"
+            print(line)
+    elif op == "corpus":
+        print(
+            f"{response['subjects']} subject(s): "
+            f"recall {response['recall']:.3f}, "
+            f"precision {response['precision']:.3f}, "
+            f"{response['missed_races']} lost race(s)"
+        )
+        for problem in response["problems"]:
+            print(f"  {problem}")
+    else:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    print(
+        f"[{response['request_id']} in {response['elapsed_s']}s]",
+        file=sys.stderr,
+    )
+    if op == "corpus" and response["problems"]:
+        return 1
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -927,6 +1097,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pipeline_args(r)
     r.set_defaults(func=cmd_corpus_run)
+
+    def _add_endpoint_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--socket", metavar="PATH",
+            help="unix socket path (default: $REPRO_DAEMON_SOCKET or "
+                 "<cache root>/daemon.sock)",
+        )
+        sp.add_argument(
+            "--tcp", metavar="HOST:PORT",
+            help="serve/connect over TCP instead of a unix socket",
+        )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the warm-pool pipeline daemon on a unix/TCP socket",
+    )
+    _add_endpoint_args(p)
+    _add_pipeline_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="send one request to a running `repro serve` daemon",
+    )
+    _add_endpoint_args(p)
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="socket timeout (default: block until the daemon answers)",
+    )
+    p.add_argument(
+        "--connect-retries", type=int, default=10, metavar="N",
+        help="connection attempts before giving up (default: 10, "
+             "covering a daemon that is still binding)",
+    )
+    client_sub = p.add_subparsers(dest="client_command", required=True)
+
+    def _add_json(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--json", action="store_true", help="raw JSON response"
+        )
+
+    cp = client_sub.add_parser("ping", help="daemon liveness + uptime")
+    cs = client_sub.add_parser("stats", help="cache/pool/request counters")
+    csd = client_sub.add_parser("shutdown", help="ask the daemon to drain")
+    for leaf in (cp, cs, csd):
+        _add_json(leaf)
+        leaf.set_defaults(func=cmd_client)
+
+    for op, title in (
+        ("detect", "synthesis + detection for subjects or a MiniJ file"),
+        ("synthesize", "synthesis only for subjects or a MiniJ file"),
+    ):
+        cd = client_sub.add_parser(op, help=title)
+        cd.add_argument("file", nargs="?", help="MiniJ source file")
+        cd.add_argument(
+            "--subjects", metavar="KEYS",
+            help="comma-separated built-in subject keys (or 'all')",
+        )
+        cd.add_argument(
+            "--class", dest="target_class", help="class under analysis"
+        )
+        cd.add_argument(
+            "--runs", type=int, default=6, help="random schedules/test"
+        )
+        cd.add_argument("--vm-seed", type=int, default=None)
+        _add_json(cd)
+        cd.set_defaults(func=cmd_client)
+
+    cc = client_sub.add_parser(
+        "corpus", help="generate + pipeline a corpus through the daemon"
+    )
+    cc.add_argument("--seed", type=int, default=0)
+    cc.add_argument("--count", type=int, default=20, metavar="N")
+    cc.add_argument("--runs", type=int, default=2)
+    cc.add_argument("--templates", metavar="T1,T2")
+    cc.add_argument("--batch-size", type=int, default=25, metavar="N")
+    _add_json(cc)
+    cc.set_defaults(func=cmd_client)
 
     return parser
 

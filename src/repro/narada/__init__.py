@@ -1,6 +1,7 @@
 """The end-to-end Narada pipeline."""
 
 from repro.narada.cache import ArtifactCache, default_cache_dir, table_digest
+from repro.narada.daemon import DaemonClient, ReproDaemon, default_socket_path
 from repro.narada.faults import (
     FaultInjector,
     FaultLedger,
@@ -20,6 +21,7 @@ from repro.narada.pipeline import DetectionReport, Narada, SynthesisReport
 
 __all__ = [
     "ArtifactCache",
+    "DaemonClient",
     "DetectionReport",
     "FaultInjector",
     "FaultLedger",
@@ -27,6 +29,7 @@ __all__ = [
     "Narada",
     "PipelineConfig",
     "PipelineOrchestrator",
+    "ReproDaemon",
     "RunLedger",
     "SubjectOutcome",
     "SubjectSpec",
@@ -34,6 +37,7 @@ __all__ = [
     "UnitExecutionError",
     "UnitFailure",
     "default_cache_dir",
+    "default_socket_path",
     "subject_specs",
     "table_digest",
 ]

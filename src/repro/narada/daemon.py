@@ -1,0 +1,641 @@
+"""Long-running pipeline service: ``repro serve`` and ``repro client``.
+
+The batched pool (:mod:`repro.narada.faults`) makes one *run* cheap by
+amortizing worker spawns and pipe round-trips inside it; this module
+amortizes them across runs.  A daemon owns exactly one warm
+:class:`FaultTolerantPool` plus the in-process memo caches (parsed
+class tables, the batch-cost model) and the persistent artifact cache,
+and serves ``detect`` / ``synthesize`` / ``corpus`` requests from many
+concurrent clients over a unix or TCP socket — the pipeline as a
+service instead of a one-shot CLI process.
+
+Protocol
+--------
+Length-prefixed JSON: each frame is a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  Requests are objects with
+an ``op`` key (``ping`` / ``stats`` / ``synthesize`` / ``detect`` /
+``corpus`` / ``shutdown``); responses always carry ``ok`` plus either
+the op's result or ``error``.  A connection may issue any number of
+requests back-to-back (the benchmark client does); the stock CLI client
+sends one per connection.
+
+Semantics
+---------
+* **Determinism** — requests run through the ordinary
+  :class:`PipelineOrchestrator` with a per-request config, so a
+  ``detect`` response's digests are byte-identical to the same workload
+  run via ``repro run``/``repro corpus run`` directly: work units are
+  pure functions of content, and neither the shared pool, the shared
+  caches, nor request interleaving can reach them.
+* **Isolation** — each request gets its own orchestrator and its own
+  :class:`FaultLedger` (returned in the response and retained in the
+  daemon's per-request run log); only the warm pool and caches are
+  shared, and pipeline execution is serialized on an internal lock so
+  concurrent clients queue rather than interleave half-runs.
+* **Graceful drain** — SIGTERM/SIGINT stop the accept loop, let every
+  in-flight request finish and send its response, then close the pool
+  and unlink the socket.  Clients reconnect after a restart; the warm
+  disk cache makes the replay cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.narada.cache import ArtifactCache, default_cache_dir
+from repro.narada.faults import FaultLedger, FaultTolerantPool
+from repro.narada.orchestrator import (
+    PipelineConfig,
+    PipelineOrchestrator,
+    SubjectSpec,
+    subject_specs,
+)
+from repro.narada.serial import encode_fault_ledger
+
+#: Wire protocol version, echoed by ``ping`` so mismatched clients can
+#: fail with a message instead of a decode error.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame; anything larger is a protocol error
+#: (a corrupt length prefix would otherwise ask for gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Environment variable naming the default daemon socket path.
+DAEMON_SOCKET_ENV = "REPRO_DAEMON_SOCKET"
+
+#: How often an idle connection handler wakes to check for drain.
+_IDLE_POLL_SECONDS = 0.5
+
+
+class ProtocolError(Exception):
+    """Malformed frame or oversized payload on the wire."""
+
+
+def default_socket_path() -> str:
+    """``$REPRO_DAEMON_SOCKET`` or ``<cache root>/daemon.sock``."""
+    env = os.environ.get(DAEMON_SOCKET_ENV)
+    if env:
+        return env
+    return str(default_cache_dir() / "daemon.sock")
+
+
+# ----------------------------------------------------------------------
+# Framing.
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    data = json.dumps(payload, separators=(",", ":")).encode()
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large ({len(data)} bytes)")
+    sock.sendall(struct.pack(">I", len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on clean EOF at a boundary.
+
+    A ``socket.timeout`` before the first byte propagates (the caller's
+    idle/drain poll); mid-frame timeouts keep reading — once a frame
+    has started, only completing it or a hard close makes sense.
+    """
+    chunks = b""
+    while len(chunks) < count:
+        try:
+            chunk = sock.recv(count - len(chunks))
+        except socket.timeout:
+            if not chunks:
+                raise
+            continue
+        if not chunk:
+            if chunks:
+                raise ProtocolError("connection closed mid-frame")
+            return None
+        chunks += chunk
+    return chunks
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; None on clean EOF before a frame starts."""
+    header = _recv_exact(sock, 4)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds limit")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed before frame body")
+    try:
+        payload = json.loads(body)
+    except ValueError as error:
+        raise ProtocolError(f"undecodable frame: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload is not an object")
+    return payload
+
+
+def parse_tcp(spec: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (the ``--tcp`` flag)."""
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"bad --tcp address {spec!r}; expected HOST:PORT")
+    return host, int(port)
+
+
+# ----------------------------------------------------------------------
+# The daemon.
+
+
+@dataclass
+class RequestRecord:
+    """Per-request run ledger entry kept by the daemon."""
+
+    request_id: str
+    op: str
+    elapsed_s: float
+    ok: bool
+    ledger: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "op": self.op,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "ok": self.ok,
+            "ledger": self.ledger,
+        }
+
+
+@dataclass
+class DaemonStats:
+    """Service-level counters, separate from any one request's ledger."""
+
+    requests: int = 0
+    errors: int = 0
+    connections: int = 0
+    records: list[RequestRecord] = field(default_factory=list)
+
+    #: Bound on retained per-request records (oldest dropped first).
+    MAX_RECORDS = 256
+
+    def record(self, rec: RequestRecord) -> None:
+        self.records.append(rec)
+        if len(self.records) > self.MAX_RECORDS:
+            del self.records[: len(self.records) - self.MAX_RECORDS]
+
+
+class ReproDaemon:
+    """One warm pool + caches behind a unix/TCP socket.
+
+    Construct, then either drive :meth:`serve_forever` from a CLI entry
+    (which installs signal handlers) or call :meth:`bind` /
+    :meth:`serve_forever` / :meth:`initiate_drain` directly from tests.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        tcp: tuple[str, int] | None = None,
+        jobs: int = 2,
+        cache: ArtifactCache | None = None,
+        base_config: PipelineConfig | None = None,
+    ) -> None:
+        if (socket_path is None) == (tcp is None):
+            raise ValueError("exactly one of socket_path / tcp is required")
+        self.socket_path = socket_path
+        self.tcp = tcp
+        self.jobs = max(1, jobs)
+        self.cache = cache
+        self.base_config = (
+            base_config if base_config is not None else PipelineConfig()
+        )
+        self.stats = DaemonStats()
+        self._pool: FaultTolerantPool | None = None
+        self._listener: socket.socket | None = None
+        self._run_lock = threading.Lock()  # serializes pipeline execution
+        self._state_lock = threading.Lock()  # guards stats + request ids
+        self._draining = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._started = time.monotonic()
+        self._request_counter = 0
+        self._bound_address: str | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """Human-readable bound address (for the startup banner)."""
+        return self._bound_address or "<unbound>"
+
+    def bind(self) -> None:
+        if self.tcp is not None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(self.tcp)
+            self._bound_address = "%s:%d" % listener.getsockname()[:2]
+        else:
+            path = pathlib.Path(self.socket_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                path.unlink()  # stale socket from a dead daemon
+            except OSError:
+                pass
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(str(path))
+            self._bound_address = str(path)
+        listener.listen(16)
+        # A bounded accept() lets the loop notice a drain requested from a
+        # handler thread (closing the fd does not wake a blocked accept).
+        listener.settimeout(0.5)
+        self._listener = listener
+
+    def _shared_pool(self) -> FaultTolerantPool | None:
+        """The warm pool every request's orchestrator dispatches on."""
+        if self.jobs <= 1:
+            return None  # inline mode: no pool, no pickling
+        if self._pool is None:
+            self._pool = FaultTolerantPool(
+                self.jobs,
+                self.base_config.retry_policy(),
+                FaultLedger(),
+                batch_target_ms=self.base_config.batch_ms,
+            )
+        return self._pool
+
+    def serve_forever(self) -> None:
+        """Accept loop; returns after :meth:`initiate_drain` completes.
+
+        Each connection is handled on its own thread; pipeline work is
+        serialized on the run lock, so concurrent clients queue for the
+        warm pool rather than fighting over it.
+        """
+        if self._listener is None:
+            self.bind()
+        while not self._draining.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue  # re-check the drain flag
+            except OSError:
+                break  # listener closed by initiate_drain
+            with self._state_lock:
+                self.stats.connections += 1
+            thread = threading.Thread(
+                target=self._handle_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        # Drain: every in-flight request finishes and answers.
+        for thread in self._threads:
+            thread.join()
+        self.close()
+
+    def initiate_drain(self) -> None:
+        """Stop accepting; let in-flight requests finish (signal-safe)."""
+        self._draining.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self.initiate_drain()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._listener = None
+        if self.socket_path is not None:
+            try:
+                pathlib.Path(self.socket_path).unlink()
+            except OSError:
+                pass
+
+    # -- connection handling -------------------------------------------
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        with conn:
+            conn.settimeout(_IDLE_POLL_SECONDS)
+            while True:
+                try:
+                    request = recv_frame(conn)
+                except socket.timeout:
+                    if self._draining.is_set():
+                        break
+                    continue
+                except ProtocolError:
+                    break
+                if request is None:
+                    break  # client closed cleanly
+                response = self.handle_request(request)
+                try:
+                    send_frame(conn, response)
+                except OSError:
+                    break
+                if response.get("op") == "shutdown" or self._draining.is_set():
+                    break
+
+    def handle_request(self, request: dict) -> dict:
+        """Execute one request object; always returns a response dict."""
+        op = request.get("op")
+        with self._state_lock:
+            self._request_counter += 1
+            request_id = f"r{self._request_counter:06d}"
+            self.stats.requests += 1
+        started = time.monotonic()
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            response = {
+                "ok": False,
+                "error": f"unknown op {op!r}",
+                "ops": sorted(
+                    name[4:] for name in dir(self) if name.startswith("_op_")
+                ),
+            }
+        else:
+            try:
+                response = handler(request)
+            except Exception as error:  # noqa: BLE001 — reported to client
+                with self._state_lock:
+                    self.stats.errors += 1
+                response = {"ok": False, "error": repr(error)}
+        elapsed = time.monotonic() - started
+        response.setdefault("ok", True)
+        response["op"] = op
+        response["request_id"] = request_id
+        response["elapsed_s"] = round(elapsed, 4)
+        with self._state_lock:
+            self.stats.record(
+                RequestRecord(
+                    request_id=request_id,
+                    op=op if isinstance(op, str) else repr(op),
+                    elapsed_s=elapsed,
+                    ok=bool(response.get("ok")),
+                    ledger=response.get("ledger"),
+                )
+            )
+        return response
+
+    # -- per-request pipeline plumbing ---------------------------------
+
+    def _request_config(self, request: dict) -> PipelineConfig:
+        """The per-request pipeline config over the daemon's base.
+
+        Only deterministic pipeline parameters are per-request; the
+        fault policy and batch target belong to the daemon operator.
+        """
+        base = self.base_config.to_dict()
+        for key in ("vm_seed", "rng_seed", "random_runs", "directed"):
+            if key in request:
+                base[key] = request[key]
+        if "runs" in request:  # CLI-friendly alias
+            base["random_runs"] = request["runs"]
+        return PipelineConfig.from_dict(base)
+
+    def _specs_from(self, request: dict) -> list[SubjectSpec]:
+        if "source" in request:
+            from repro.lang import load
+
+            source = request["source"]
+            target = request.get("target_class")
+            if target is None:
+                names = load(source).class_names()
+                if len(names) != 1:
+                    raise ValueError(
+                        f"target_class needed; source defines {names}"
+                    )
+                target = names[0]
+            name = request.get("name", target)
+            return [
+                SubjectSpec(name=name, source=source, target_class=target)
+            ]
+        keys = request.get("subjects")
+        if not keys:
+            raise ValueError("request needs 'subjects' or 'source'")
+        from repro.subjects import all_subjects, get_subject
+
+        if keys == "all" or keys == ["all"]:
+            return subject_specs(all_subjects())
+        return subject_specs([get_subject(k) for k in keys])
+
+    def _run_pipeline(
+        self, specs: list[SubjectSpec], config: PipelineConfig, detect: bool
+    ):
+        """One serialized pipeline run on the shared warm pool."""
+        with self._run_lock:
+            orch = PipelineOrchestrator(
+                jobs=self.jobs,
+                cache=self.cache,
+                config=config,
+                pool=self._shared_pool(),
+            )
+            try:
+                outcomes = orch.run(specs, detect=detect)
+            finally:
+                orch.close()  # borrowed pool survives; owned state drops
+            return outcomes, orch.fault_ledger
+
+    # -- ops -----------------------------------------------------------
+
+    def _op_ping(self, request: dict) -> dict:
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "jobs": self.jobs,
+            "requests_served": self.stats.requests,
+        }
+
+    def _op_stats(self, request: dict) -> dict:
+        cache_stats = None
+        if self.cache is not None:
+            cache_stats = {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "writes": self.cache.stats.writes,
+                "quarantined": self.cache.stats.quarantined,
+            }
+        pool = self._pool
+        pool_stats = None
+        if pool is not None:
+            pool_stats = {
+                "workers": len(pool._workers),
+                "unit_cost_ema": {
+                    stage: round(cost, 6)
+                    for stage, cost in sorted(pool.sizer._ema.items())
+                },
+            }
+        with self._state_lock:
+            records = [r.to_dict() for r in self.stats.records[-20:]]
+            totals = {
+                "requests": self.stats.requests,
+                "errors": self.stats.errors,
+                "connections": self.stats.connections,
+            }
+        return {
+            "ok": True,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "totals": totals,
+            "cache": cache_stats,
+            "pool": pool_stats,
+            "recent_requests": records,
+        }
+
+    def _op_synthesize(self, request: dict) -> dict:
+        return self._pipeline_response(request, detect=False)
+
+    def _op_detect(self, request: dict) -> dict:
+        return self._pipeline_response(request, detect=True)
+
+    def _pipeline_response(self, request: dict, detect: bool) -> dict:
+        specs = self._specs_from(request)
+        config = self._request_config(request)
+        outcomes, ledger = self._run_pipeline(specs, config, detect=detect)
+        subjects = {}
+        for outcome in outcomes:
+            entry: dict = {"digest": outcome.digest()}
+            if outcome.synthesis is not None:
+                entry.update(
+                    tests=outcome.synthesis.test_count,
+                    pairs=outcome.synthesis.pair_count,
+                    synthesis_cached=outcome.synthesis_cached,
+                )
+            if outcome.detection is not None:
+                entry.update(
+                    detected=outcome.detection.detected,
+                    reproduced=outcome.detection.reproduced,
+                    detection_cached=outcome.detection_cached,
+                    partial=outcome.detection_partial,
+                )
+            if outcome.failures:
+                entry["failures"] = [f.to_dict() for f in outcome.failures]
+            subjects[outcome.spec.name] = entry
+        return {
+            "ok": True,
+            "subjects": subjects,
+            "ledger": encode_fault_ledger(ledger),
+        }
+
+    def _op_corpus(self, request: dict) -> dict:
+        from repro.corpus import CorpusConfig, run_corpus, template_names
+
+        templates = request.get("templates") or list(template_names())
+        corpus_config = CorpusConfig(
+            seed=int(request.get("seed", 0)),
+            count=int(request.get("count", 20)),
+            templates=tuple(templates),
+            min_templates=int(request.get("min_templates", 2)),
+            max_templates=int(request.get("max_templates", 4)),
+        ).validate()
+        config = self._request_config(request)
+        batch_size = int(request.get("batch_size", 25))
+        with self._run_lock:
+            orch = PipelineOrchestrator(
+                jobs=self.jobs,
+                cache=self.cache,
+                config=config,
+                pool=self._shared_pool(),
+            )
+            try:
+                result = run_corpus(corpus_config, orch, batch_size=batch_size)
+            finally:
+                orch.close()
+            ledger = orch.fault_ledger
+        return {
+            "ok": True,
+            "subjects": result.subjects,
+            "recall": result.recall,
+            "precision": result.precision,
+            "pair_precision": result.pair_precision,
+            "oracle_races": result.oracle_races,
+            "detected_races": result.detected_races,
+            "missed_races": result.missed_races,
+            "failed_subjects": result.failed_subjects,
+            "problems": result.problems(),
+            "digests": result.digests,
+            "ledger": encode_fault_ledger(ledger),
+        }
+
+    def _op_shutdown(self, request: dict) -> dict:
+        self.initiate_drain()
+        return {"ok": True, "draining": True}
+
+
+# ----------------------------------------------------------------------
+# Client.
+
+
+class DaemonClient:
+    """Blocking client for the daemon protocol (one socket, N requests)."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        tcp: tuple[str, int] | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
+        retry_delay: float = 0.2,
+    ) -> None:
+        if (socket_path is None) == (tcp is None):
+            raise ValueError("exactly one of socket_path / tcp is required")
+        self.socket_path = socket_path
+        self.tcp = tcp
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.retry_delay = retry_delay
+        self._sock: socket.socket | None = None
+
+    def connect(self) -> None:
+        """Connect now (with bounded retries for a daemon still binding)."""
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                if self.tcp is not None:
+                    sock = socket.create_connection(
+                        self.tcp, timeout=self.timeout
+                    )
+                else:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(self.timeout)
+                    sock.connect(self.socket_path)
+                self._sock = sock
+                return
+            except OSError as error:
+                last_error = error
+                if attempt < self.retries:
+                    time.sleep(self.retry_delay * (attempt + 1))
+        raise ConnectionError(
+            f"cannot reach repro daemon at "
+            f"{self.socket_path or '%s:%d' % self.tcp}: {last_error}"
+        ) from last_error
+
+    def request(self, payload: dict) -> dict:
+        if self._sock is None:
+            self.connect()
+        send_frame(self._sock, payload)
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ConnectionError("daemon closed the connection mid-request")
+        return response
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -6,11 +6,19 @@ ConTeGe both survive per-test failures by recording them and moving on.
 This module gives the orchestrator the same property at every stage:
 
 * :class:`FaultTolerantPool` — a small process pool built on per-worker
-  pipes instead of ``concurrent.futures``.  Because each worker runs
-  exactly one dispatched unit at a time over its own connection, a dead
-  or hung worker is blamed on *precisely* the unit it was running (a
-  ``BrokenProcessPool`` cannot say which task killed it); the worker is
-  killed and respawned and only that unit is retried.
+  pipes instead of ``concurrent.futures``.  Workers receive **batches**
+  of units per round-trip (auto-sized by :class:`BatchSizer` so one
+  dispatch carries ~``batch_target_ms`` of work — per-unit pipe
+  round-trips dominate when units cost single-digit milliseconds) but
+  stream **one result message per unit**, so the parent always knows
+  exactly which unit each worker is executing: a dead or hung worker is
+  blamed on *precisely* the in-flight unit (a ``BrokenProcessPool``
+  cannot say which task killed it), the results already streamed for
+  earlier units in the batch survive, the not-yet-started remainder is
+  requeued untouched, and only the blamed unit is retried.  Workers are
+  persistent: one pool serves every phase of a run (and, under the
+  daemon, every request), so spawn cost and per-process caches amortize
+  across the whole workload.
 * :class:`RetryPolicy` — per-unit wall-clock watchdog deadlines and
   bounded retries with exponential backoff.  Retries re-run the same
   pure unit (schedule seeds depend only on content), so a retried
@@ -62,6 +70,15 @@ UNWATCHED_HANG_SECONDS = 5.0
 
 #: Exit code an injected worker crash dies with (visible in waitpid).
 INJECTED_CRASH_EXIT = 13
+
+#: Default per-dispatch work target: batches are sized so one worker
+#: round-trip carries about this much compute (amortizing the pipe IPC
+#: and pickling under it) while staying small enough that crash blame,
+#: watchdog deadlines, and checkpointing remain responsive.
+DEFAULT_BATCH_TARGET_MS = 75.0
+
+#: Hard cap on units per dispatch regardless of how cheap they look.
+MAX_BATCH_UNITS = 64
 
 
 class UnitTimeout(Exception):
@@ -195,6 +212,62 @@ class FaultInjector:
 
 
 # ----------------------------------------------------------------------
+# Batch sizing.
+
+
+class BatchSizer:
+    """Adaptive units-per-dispatch from an EMA of observed unit cost.
+
+    The parent measures each unit's cost as the interval between its
+    worker's result messages (compute plus its share of pipe traffic —
+    exactly the quantity a dispatch must amortize) and keeps one
+    exponential moving average per stage, since synthesis units and fuzz
+    units live on different cost scales.  A stage with no observations
+    yet dispatches one unit — the probe that seeds the average — and
+    from then on ``size()`` targets ``target_ms`` of work per dispatch,
+    clamped to [1, ``max_units``].
+
+    Sizing only changes *when* a unit runs, never what it computes, so
+    any target (including the ``--batch-ms`` override) produces
+    byte-identical results.
+    """
+
+    __slots__ = ("target_s", "max_units", "alpha", "_ema")
+
+    def __init__(
+        self,
+        target_ms: float = DEFAULT_BATCH_TARGET_MS,
+        max_units: int = MAX_BATCH_UNITS,
+        alpha: float = 0.3,
+    ) -> None:
+        self.target_s = max(0.0, target_ms) / 1000.0
+        self.max_units = max(1, max_units)
+        self.alpha = alpha
+        self._ema: dict[str, float] = {}
+
+    def observe(self, stage: str, seconds: float) -> None:
+        seconds = max(1e-6, seconds)
+        previous = self._ema.get(stage)
+        if previous is None:
+            self._ema[stage] = seconds
+        else:
+            self._ema[stage] = (
+                self.alpha * seconds + (1.0 - self.alpha) * previous
+            )
+
+    def unit_cost(self, stage: str) -> float | None:
+        return self._ema.get(stage)
+
+    def size(self, stage: str) -> int:
+        if self.target_s <= 0.0:
+            return 1  # batching disabled: one unit per round-trip
+        ema = self._ema.get(stage)
+        if ema is None:
+            return 1  # probe dispatch seeds the average
+        return max(1, min(self.max_units, int(self.target_s / ema)))
+
+
+# ----------------------------------------------------------------------
 # Structured failure reporting.
 
 
@@ -237,6 +310,11 @@ class FaultLedger:
     timeouts: int = 0
     quarantined: int = 0
     resumed: int = 0
+    batches: int = 0
+    """Worker dispatches (each carries one or more units)."""
+    warm_reuses: int = 0
+    """Dispatches served by an already-warm worker — every one of these
+    is a spawn a per-phase (or per-request) pool would have paid."""
 
     def ok(self) -> bool:
         return not self.failures
@@ -253,6 +331,8 @@ class FaultLedger:
         self.timeouts += other.timeouts
         self.quarantined += other.quarantined
         self.resumed += other.resumed
+        self.batches += other.batches
+        self.warm_reuses += other.warm_reuses
 
     def describe(self) -> str:
         """The CLI failure-summary table."""
@@ -274,7 +354,8 @@ class FaultLedger:
         lines.append(
             f"completed={self.completed} retries={self.retries} "
             f"timeouts={self.timeouts} pool_respawns={self.pool_respawns} "
-            f"quarantined={self.quarantined} resumed={self.resumed}"
+            f"quarantined={self.quarantined} resumed={self.resumed} "
+            f"batches={self.batches} warm_reuses={self.warm_reuses}"
         )
         return "\n".join(lines)
 
@@ -430,24 +511,51 @@ class PoolUnit:
 
 
 class _Worker:
-    """Parent-side handle: one process, one pipe, one in-flight unit."""
+    """Parent-side handle: one process, one pipe, one in-flight batch.
 
-    __slots__ = ("process", "conn", "unit", "started")
+    ``batch`` is the list of units the worker is currently executing in
+    order; ``cursor`` indexes the unit whose result has not arrived yet
+    (the in-flight unit — the one a crash or deadline blames).
+    ``dispatches`` counts completed round-trips, which is what marks a
+    worker as *warm*: its process, imports, and per-process caches are
+    already paid for.
+    """
+
+    __slots__ = ("process", "conn", "batch", "cursor", "started", "dispatches")
 
     def __init__(self, process: Process, conn) -> None:
         self.process = process
         self.conn = conn
-        self.unit: PoolUnit | None = None
+        self.batch: list[PoolUnit] | None = None
+        self.cursor: int = 0
         self.started: float = 0.0
+        self.dispatches: int = 0
+
+    @property
+    def unit(self) -> PoolUnit | None:
+        """The in-flight unit, or None when idle."""
+        if self.batch is None or self.cursor >= len(self.batch):
+            return None
+        return self.batch[self.cursor]
+
+    def remainder(self) -> list[PoolUnit]:
+        """Units after the in-flight one: dispatched but never started."""
+        if self.batch is None:
+            return []
+        return self.batch[self.cursor + 1 :]
 
 
 def _pool_worker(conn) -> None:
-    """Worker loop: one task per message, result per reply.
+    """Worker loop: one *batch* per message, one reply streamed per unit.
 
-    Anything that escapes as an ordinary exception is reported with its
-    traceback; a hard death (``os._exit``, segfault, SIGTERM from the
-    watchdog) closes the pipe, which the parent reads as a crash of
-    exactly the unit this worker was running.
+    Each ``("batch", [(fn, args), ...])`` message is executed in order,
+    sending ``("ok", payload)`` or ``("err", repr, traceback)`` after
+    every unit — so the parent's view of which unit is in flight is
+    exact at all times.  Anything that escapes as an ordinary exception
+    is reported with its traceback and the rest of the batch still runs;
+    a hard death (``os._exit``, segfault, SIGTERM from the watchdog)
+    closes the pipe mid-batch, which the parent reads as a crash of
+    exactly the in-flight unit.
     """
     while True:
         try:
@@ -456,16 +564,21 @@ def _pool_worker(conn) -> None:
             break
         if message[0] == "exit":
             break
-        _, fn, args = message
-        try:
-            payload = fn(*args)
-        except Exception as error:  # noqa: BLE001 — reported, not hidden
-            reply = ("err", repr(error), traceback.format_exc())
-        else:
-            reply = ("ok", payload)
-        try:
-            conn.send(reply)
-        except (BrokenPipeError, OSError):
+        _, tasks = message
+        broken = False
+        for fn, args in tasks:
+            try:
+                payload = fn(*args)
+            except Exception as error:  # noqa: BLE001 — reported, not hidden
+                reply = ("err", repr(error), traceback.format_exc())
+            else:
+                reply = ("ok", payload)
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                broken = True
+                break
+        if broken:
             break
     try:
         conn.close()
@@ -476,17 +589,31 @@ def _pool_worker(conn) -> None:
 class FaultTolerantPool:
     """Process pool with per-unit crash isolation and watchdog kills.
 
-    Dispatch is one unit per worker at a time over a dedicated pipe, so
-    the parent always knows which unit each worker is running:
+    Dispatch is one *batch* of units per worker round-trip over a
+    dedicated pipe (sized by :class:`BatchSizer` to amortize IPC under
+    ~``batch_target_ms`` of compute), but the worker streams one result
+    message per unit, so the parent always knows which unit each worker
+    is running:
 
-    * pipe EOF / worker death → blame exactly that unit, respawn one
-      worker, retry the unit (bounded by the policy);
-    * deadline exceeded → SIGTERM the worker, respawn, retry;
-    * ordinary exception → retry without touching the process.
+    * pipe EOF / worker death → blame exactly the in-flight unit,
+      requeue the batch's not-yet-started remainder untouched, respawn
+      one worker, retry only the blamed unit (bounded by the policy);
+      results already streamed for earlier units in the batch are kept;
+    * per-unit deadline exceeded → SIGTERM the worker, same blame and
+      remainder-requeue as a crash (the deadline clock restarts as each
+      unit's result arrives, so a batch never dilutes the watchdog);
+    * ordinary exception → recorded per unit; the worker survives and
+      finishes the rest of its batch.
 
     Results are assembled by unit identity in submission order, so the
-    output is independent of completion order — the determinism
-    contract of the orchestrator is preserved.
+    output is independent of completion order and of batch boundaries —
+    the determinism contract of the orchestrator is preserved.
+
+    The pool is long-lived by design: callers keep one pool across
+    pipeline phases, :meth:`run` calls, and daemon requests.  Workers
+    spawned for an earlier dispatch are reused (counted as
+    ``warm_reuses`` in the ledger) instead of being respawned, and the
+    batch sizer's cost model stays warm with them.
     """
 
     #: Parent-side poll granularity when watchdog deadlines are armed.
@@ -498,11 +625,13 @@ class FaultTolerantPool:
         policy: RetryPolicy,
         ledger: FaultLedger,
         on_complete=None,
+        batch_target_ms: float = DEFAULT_BATCH_TARGET_MS,
     ) -> None:
         self.jobs = max(1, jobs)
         self.policy = policy
         self.ledger = ledger
         self.on_complete = on_complete
+        self.sizer = BatchSizer(target_ms=batch_target_ms)
         self._workers: list[_Worker] = []
 
     # -- lifecycle -----------------------------------------------------
@@ -594,25 +723,35 @@ class FaultTolerantPool:
         while pending or in_flight:
             now = time.monotonic()
             self._ensure_workers(len(pending) + in_flight)
-            # Dispatch ready units to idle workers.
+            # Dispatch batches of ready units to idle workers.
             for worker in self._workers:
-                if worker.unit is not None or not pending:
+                if worker.batch is not None or not pending:
                     continue
-                unit = self._next_ready(pending, now)
-                if unit is None:
+                batch = self._take_batch(pending, now)
+                if not batch:
                     break
                 try:
                     worker.conn.send(
-                        ("task", unit.fn, unit.args + (unit.key, unit.attempts))
+                        (
+                            "batch",
+                            [
+                                (u.fn, u.args + (u.key, u.attempts))
+                                for u in batch
+                            ],
+                        )
                     )
                 except OSError:
                     self._respawn_after(worker)
-                    pending.appendleft(unit)
+                    pending.extendleft(reversed(batch))
                     break
-                worker.unit = unit
+                worker.batch = batch
+                worker.cursor = 0
                 worker.started = now
-                in_flight += 1
-            busy = [w for w in self._workers if w.unit is not None]
+                in_flight += len(batch)
+                self.ledger.batches += 1
+                if worker.dispatches > 0:
+                    self.ledger.warm_reuses += 1
+            busy = [w for w in self._workers if w.batch is not None]
             if not busy:
                 # Everything pending is backing off; sleep until ready.
                 wake = min(unit.not_before for unit in pending)
@@ -626,31 +765,10 @@ class FaultTolerantPool:
             ready = connection.wait([w.conn for w in busy], timeout=timeout)
             for conn in ready:
                 worker = next(w for w in busy if w.conn is conn)
-                unit = worker.unit
-                try:
-                    reply = worker.conn.recv()
-                except (EOFError, OSError):
-                    # The worker died running exactly this unit.
-                    worker.unit = None
-                    in_flight -= 1
-                    self._respawn_after(worker)
-                    self._handle_failure(
-                        unit,
-                        pending,
-                        repr(WorkerCrash("worker process died mid-unit")),
-                        "",
-                    )
-                    continue
-                worker.unit = None
-                in_flight -= 1
-                if reply[0] == "ok":
-                    results[unit.key] = reply[1]
-                    self.ledger.completed += 1
-                    if self.on_complete is not None:
-                        self.on_complete(unit, reply[1])
-                else:
-                    self._handle_failure(unit, pending, reply[1], reply[2])
-            # Watchdog: kill workers whose unit blew its deadline.
+                in_flight -= self._drain_replies(worker, pending, results)
+            # Watchdog: kill workers whose in-flight unit blew its
+            # deadline.  ``started`` restarts as each unit's result
+            # arrives, so the deadline stays per-unit inside a batch.
             if self.policy.unit_timeout is not None:
                 now = time.monotonic()
                 for worker in list(self._workers):
@@ -659,12 +777,8 @@ class FaultTolerantPool:
                         continue
                     if now - worker.started <= self.policy.unit_timeout:
                         continue
-                    worker.unit = None
-                    in_flight -= 1
-                    self.ledger.timeouts += 1
-                    self._respawn_after(worker)
-                    self._handle_failure(
-                        unit,
+                    in_flight -= self._fail_in_flight(
+                        worker,
                         pending,
                         repr(
                             UnitTimeout(
@@ -672,16 +786,112 @@ class FaultTolerantPool:
                                 f"watchdog deadline"
                             )
                         ),
-                        "",
+                        timeout=True,
                     )
         return results
 
+    def _drain_replies(
+        self,
+        worker: _Worker,
+        pending: deque,
+        results: dict[str, object],
+    ) -> int:
+        """Consume every queued reply from one worker; return resolved count.
+
+        A batch's replies can arrive back-to-back, so after the first
+        blocking ``recv`` the loop keeps draining while data is buffered
+        — one wait() wake-up settles the whole backlog.
+        """
+        resolved = 0
+        while True:
+            unit = worker.unit
+            if unit is None:
+                break
+            try:
+                reply = worker.conn.recv()
+            except (EOFError, OSError):
+                # The worker died running exactly the in-flight unit.
+                return resolved + self._fail_in_flight(
+                    worker,
+                    pending,
+                    repr(WorkerCrash("worker process died mid-unit")),
+                )
+            now = time.monotonic()
+            self.sizer.observe(unit.stage, now - worker.started)
+            worker.started = now
+            worker.cursor += 1
+            resolved += 1
+            if reply[0] == "ok":
+                results[unit.key] = reply[1]
+                self.ledger.completed += 1
+                if self.on_complete is not None:
+                    self.on_complete(unit, reply[1])
+            else:
+                self._handle_failure(unit, pending, reply[1], reply[2])
+            if worker.unit is None:
+                # Batch finished; the worker is warm and idle.
+                worker.batch = None
+                worker.dispatches += 1
+                break
+            if not worker.conn.poll():
+                break
+        return resolved
+
+    def _fail_in_flight(
+        self,
+        worker: _Worker,
+        pending: deque,
+        error_repr: str,
+        timeout: bool = False,
+    ) -> int:
+        """Blame the in-flight unit, requeue the rest of its batch.
+
+        Used for both crash (pipe EOF) and watchdog kill: exactly one
+        unit — the one the worker was executing — takes the failure and
+        burns an attempt; units queued behind it in the batch were never
+        started, so they go back to pending with their attempt counts
+        untouched.  Returns how many in-flight units were resolved off
+        the worker (blamed + requeued).
+        """
+        blamed = worker.unit
+        remainder = worker.remainder()
+        worker.batch = None
+        if timeout:
+            self.ledger.timeouts += 1
+        self._respawn_after(worker)
+        self._handle_failure(blamed, pending, error_repr, "")
+        pending.extendleft(reversed(remainder))
+        return 1 + len(remainder)
+
+    def _take_batch(self, pending: deque, now: float) -> list[PoolUnit]:
+        """Pop up to one dispatch's worth of backoff-ready units.
+
+        The batch is sized for the stage of its first unit and stays
+        stage-homogeneous (stages have different cost scales, and one
+        EMA per stage keeps the model honest).
+        """
+        first = self._next_ready(pending, now)
+        if first is None:
+            return []
+        batch = [first]
+        want = self.sizer.size(first.stage)
+        while len(batch) < want:
+            unit = self._next_ready(pending, now, stage=first.stage)
+            if unit is None:
+                break
+            batch.append(unit)
+        return batch
+
     @staticmethod
-    def _next_ready(pending: deque, now: float) -> PoolUnit | None:
-        """Pop the first unit whose backoff delay has elapsed."""
+    def _next_ready(
+        pending: deque, now: float, stage: str | None = None
+    ) -> PoolUnit | None:
+        """Pop the first unit whose backoff elapsed (optionally by stage)."""
         for _ in range(len(pending)):
             unit = pending.popleft()
-            if unit.not_before <= now:
+            if unit.not_before <= now and (
+                stage is None or unit.stage == stage
+            ):
                 return unit
             pending.append(unit)
         return None

@@ -54,6 +54,7 @@ from repro.fuzz import RaceFuzzer
 from repro.lang import ClassTable, load
 from repro.narada.cache import ArtifactCache, stage_key, table_digest
 from repro.narada.faults import (
+    DEFAULT_BATCH_TARGET_MS,
     FaultInjector,
     FaultLedger,
     FaultTolerantPool,
@@ -98,7 +99,9 @@ class PipelineConfig:
     ``retry_backoff``, ``fault_inject``) deliberately stay *out* of the
     per-stage cache-key configs below: how patiently a unit was babysat
     never changes what the unit computes, so toggling them must not
-    invalidate artifacts.
+    invalidate artifacts.  ``batch_ms`` — the per-dispatch work target
+    of the batched pool — stays out for the same reason: batch
+    boundaries change when a unit runs, never what it computes.
     """
 
     vm_seed: int = 0
@@ -109,6 +112,7 @@ class PipelineConfig:
     max_retries: int = 2
     retry_backoff: float = 0.05
     fault_inject: str | None = None
+    batch_ms: float = DEFAULT_BATCH_TARGET_MS
 
     def analysis_config(self) -> dict:
         return {"vm_seed": self.vm_seed}
@@ -148,6 +152,7 @@ class PipelineConfig:
             "max_retries": self.max_retries,
             "retry_backoff": self.retry_backoff,
             "fault_inject": self.fault_inject,
+            "batch_ms": self.batch_ms,
         }
 
     @classmethod
@@ -204,10 +209,13 @@ class SubjectOutcome:
 # pool's dispatch envelope: it keys the (test-only) fault injector.
 
 
-@functools.lru_cache(maxsize=16)
+@functools.lru_cache(maxsize=128)
 def _load_table(source: str) -> ClassTable:
-    """Per-process table cache: pool workers are reused across tasks, so
-    each worker parses a subject once however many tests it fuzzes."""
+    """Per-process table cache: pool workers are persistent across
+    phases, waves, and daemon requests, so each worker parses a subject
+    once however many tests it fuzzes.  Sized for corpus-scale waves —
+    at 16 entries a 200-subject corpus run thrashed the cache and
+    re-parsed tables the worker had already paid for."""
     return load(source)
 
 
@@ -320,6 +328,11 @@ class PipelineOrchestrator:
             cache, since that is where the completed results live.
         run_dir: where the resume journal lives (default:
             ``<cache root>/runs``).
+        pool: an externally owned :class:`FaultTolerantPool` to dispatch
+            on instead of creating one.  The daemon uses this to share
+            one warm pool (live workers, warm batch-cost model) across
+            every request's orchestrator; a borrowed pool is never
+            closed by :meth:`close`.
     """
 
     def __init__(
@@ -329,6 +342,7 @@ class PipelineOrchestrator:
         config: PipelineConfig | None = None,
         resume: bool = False,
         run_dir: str | pathlib.Path | None = None,
+        pool: FaultTolerantPool | None = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache
@@ -336,7 +350,10 @@ class PipelineOrchestrator:
         self.resume = resume
         self.run_dir = run_dir
         self.fault_ledger = FaultLedger()
-        self._pool: FaultTolerantPool | None = None
+        self._pool: FaultTolerantPool | None = pool
+        self._owns_pool = pool is None
+        if pool is not None:
+            self.jobs = max(1, pool.jobs)
         if resume and cache is None:
             raise ValueError(
                 "resume requires the artifact cache: completed units are "
@@ -350,16 +367,25 @@ class PipelineOrchestrator:
     def _executor(self) -> FaultTolerantPool:
         if self._pool is None:
             self._pool = FaultTolerantPool(
-                self.jobs, self.config.retry_policy(), self.fault_ledger
+                self.jobs,
+                self.config.retry_policy(),
+                self.fault_ledger,
+                batch_target_ms=self.config.batch_ms,
             )
         else:
+            # One warm pool serves every phase, wave, and (under the
+            # daemon) request: point it at the current run's ledger and
+            # retry policy without touching its live workers or its
+            # batch-cost model.
             self._pool.ledger = self.fault_ledger
+            self._pool.policy = self.config.retry_policy()
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
+        if self._pool is not None and self._owns_pool:
             self._pool.close()
-            self._pool = None
+        self._pool = None
+        self._owns_pool = True
 
     def __enter__(self) -> "PipelineOrchestrator":
         return self

@@ -768,6 +768,8 @@ def encode_fault_ledger(ledger) -> dict:
             "timeouts": ledger.timeouts,
             "quarantined": ledger.quarantined,
             "resumed": ledger.resumed,
+            "batches": ledger.batches,
+            "warm_reuses": ledger.warm_reuses,
         },
     }
 
@@ -784,6 +786,9 @@ def decode_fault_ledger(data: dict):
         timeouts=counters["timeouts"],
         quarantined=counters["quarantined"],
         resumed=counters["resumed"],
+        # Batching-era counters; absent in pre-batching payloads.
+        batches=counters.get("batches", 0),
+        warm_reuses=counters.get("warm_reuses", 0),
     )
 
 

@@ -1,0 +1,355 @@
+"""Batched-dispatch tests: sizing, mid-batch fault semantics, warm
+reuse, and the determinism contract across batch boundaries.
+
+The invariant under test throughout: batching changes *scheduling*,
+never results.  A crash or hang on the k-th unit of a batch blames
+exactly that unit; results already streamed for earlier units survive;
+units queued behind it go back to pending with their attempt counts
+untouched; and any ``batch_ms`` produces byte-identical reports to
+``jobs=1``.
+"""
+
+import os
+import time
+from collections import deque
+
+import pytest
+
+from repro.narada import (
+    ArtifactCache,
+    PipelineConfig,
+    PipelineOrchestrator,
+    subject_specs,
+)
+from repro.narada.faults import (
+    DEFAULT_BATCH_TARGET_MS,
+    MAX_BATCH_UNITS,
+    BatchSizer,
+    FaultLedger,
+    FaultTolerantPool,
+    PoolUnit,
+    RetryPolicy,
+)
+from repro.subjects import get_subject
+
+SUBJECT = "C8"
+CONFIG = PipelineConfig(random_runs=2, retry_backoff=0.0)
+
+
+def _spec():
+    return subject_specs([get_subject(SUBJECT)])[0]
+
+
+def _config(**overrides):
+    base = CONFIG.to_dict()
+    base.update(overrides)
+    return PipelineConfig.from_dict(base)
+
+
+# Module-level worker functions so the pool can pickle them by reference.
+
+
+def _echo(value, key="", attempt=0):
+    return (value, attempt)
+
+
+def _crash_on_marker(value, key="", attempt=0):
+    if value == "CRASH" and attempt == 0:
+        os._exit(17)  # hard worker death mid-batch
+    return (value, attempt)
+
+
+def _hang_on_marker(value, key="", attempt=0):
+    if value == "HANG" and attempt == 0:
+        time.sleep(60)
+    return (value, attempt)
+
+
+def _raise_on_marker(value, key="", attempt=0):
+    if value == "BOOM":
+        raise ValueError(f"boom in {key}")
+    return (value, attempt)
+
+
+def _units(values, fn=_echo, stage="stage"):
+    return [
+        PoolUnit(
+            key=f"u{i}",
+            stage=stage,
+            subject=SUBJECT,
+            name=f"u{i}",
+            fn=fn,
+            args=(value,),
+        )
+        for i, value in enumerate(values)
+    ]
+
+
+def _pool(jobs=1, on_complete=None, **policy):
+    policy.setdefault("backoff", 0.0)
+    return FaultTolerantPool(
+        jobs, RetryPolicy(**policy), FaultLedger(), on_complete=on_complete
+    )
+
+
+class TestBatchSizer:
+    def test_unknown_stage_probes_with_one_unit(self):
+        assert BatchSizer().size("never-seen") == 1
+
+    def test_fast_units_grow_the_batch(self):
+        sizer = BatchSizer(target_ms=100.0)
+        sizer.observe("s", 0.010)  # 10 ms/unit -> 10 units per 100 ms
+        assert sizer.size("s") == 10
+
+    def test_slow_units_stay_single(self):
+        sizer = BatchSizer(target_ms=75.0)
+        sizer.observe("s", 0.5)
+        assert sizer.size("s") == 1
+
+    def test_clamped_to_max_units(self):
+        sizer = BatchSizer(target_ms=75.0)
+        sizer.observe("s", 1e-9)
+        assert sizer.size("s") == MAX_BATCH_UNITS
+
+    def test_zero_target_disables_batching(self):
+        sizer = BatchSizer(target_ms=0.0)
+        sizer.observe("s", 1e-9)
+        assert sizer.size("s") == 1
+
+    def test_ema_tracks_recent_cost(self):
+        sizer = BatchSizer(alpha=0.5)
+        sizer.observe("s", 0.1)
+        sizer.observe("s", 0.2)
+        assert sizer.unit_cost("s") == pytest.approx(0.15)
+        assert sizer.unit_cost("other") is None
+
+    def test_per_stage_isolation(self):
+        sizer = BatchSizer(target_ms=100.0)
+        sizer.observe("fast", 0.001)
+        sizer.observe("slow", 1.0)
+        assert sizer.size("fast") > 1
+        assert sizer.size("slow") == 1
+
+
+class TestTakeBatch:
+    """_take_batch is pure queue surgery — testable without workers."""
+
+    def test_batches_are_stage_homogeneous(self):
+        pool = _pool()
+        pool.sizer.observe("a", 1e-6)
+        pool.sizer.observe("b", 1e-6)
+        pending = deque(
+            _units(["x"] * 3, stage="a") + _units(["y"] * 3, stage="b")
+        )
+        batch = pool._take_batch(pending, time.monotonic())
+        assert [u.stage for u in batch] == ["a", "a", "a"]
+        assert len(pending) == 3
+
+    def test_unseen_stage_gets_probe_of_one(self):
+        pool = _pool()
+        pending = deque(_units(["x"] * 5))
+        batch = pool._take_batch(pending, time.monotonic())
+        assert len(batch) == 1
+
+    def test_backed_off_units_are_skipped(self):
+        pool = _pool()
+        pool.sizer.observe("stage", 1e-6)
+        units = _units(["x"] * 4)
+        units[1].not_before = time.monotonic() + 60.0
+        batch = pool._take_batch(deque(units), time.monotonic())
+        assert [u.key for u in batch] == ["u0", "u2", "u3"]
+
+
+class TestMidBatchFaults:
+    def _run_batched(self, values, fn, jobs=1, on_complete=None, **policy):
+        pool = _pool(jobs=jobs, on_complete=on_complete, **policy)
+        # Seed the cost model so the first dispatch batches everything.
+        pool.sizer.observe("stage", 1e-6)
+        with pool:
+            results = pool.run(_units(values, fn=fn))
+        return results, pool.ledger
+
+    def test_crash_on_kth_unit_blames_only_it(self):
+        completions = []
+        values = ["a", "b", "c", "CRASH", "e", "f"]
+        results, ledger = self._run_batched(
+            values,
+            _crash_on_marker,
+            max_retries=2,
+            on_complete=lambda unit, payload: completions.append(unit.key),
+        )
+        assert ledger.ok()
+        assert sorted(results) == [f"u{i}" for i in range(6)]
+        # The crashed unit burned exactly one attempt; the units queued
+        # behind it in the batch retried nothing.
+        assert results["u3"] == ("CRASH", 1)
+        assert results["u4"] == ("e", 0)
+        assert results["u5"] == ("f", 0)
+        assert ledger.retries == 1
+        assert ledger.pool_respawns == 1
+        # Results streamed before the crash were kept, not re-run.
+        assert sorted(completions) == sorted(results)
+        assert len(completions) == 6
+
+    def test_hang_on_kth_unit_is_killed_and_blamed(self):
+        values = ["a", "b", "HANG", "d"]
+        results, ledger = self._run_batched(
+            values, _hang_on_marker, max_retries=2, unit_timeout=1.0
+        )
+        assert ledger.ok()
+        assert sorted(results) == ["u0", "u1", "u2", "u3"]
+        assert results["u2"] == ("HANG", 1)
+        assert results["u3"] == ("d", 0)  # requeued, attempt untouched
+        assert ledger.timeouts == 1
+        assert ledger.pool_respawns == 1
+
+    def test_ordinary_exception_does_not_kill_the_batch(self):
+        values = ["a", "BOOM", "c"]
+        results, ledger = self._run_batched(
+            values, _raise_on_marker, max_retries=0
+        )
+        # The worker survived and finished the rest of its batch.
+        assert sorted(results) == ["u0", "u2"]
+        assert ledger.pool_respawns == 0
+        assert len(ledger.failures) == 1
+        failure = ledger.failures[0]
+        assert failure.unit == "u1"
+        assert "boom in u1" in failure.error
+        assert failure.attempts == 1
+
+    def test_batches_and_warm_reuses_are_counted(self):
+        pool = _pool(jobs=1)
+        pool.sizer.observe("stage", 1e-6)
+        with pool:
+            first = pool.run(_units(["a", "b", "c"]))
+            second = pool.run(_units(["d", "e", "f"]))
+        assert len(first) == 3 and len(second) == 3
+        ledger = pool.ledger
+        assert ledger.completed == 6
+        assert ledger.batches == 2  # one dispatch per run
+        # The second run reused the worker spawned by the first.
+        assert ledger.warm_reuses >= 1
+        assert ledger.pool_respawns == 0
+
+    def test_probe_then_grow(self):
+        """A cold stage probes with one unit, then batches the rest."""
+        pool = _pool(jobs=1)
+        with pool:
+            results = pool.run(_units(["v"] * 20))
+        assert len(results) == 20
+        assert 1 < pool.ledger.batches < 20
+
+
+class TestPipelineDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_digest(self):
+        with PipelineOrchestrator(jobs=1, config=CONFIG) as orch:
+            outcome = orch.run([_spec()])[0]
+        assert orch.fault_ledger.ok()
+        return outcome.digest()
+
+    @pytest.mark.parametrize("batch_ms", [0.0, DEFAULT_BATCH_TARGET_MS, 1000.0])
+    def test_byte_identical_across_batch_sizes(self, serial_digest, batch_ms):
+        config = _config(batch_ms=batch_ms)
+        with PipelineOrchestrator(jobs=2, config=config) as orch:
+            outcome = orch.run([_spec()])[0]
+        assert orch.fault_ledger.ok()
+        assert outcome.digest() == serial_digest
+
+    def test_big_batches_with_crashes_stay_identical(self, serial_digest):
+        config = _config(
+            batch_ms=1000.0, fault_inject="crash:0.4", max_retries=12
+        )
+        with PipelineOrchestrator(jobs=2, config=config) as orch:
+            outcome = orch.run([_spec()])[0]
+            ledger = orch.fault_ledger
+        assert ledger.ok(), [f.error for f in ledger.failures]
+        assert ledger.retries > 0
+        assert outcome.digest() == serial_digest
+
+    def test_batch_ms_stays_out_of_cache_keys(self):
+        a = _config(batch_ms=10.0)
+        b = _config(batch_ms=1000.0)
+        assert a.synthesis_config("Any") == b.synthesis_config("Any")
+        assert a.detection_config("Any") == b.detection_config("Any")
+
+    def test_resume_replays_nothing_checkpointed(
+        self, monkeypatch, tmp_path, serial_digest
+    ):
+        """A batched pooled run journals per *unit* as results stream
+        in; after a kill mid-batch, --resume replays every journaled
+        unit and recomputes only the rest."""
+        import repro.narada.faults as faults_mod
+
+        real_mark = faults_mod.RunLedger.mark_done
+        calls = {"n": 0}
+
+        def kill_after_four(self, key, stage, subject):
+            real_mark(self, key, stage, subject)
+            calls["n"] += 1
+            if calls["n"] >= 4:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(faults_mod.RunLedger, "mark_done", kill_after_four)
+        cache = ArtifactCache(tmp_path / "cache")
+        config = _config(batch_ms=1000.0)
+        with pytest.raises(KeyboardInterrupt):
+            with PipelineOrchestrator(
+                jobs=2, cache=cache, config=config
+            ) as orch:
+                orch.run([_spec()])
+
+        monkeypatch.setattr(faults_mod.RunLedger, "mark_done", real_mark)
+        with PipelineOrchestrator(
+            jobs=2, cache=cache, config=config, resume=True
+        ) as orch:
+            outcome = orch.run([_spec()])[0]
+            ledger = orch.fault_ledger
+        assert outcome.digest() == serial_digest
+        assert ledger.ok()
+        # The 4 journaled units (synthesis + 3 fuzz) replay; the rest
+        # recompute — batch boundaries change neither count nor bytes.
+        assert ledger.resumed == 4
+        total_units = len(outcome.synthesis.tests) + 1
+        assert ledger.completed == total_units - 4
+
+
+class TestWarmPoolAcrossPhases:
+    def test_one_pool_spans_synthesis_and_detection(self):
+        """Detection-phase dispatches reuse synthesis-phase workers."""
+        with PipelineOrchestrator(jobs=2, config=CONFIG) as orch:
+            orch.run([_spec()])
+            ledger = orch.fault_ledger
+            pool = orch._pool
+        assert ledger.ok()
+        assert pool is not None
+        assert ledger.pool_respawns == 0
+        assert ledger.warm_reuses >= 1
+        assert ledger.batches >= 2  # at least synthesis + one fuzz batch
+
+    def test_borrowed_pool_survives_orchestrator_close(self):
+        pool = FaultTolerantPool(2, CONFIG.retry_policy(), FaultLedger())
+        with pool:
+            for _ in range(2):
+                orch = PipelineOrchestrator(jobs=2, config=CONFIG, pool=pool)
+                try:
+                    outcome = orch.run([_spec()])[0]
+                finally:
+                    orch.close()
+                assert outcome.synthesis is not None
+            # Workers outlive every borrowing orchestrator.
+            assert pool._workers
+            assert all(w.process.is_alive() for w in pool._workers)
+        assert pool.ledger.warm_reuses >= 1
+
+    def test_cli_batch_ms_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "--subjects", "C8", "--batch-ms", "250"]
+        )
+        assert args.batch_ms == 250.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

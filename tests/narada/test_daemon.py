@@ -1,0 +1,315 @@
+"""Daemon tests: framing, request isolation, warm-cache reuse across
+requests, graceful drain, and client reconnect after a restart.
+
+Most tests drive an in-process :class:`ReproDaemon` on a unix socket in
+a tmp dir (serve_forever on a thread, clients on the test thread); the
+SIGTERM drain test exercises the real ``repro serve`` subprocess the
+way an operator would.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.narada import (
+    ArtifactCache,
+    DaemonClient,
+    PipelineConfig,
+    PipelineOrchestrator,
+    ReproDaemon,
+    default_socket_path,
+    subject_specs,
+)
+from repro.narada.daemon import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    parse_tcp,
+    recv_frame,
+    send_frame,
+)
+from repro.subjects import get_subject
+
+RUNS = 2
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """In-process daemon on a unix socket; drained at teardown."""
+    d = ReproDaemon(
+        socket_path=str(tmp_path / "daemon.sock"),
+        jobs=1,
+        cache=ArtifactCache(tmp_path / "cache"),
+    )
+    d.bind()
+    server = threading.Thread(target=d.serve_forever, daemon=True)
+    server.start()
+    yield d
+    d.initiate_drain()
+    server.join(timeout=30)
+    assert not server.is_alive()
+
+
+def _client(d: ReproDaemon, **kwargs) -> DaemonClient:
+    return DaemonClient(socket_path=d.socket_path, **kwargs)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_frame(a, {"op": "ping", "n": 1})
+            assert recv_frame(b) == {"op": "ping", "n": 1}
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        with b:
+            a.close()
+            assert recv_frame(b) is None
+
+    def test_mid_frame_eof_is_protocol_error(self):
+        a, b = socket.socketpair()
+        with b:
+            a.sendall(struct.pack(">I", 100) + b"short")
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+
+    def test_oversized_length_is_protocol_error(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="exceeds limit"):
+                recv_frame(b)
+
+    def test_non_object_payload_is_protocol_error(self):
+        a, b = socket.socketpair()
+        with a, b:
+            body = json.dumps([1, 2, 3]).encode()
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError, match="not an object"):
+                recv_frame(b)
+
+    def test_undecodable_body_is_protocol_error(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">I", 3) + b"\xff{{")
+            with pytest.raises(ProtocolError, match="undecodable"):
+                recv_frame(b)
+
+    def test_parse_tcp(self):
+        assert parse_tcp("127.0.0.1:7777") == ("127.0.0.1", 7777)
+        with pytest.raises(ValueError, match="expected HOST:PORT"):
+            parse_tcp("no-port")
+
+    def test_default_socket_path_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", "/tmp/custom.sock")
+        assert default_socket_path() == "/tmp/custom.sock"
+
+
+class TestRequestHandling:
+    def test_ping(self, daemon):
+        with _client(daemon) as client:
+            response = client.request({"op": "ping"})
+        assert response["ok"]
+        assert response["protocol"] == 1
+        assert response["pid"] == os.getpid()
+
+    def test_unknown_op_is_an_error_response(self, daemon):
+        with _client(daemon) as client:
+            response = client.request({"op": "explode"})
+        assert not response["ok"]
+        assert "unknown op" in response["error"]
+        # The connection survives an error response.
+        with _client(daemon) as client:
+            assert client.request({"op": "ping"})["ok"]
+
+    def test_requests_get_isolated_ids_and_ledgers(self, daemon):
+        with _client(daemon) as client:
+            first = client.request(
+                {"op": "detect", "subjects": ["C1"], "runs": RUNS}
+            )
+            second = client.request(
+                {"op": "detect", "subjects": ["C8"], "runs": RUNS}
+            )
+        assert first["ok"] and second["ok"]
+        assert first["request_id"] != second["request_id"]
+        # Per-request ledgers: each counts only its own run's units.
+        assert first["ledger"] is not second["ledger"]
+        assert first["ledger"]["counters"]["completed"] > 0
+        assert set(first["subjects"]) == {"C1"}
+        assert set(second["subjects"]) == {"C8"}
+
+    def test_warm_cache_hits_across_requests(self, daemon):
+        request = {"op": "detect", "subjects": ["C8"], "runs": RUNS}
+        with _client(daemon) as client:
+            cold = client.request(request)
+            warm = client.request(request)
+        entry_cold = cold["subjects"]["C8"]
+        entry_warm = warm["subjects"]["C8"]
+        assert not entry_cold["synthesis_cached"]
+        assert entry_warm["synthesis_cached"]
+        assert entry_warm["detection_cached"]
+        assert entry_warm["digest"] == entry_cold["digest"]
+        assert daemon.cache.stats.hits > 0
+
+    def test_digests_match_direct_orchestrator(self, daemon):
+        with _client(daemon) as client:
+            response = client.request(
+                {"op": "detect", "subjects": ["C8"], "runs": RUNS}
+            )
+        config = PipelineConfig(random_runs=RUNS)
+        specs = subject_specs([get_subject("C8")])
+        with PipelineOrchestrator(jobs=1, config=config) as orch:
+            direct = orch.run(specs)[0].digest()
+        assert response["subjects"]["C8"]["digest"] == direct
+
+    def test_adhoc_source_request(self, daemon):
+        source = get_subject("C8").source
+        with _client(daemon) as client:
+            response = client.request(
+                {"op": "synthesize", "source": source, "runs": RUNS}
+            )
+        assert response["ok"]
+        (entry,) = response["subjects"].values()
+        assert entry["tests"] > 0
+
+    def test_request_error_reports_not_crashes(self, daemon):
+        with _client(daemon) as client:
+            response = client.request(
+                {"op": "detect", "subjects": ["NOPE99"]}
+            )
+        assert not response["ok"]
+        assert "NOPE99" in response["error"]
+        assert daemon.stats.errors == 1
+
+    def test_concurrent_clients_are_both_served(self, daemon):
+        responses = {}
+
+        def call(name, subject):
+            with _client(daemon) as client:
+                responses[name] = client.request(
+                    {"op": "detect", "subjects": [subject], "runs": RUNS}
+                )
+
+        threads = [
+            threading.Thread(target=call, args=("a", "C1")),
+            threading.Thread(target=call, args=("b", "C8")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert responses["a"]["ok"] and responses["b"]["ok"]
+        assert responses["a"]["request_id"] != responses["b"]["request_id"]
+        assert set(responses["a"]["subjects"]) == {"C1"}
+        assert set(responses["b"]["subjects"]) == {"C8"}
+
+    def test_stats_records_recent_requests(self, daemon):
+        with _client(daemon) as client:
+            client.request({"op": "detect", "subjects": ["C1"], "runs": RUNS})
+            stats = client.request({"op": "stats"})
+        assert stats["ok"]
+        assert stats["totals"]["requests"] >= 2
+        ops = [r["op"] for r in stats["recent_requests"]]
+        assert "detect" in ops
+
+
+class TestDrainAndRestart:
+    def test_shutdown_op_drains(self, tmp_path):
+        d = ReproDaemon(socket_path=str(tmp_path / "d.sock"), jobs=1)
+        d.bind()
+        server = threading.Thread(target=d.serve_forever)
+        server.start()
+        with DaemonClient(socket_path=d.socket_path) as client:
+            response = client.request({"op": "shutdown"})
+        assert response["ok"] and response["draining"]
+        server.join(timeout=30)
+        assert not server.is_alive()
+        assert not pathlib.Path(d.socket_path).exists()  # unlinked
+
+    def test_client_reconnects_after_daemon_restart(self, tmp_path):
+        path = str(tmp_path / "d.sock")
+
+        def serve_once():
+            d = ReproDaemon(socket_path=path, jobs=1)
+            d.bind()
+            thread = threading.Thread(target=d.serve_forever)
+            thread.start()
+            return d, thread
+
+        first, thread = serve_once()
+        with DaemonClient(socket_path=path) as client:
+            pid_request = client.request({"op": "ping"})
+        first.initiate_drain()
+        thread.join(timeout=30)
+
+        second, thread = serve_once()
+        try:
+            # A fresh client with retries rides out the restart window.
+            with DaemonClient(socket_path=path, retries=10) as client:
+                again = client.request({"op": "ping"})
+            assert again["ok"]
+            assert again["uptime_s"] <= pid_request["uptime_s"] + 60
+        finally:
+            second.initiate_drain()
+            thread.join(timeout=30)
+
+    def test_sigterm_drains_inflight_request(self, tmp_path):
+        """Operator path: real ``repro serve`` subprocess, SIGTERM lands
+        mid-request, the response still arrives and exit is clean."""
+        path = str(tmp_path / "d.sock")
+        env = dict(os.environ)
+        root = pathlib.Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", path,
+                "--jobs", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            result = {}
+
+            def detect():
+                with DaemonClient(socket_path=path, retries=25) as client:
+                    result["response"] = client.request(
+                        {"op": "detect", "subjects": ["C8"], "runs": RUNS}
+                    )
+
+            worker = threading.Thread(target=detect)
+            worker.start()
+            # Let the request get in flight, then ask for shutdown.
+            time.sleep(1.0)
+            proc.send_signal(signal.SIGTERM)
+            worker.join(timeout=60)
+            assert not worker.is_alive()
+            stdout = proc.communicate(timeout=60)[0]
+            assert proc.returncode == 0, stdout
+            assert "drained after" in stdout
+            response = result["response"]
+            assert response["ok"], response
+            assert response["subjects"]["C8"]["digest"]
+            assert not pathlib.Path(path).exists()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
