@@ -1,0 +1,551 @@
+"""Compressed-trace benchmark + perf gate: writes BENCH_compressed.json.
+
+Measures the three claims the compressed-trace layer makes
+(``repro/trace/compressed.py``, ``repro/trace/spill.py``,
+DESIGN.md §13):
+
+* **identity** — sweeping a :class:`CompressedTrace` must produce
+  bit-identical per-pass report fragments and the same whole-stream
+  digest as sweeping the underlying :class:`PackedTrace`, on every
+  paper subject (C1..C9) and a generated-corpus slice, with both the
+  full registered pass stack (``lockorder`` forces the row-at-a-time
+  fallback) and the summarizable stack (block summaries actually
+  skip rows).  Always enforced — correctness, not performance.
+* **throughput** — on a 10x-length ``Worker.spin`` trace the
+  compressed path (compression scan *included*) must reach >= 3x
+  compression and >= 2x events/sec over the packed sweep, and clear an
+  events/sec-per-compressed-byte floor (the ratio CI gates so a
+  "faster" sweep can't buy its speed with a bloated plan).
+* **bounded-RSS spill** — recording through
+  :class:`SpillingRecorder` must keep recording-phase peak RSS flat
+  (<= ``REQUIRED_RSS_FLATNESS``x) while the trace grows 10x, and stay
+  below the in-memory recorder's peak on the big trace, with digest
+  identity between the spilled and in-memory recordings.  Measured on
+  the recording phase: once mapped, column pages are file-backed and
+  reclaimable, which ``ru_maxrss`` cannot show without memory
+  pressure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compressed_traces.py \
+        [--quick] [--corpus-count N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro.analysis.sweep import (  # noqa: E402
+    SweepStats,
+    create_pass,
+    interest_union,
+    resolve_pass,
+    run_sweep,
+)
+from repro.fuzz.racefuzzer import schedule_seed  # noqa: E402
+from repro.lang import load  # noqa: E402
+from repro.narada import Narada  # noqa: E402
+from repro.runtime import Execution, RoundRobinScheduler, VM  # noqa: E402
+from repro.runtime.scheduler import RandomScheduler  # noqa: E402
+from repro.subjects import get_subject  # noqa: E402
+from repro.synth.runner import TestRunner  # noqa: E402
+from repro.trace.columnar import ColumnarRecorder  # noqa: E402
+from repro.trace.compressed import compress_trace  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_compressed.json"
+
+#: Payload schema; bump on any shape change so stale reports are caught
+#: by ``perf_regression.py --check`` instead of KeyErrors downstream.
+SCHEMA_VERSION = 1
+
+#: Every registered pass; ``lockorder`` has no SummarySpec, so this
+#: stack exercises the row-at-a-time fallback on repeat blocks.
+ALL_PASSES = (
+    "fasttrack", "eraser", "djit+", "adjacency", "coverage", "goodlock",
+    "lockorder",
+)
+
+#: The block-summarizable stack: repeat blocks converge and skip.
+SUMMARIZABLE_PASSES = (
+    "fasttrack", "eraser", "djit+", "adjacency", "coverage", "goodlock",
+)
+
+#: Throughput-leg gates on the 10x spin trace.
+REQUIRED_RATIO = 3.0
+REQUIRED_SPEEDUP = 2.0
+#: Compressed events/sec divided by compressed-plan bytes.  The packed
+#: sweep scores well under 1 here (every byte is decoded); a compressed
+#: sweep that actually skips repeat blocks clears 50 with two orders
+#: of magnitude to spare, so the floor is noise-robust on shared CI.
+REQUIRED_EV_PER_COMPRESSED_BYTE = 50.0
+
+#: Spill-leg gate: recording-phase peak RSS on the 10x trace over the
+#: 1x trace.  Spill keeps only the flush buffer + side tables on the
+#: heap, so the true ratio is ~1; 1.5 absorbs allocator noise.
+REQUIRED_RSS_FLATNESS = 1.5
+
+SPIN_SOURCE = """
+class Worker {
+  int acc;
+  void spin(int n) {
+    int i = 0;
+    while (i < n) {
+      this.acc = this.acc + i;
+      i = i + 1;
+    }
+  }
+}
+test Seed { Worker w = new Worker(); }
+"""
+
+#: The canonical hot-loop length (vm_scenarios.LOOP_N); the throughput
+#: leg runs 10x this, per the acceptance criterion.
+BASE_LOOP_N = 300
+
+
+def _record_spin(n: int):
+    """Two threads of ``Worker.spin(n)`` under round-robin, packed."""
+    table = load(SPIN_SOURCE)
+    vm = VM(table)
+    _, env = vm.run_test("Seed")
+    worker = env["w"]
+    recorder = ColumnarRecorder("spin")
+    execution = Execution(vm, listeners=(recorder,))
+    for _ in range(2):
+        execution.spawn(
+            lambda ctx: vm.interp.call_method(ctx, worker, "spin", [n])
+        )
+    result = execution.run(RoundRobinScheduler(), max_steps=100 * n + 10_000)
+    assert result.completed, "spin run did not finish; raise max_steps"
+    return recorder.packed
+
+
+def _fragment(sweep_pass):
+    """Canonical report fragment of one pass, for identity comparison."""
+    name = sweep_pass.name
+    if name in ("fasttrack", "eraser", "djit+"):
+        races = sweep_pass.races
+        return (
+            [
+                (
+                    r.detector, r.class_name, r.field_name, r.address,
+                    r.first, r.second,
+                )
+                for r in races
+            ],
+            races.dynamic_count,
+        )
+    if name == "adjacency":
+        return tuple(sorted(sweep_pass.confirmed))
+    if name == "coverage":
+        return tuple(sorted(sweep_pass.units))
+    if name == "goodlock":
+        return (tuple(sweep_pass.edges), tuple(sweep_pass.potential))
+    if name == "lockorder":
+        return tuple(sweep_pass.finish())
+    raise AssertionError(f"no fragment extractor for pass {name!r}")
+
+
+def _sweep(names, trace, stats=None):
+    passes = tuple(create_pass(name) for name in names)
+    run_sweep(passes, trace, stats=stats)
+    return {p.name: _fragment(p) for p in passes}
+
+
+# ----------------------------------------------------------------------
+# Identity leg: C1..C9 + corpus slice, every stack, packed vs compressed.
+
+
+def _subject_tables(corpus_count: int):
+    """(label, ClassTable, class_name) for the identity population."""
+    out = []
+    for index in range(1, 10):
+        subject = get_subject(f"C{index}")
+        out.append((subject.key, subject.load(), subject.class_name))
+    if corpus_count:
+        from repro.corpus import CorpusConfig, generate_corpus
+
+        for generated in generate_corpus(CorpusConfig(count=corpus_count)):
+            out.append(
+                (generated.key, load(generated.source), generated.class_name)
+            )
+    return out
+
+
+def _subject_traces(table, class_name, runs: int, max_tests: int):
+    """Seed traces plus concurrent traces of synthesized tests.
+
+    Seed tests give the sequential shapes the analysis stage sweeps;
+    the synthesized tests, run under content-seeded random schedules,
+    give the racy concurrent shapes the fuzz loop sweeps — the traces
+    whose race payloads the identity gate is really about.
+    """
+    interests = interest_union([resolve_pass(n) for n in ALL_PASSES])
+    traces = []
+    for test in table.program.tests:
+        vm = VM(table, seed=0)
+        recorder = ColumnarRecorder(test.name, interests=interests)
+        vm.run_test(test.name, listeners=(recorder,))
+        traces.append(recorder.packed)
+    narada = Narada(table)
+    synthesis = narada.synthesize_for_class(class_name)
+    for test in synthesis.tests[:max_tests]:
+        for run_index in range(runs):
+            recorder = ColumnarRecorder(test.name, interests=interests)
+            runner = TestRunner(table, vm_seed=0, listeners=(recorder,))
+            runner.run(
+                test,
+                RandomScheduler(seed=schedule_seed(test.name, run_index)),
+            )
+            traces.append(recorder.packed)
+    return traces
+
+
+def bench_identity(
+    corpus_count: int, runs: int, max_tests: int
+) -> tuple[dict, list]:
+    failures: list[str] = []
+    subjects = traces = 0
+    total_rows = plan_rows = blocks = 0
+    stats = SweepStats()
+    for label, table, class_name in _subject_tables(corpus_count):
+        subjects += 1
+        for packed in _subject_traces(table, class_name, runs, max_tests):
+            traces += 1
+            compressed = compress_trace(packed)
+            cstats = compressed.stats()
+            total_rows += cstats.total_rows
+            plan_rows += cstats.compressed_rows
+            blocks += cstats.repeat_blocks
+            if compressed.digest() != packed.digest():
+                failures.append(f"{label}: compressed digest differs")
+            for stack in (ALL_PASSES, SUMMARIZABLE_PASSES):
+                base = _sweep(stack, packed)
+                over = _sweep(stack, compressed, stats=stats)
+                if base != over:
+                    diff = [n for n in stack if base[n] != over[n]]
+                    failures.append(
+                        f"{label} ({packed.test_name}, "
+                        f"{'+'.join(stack)}): compressed sweep differs "
+                        f"on {diff}"
+                    )
+    row = {
+        "subjects": subjects,
+        "traces": traces,
+        "rows": total_rows,
+        "plan_rows": plan_rows,
+        "repeat_blocks": blocks,
+        "ratio": round(total_rows / plan_rows, 2) if plan_rows else 1.0,
+        "rows_skipped": stats.rows_skipped,
+        "blocks_summarized": stats.blocks_summarized,
+        "blocks_replayed": stats.blocks_replayed,
+    }
+    return row, failures
+
+
+# ----------------------------------------------------------------------
+# Throughput leg: 10x spin trace, packed sweep vs compress + sweep.
+
+
+def bench_throughput(loop_n: int, repeat: int) -> tuple[dict, list]:
+    packed = _record_spin(loop_n)
+    n = len(packed)
+    packed_best = compressed_best = compress_best = float("inf")
+    packed_frags = compressed_frags = None
+    stats = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        packed_frags = _sweep(SUMMARIZABLE_PASSES, packed)
+        packed_best = min(packed_best, time.perf_counter() - start)
+
+        stats = SweepStats()
+        start = time.perf_counter()
+        compressed = compress_trace(packed)
+        compress_seconds = time.perf_counter() - start
+        compressed_frags = _sweep(SUMMARIZABLE_PASSES, compressed, stats=stats)
+        compressed_best = min(
+            compressed_best, time.perf_counter() - start
+        )
+        compress_best = min(compress_best, compress_seconds)
+    cstats = compress_trace(packed).stats()
+    # Compressed-plan bytes: the column bytes a converged sweep decodes.
+    plan_bytes = max(
+        1, round(packed.column_nbytes() * cstats.compressed_rows / n)
+    )
+    speedup = packed_best / compressed_best
+    ev_per_s = n / compressed_best
+    ev_per_byte = ev_per_s / plan_bytes
+    failures = []
+    if packed_frags != compressed_frags:
+        failures.append("throughput: compressed sweep results differ")
+    if cstats.ratio < REQUIRED_RATIO:
+        failures.append(
+            f"throughput: compression {cstats.ratio:.1f}x < required "
+            f"{REQUIRED_RATIO}x"
+        )
+    if speedup < REQUIRED_SPEEDUP:
+        failures.append(
+            f"throughput: compressed sweep {speedup:.2f}x < required "
+            f"{REQUIRED_SPEEDUP}x"
+        )
+    if ev_per_byte < REQUIRED_EV_PER_COMPRESSED_BYTE:
+        failures.append(
+            f"throughput: {ev_per_byte:.1f} events/s per compressed byte "
+            f"< required {REQUIRED_EV_PER_COMPRESSED_BYTE}"
+        )
+    row = {
+        "loop_n": loop_n,
+        "events": n,
+        "ratio": round(cstats.ratio, 1),
+        "plan_rows": cstats.compressed_rows,
+        "plan_bytes": plan_bytes,
+        "packed_events_per_s": round(n / packed_best),
+        "compressed_events_per_s": round(ev_per_s),
+        "compress_seconds": round(compress_best, 4),
+        "speedup": round(speedup, 2),
+        "events_per_s_per_compressed_byte": round(ev_per_byte, 1),
+        "rows_skipped": stats.rows_skipped,
+        "blocks_summarized": stats.blocks_summarized,
+    }
+    return row, failures
+
+
+# ----------------------------------------------------------------------
+# Spill leg: recording-phase peak RSS, 1x vs 10x, spill vs in-memory.
+# Each mode runs in a fresh subprocess so ru_maxrss reflects only that
+# recording.
+
+_CHILD_TEMPLATE = r"""
+import resource, sys
+sys.path.insert(0, {here!r})
+import bench_compressed_traces as bench
+from repro.analysis.sweep import run_sweep, create_pass
+from repro.lang import load
+from repro.runtime import VM, Execution, RoundRobinScheduler
+from repro.trace.columnar import ColumnarRecorder
+from repro.trace.compressed import compress_trace
+from repro.trace.spill import SpillingRecorder
+
+mode = {mode!r}
+n = {n}
+table = load(bench.SPIN_SOURCE)
+vm = VM(table)
+_, env = vm.run_test("Seed")
+worker = env["w"]
+recorder = (
+    SpillingRecorder("spin") if mode == "spill" else ColumnarRecorder("spin")
+)
+execution = Execution(vm, listeners=(recorder,))
+for _ in range(2):
+    execution.spawn(
+        lambda ctx: vm.interp.call_method(ctx, worker, "spin", [n])
+    )
+result = execution.run(RoundRobinScheduler(), max_steps=100 * n + 10000)
+assert result.completed
+rss_record = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+packed = recorder.packed
+digest = packed.digest()
+run_sweep(
+    [create_pass(p) for p in bench.SUMMARIZABLE_PASSES],
+    compress_trace(packed),
+)
+rss_total = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(len(packed), digest, rss_record, rss_total)
+"""
+
+
+def _child(mode: str, n: int) -> dict:
+    here = pathlib.Path(__file__).parent
+    code = _CHILD_TEMPLATE.format(here=str(here), mode=mode, n=n)
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": str(here.parent / "src"), "PATH": "/usr/bin:/bin"},
+    ).stdout.split()
+    return {
+        "events": int(out[0]),
+        "digest": out[1],
+        "recording_peak_rss_kib": int(out[2]),
+        "total_peak_rss_kib": int(out[3]),
+    }
+
+
+def bench_spill(base_n: int) -> tuple[dict, list]:
+    big_n = base_n * 10
+    spill_base = _child("spill", base_n)
+    spill_big = _child("spill", big_n)
+    mem_big = _child("mem", big_n)
+    failures = []
+    if spill_big["digest"] != mem_big["digest"]:
+        failures.append("spill: spilled digest differs from in-memory")
+    flatness = (
+        spill_big["recording_peak_rss_kib"]
+        / spill_base["recording_peak_rss_kib"]
+    )
+    if flatness > REQUIRED_RSS_FLATNESS:
+        failures.append(
+            f"spill: 10x trace grew recording RSS {flatness:.2f}x > "
+            f"allowed {REQUIRED_RSS_FLATNESS}x"
+        )
+    if (
+        spill_big["recording_peak_rss_kib"]
+        >= mem_big["recording_peak_rss_kib"]
+    ):
+        failures.append(
+            f"spill: spilled recording peaked at "
+            f"{spill_big['recording_peak_rss_kib']} KiB, not below the "
+            f"in-memory recording's {mem_big['recording_peak_rss_kib']} KiB"
+        )
+    row = {
+        "base_n": base_n,
+        "big_n": big_n,
+        "spill_base": spill_base,
+        "spill_big": spill_big,
+        "mem_big": mem_big,
+        "rss_flatness": round(flatness, 3),
+    }
+    return row, failures
+
+
+# ----------------------------------------------------------------------
+# Harness.
+
+
+def run_bench(
+    corpus_count: int = 30,
+    runs: int = 2,
+    max_tests: int = 3,
+    loop_n: int = 10 * BASE_LOOP_N,
+    repeat: int = 3,
+    spill_base_n: int = 50_000,
+    out_path: pathlib.Path = OUT_PATH,
+) -> dict:
+    identity_row, failures = bench_identity(corpus_count, runs, max_tests)
+    throughput_row, t_failures = bench_throughput(loop_n, repeat)
+    spill_row, s_failures = bench_spill(spill_base_n)
+    failures += t_failures + s_failures
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": {
+            "corpus_count": corpus_count,
+            "runs": runs,
+            "max_tests": max_tests,
+            "loop_n": loop_n,
+            "repeat": repeat,
+            "spill_base_n": spill_base_n,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "identity": identity_row,
+        "throughput": throughput_row,
+        "spill": spill_row,
+        "required": {
+            "ratio": REQUIRED_RATIO,
+            "speedup": REQUIRED_SPEEDUP,
+            "events_per_s_per_compressed_byte":
+                REQUIRED_EV_PER_COMPRESSED_BYTE,
+            "rss_flatness": REQUIRED_RSS_FLATNESS,
+        },
+        "failures": failures,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _summarize(payload: dict) -> str:
+    identity = payload["identity"]
+    throughput = payload["throughput"]
+    spill = payload["spill"]
+    lines = [
+        "compressed traces ({} subjects, {} traces)".format(
+            identity["subjects"], identity["traces"]
+        ),
+        "  identity     {} rows -> {} plan rows ({}x), "
+        "{} skipped in sweeps".format(
+            identity["rows"], identity["plan_rows"], identity["ratio"],
+            identity["rows_skipped"],
+        ),
+        "  10x spin     {:,} ev/s compressed vs {:,} ev/s packed "
+        "({}x; ratio {}x; {} ev/s per plan byte)".format(
+            throughput["compressed_events_per_s"],
+            throughput["packed_events_per_s"],
+            throughput["speedup"],
+            throughput["ratio"],
+            throughput["events_per_s_per_compressed_byte"],
+        ),
+        "  spill RSS    {} KiB (1x) -> {} KiB (10x, {}x) vs "
+        "{} KiB in-memory".format(
+            spill["spill_base"]["recording_peak_rss_kib"],
+            spill["spill_big"]["recording_peak_rss_kib"],
+            spill["rss_flatness"],
+            spill["mem_big"]["recording_peak_rss_kib"],
+        ),
+    ]
+    for failure in payload["failures"]:
+        lines.append(f"  GATE FAILED: {failure}")
+    return "\n".join(lines)
+
+
+def test_compressed_traces_smoke(tmp_path):
+    """Quick variant: identity gates must hold; perf gates enforced."""
+    payload = run_bench(
+        corpus_count=8,
+        runs=2,
+        max_tests=2,
+        repeat=2,
+        spill_base_n=12_000,
+        out_path=tmp_path / "BENCH_compressed_smoke.json",
+    )
+    try:
+        from conftest import report_table
+
+        report_table("compressed_traces_smoke", _summarize(payload))
+    except ImportError:  # standalone collection
+        pass
+    assert not payload["failures"], payload["failures"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--corpus-count", type=int, default=30)
+    parser.add_argument("--runs", type=int, default=2)
+    parser.add_argument("--max-tests", type=int, default=3)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--spill-base-n", type=int, default=50_000)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller workload (CI smoke)"
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+    corpus_count = 8 if args.quick else args.corpus_count
+    max_tests = 2 if args.quick else args.max_tests
+    repeat = 2 if args.quick else args.repeat
+    spill_base_n = 12_000 if args.quick else args.spill_base_n
+    payload = run_bench(
+        corpus_count=corpus_count,
+        runs=args.runs,
+        max_tests=max_tests,
+        repeat=repeat,
+        spill_base_n=spill_base_n,
+        out_path=args.out,
+    )
+    print(_summarize(payload))
+    print(f"wrote {args.out}")
+    return 1 if payload["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

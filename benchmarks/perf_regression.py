@@ -115,6 +115,10 @@ EXPECTED_REPORTS = {
         1,
         "PYTHONPATH=src python benchmarks/bench_corpus_recall.py",
     ),
+    "BENCH_compressed.json": (
+        1,
+        "PYTHONPATH=src python benchmarks/bench_compressed_traces.py",
+    ),
 }
 
 

@@ -19,7 +19,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.sweep import KernelSpec, interest_union, run_sweep
+from repro.analysis.sweep import (
+    KernelSpec,
+    SummarySpec,
+    interest_union,
+    run_sweep,
+)
+from repro.fuzz.probes import _fingerprint_row, _shift_row
 from repro.detect.fasttrack import FastTrackDetector
 from repro.detect.report import RaceSet
 from repro.lang.classtable import ClassTable
@@ -77,9 +83,16 @@ class InterleavingCoverageProbe:
         )
 
     def kernel_spec(self, packed) -> KernelSpec:
+        # Block-summary hooks mirror AdjacencyProbe's: bare row-index
+        # slot entries plus the ``units`` aggregate length.
         return KernelSpec(
             fragments={OP_READ: _READ_FRAGMENT, OP_WRITE: _WRITE_FRAGMENT},
             env={"add": self.units.add},
+            summary=SummarySpec(
+                fingerprint_entry=_fingerprint_row,
+                shift_entry=_shift_row,
+                fingerprint_extra=lambda touched, canon: len(self.units),
+            ),
         )
 
     def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:

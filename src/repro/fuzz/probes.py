@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.sweep import KernelSpec, run_sweep
+from repro.analysis.sweep import KernelSpec, SummarySpec, run_sweep
 from repro.trace.columnar import OP_READ, OP_WRITE
 from repro.trace.events import AccessEvent, Event, WriteEvent
 
@@ -42,6 +42,15 @@ if P_previous is not None and tids[P_previous] != tid:
         P_b = nodes[i]
         P_add((strtab[clss[i]], strtab[flds[i]], (P_a, P_b) if P_a <= P_b else (P_b, P_a)))
 """
+
+
+def _fingerprint_row(entry, canon):
+    """Slot entries are bare previous-row indices; canon them directly."""
+    return canon(entry)
+
+
+def _shift_row(entry: int, lo: int, hi: int, delta: int) -> int:
+    return entry + delta if lo <= entry < hi else entry
 
 
 @dataclass
@@ -74,9 +83,18 @@ class AdjacencyProbe:
         self.confirmed.add((event.class_name, event.field_name, sites))
 
     def kernel_spec(self, packed) -> KernelSpec:
+        # Block-summary hooks: the slot entry is the raw previous-row
+        # index; confirmations derive from signature columns only, and
+        # ``confirmed`` is a set, so a converged block's repeats are
+        # pure re-adds (len(confirmed) is fingerprinted to prove it).
         return KernelSpec(
             fragments={OP_READ: _READ_FRAGMENT, OP_WRITE: _WRITE_FRAGMENT},
             env={"add": self.confirmed.add},
+            summary=SummarySpec(
+                fingerprint_entry=_fingerprint_row,
+                shift_entry=_shift_row,
+                fingerprint_extra=lambda touched, canon: len(self.confirmed),
+            ),
         )
 
     def feed_packed(self, packed, start: int = 0, stop: int | None = None) -> None:

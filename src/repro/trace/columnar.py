@@ -41,6 +41,7 @@ bit-identical to attaching the passes directly.
 from __future__ import annotations
 
 import hashlib
+import sys
 from array import array
 
 from repro.runtime.values import ObjRef, Value
@@ -514,15 +515,45 @@ class PackedTrace:
         return h.hexdigest()
 
     def nbytes(self) -> int:
-        """Approximate resident size of the packed columns + tables."""
+        """Resident size of the packed columns plus side tables.
+
+        Column bytes are exact (``len * itemsize``); side tables are
+        measured with ``sys.getsizeof`` per interned object plus the
+        holding lists, so the reported footprint reflects what the
+        tables actually cost — the old estimate (string lengths and
+        flat per-entry constants) undercounted CPython object headers
+        several-fold, which skewed before/after memory comparisons.
+        """
+        return self.column_nbytes() + self.side_nbytes()
+
+    def column_nbytes(self) -> int:
+        """Exact byte size of the packed columns alone."""
         total = 0
         for name in self.COLUMNS:
             col = getattr(self, name)
             total += len(col) * col.itemsize
-        total += sum(len(s) for s in self.strtab)
-        total += sum(8 * (1 + len(locks)) for locks in self.locktab)
-        total += 24 * len(self.addrtab)
-        total += 16 * len(self.cells)
+        return total
+
+    def side_nbytes(self) -> int:
+        """Measured size of the interned side tables (see ``nbytes``)."""
+        getsizeof = sys.getsizeof
+        total = (
+            getsizeof(self.strtab)
+            + getsizeof(self.locktab)
+            + getsizeof(self.addrtab)
+            + getsizeof(self.cells)
+        )
+        for s in self.strtab:
+            total += getsizeof(s)
+        for locks in self.locktab:
+            # The frozenset object plus its int members (ints are tiny
+            # and frequently shared, but counting them is closer to
+            # the truth than ignoring them).
+            total += getsizeof(locks) + sum(getsizeof(o) for o in locks)
+        for addr in self.addrtab:
+            total += getsizeof(addr) + sum(getsizeof(part) for part in addr)
+        for cell in self.cells:
+            total += getsizeof(cell)
         return total
 
     def counts(self) -> dict[str, int]:
@@ -551,6 +582,30 @@ class ColumnarRecorder:
         self.packed = PackedTrace(test_name=test_name)
         # Bind the packer directly: event delivery costs one dict hit.
         self.on_event = self.packed.append
+
+    @staticmethod
+    def create(test_name: str = "", interests=None,
+               spill_rows: int | None = None, spill_dir: str | None = None):
+        """Build a recorder, spilling columns to disk when configured.
+
+        ``spill_rows`` (or the ``REPRO_SPILL_ROWS`` environment
+        variable when unset) switches to a
+        :class:`~repro.trace.spill.SpillingRecorder` with that flush
+        threshold; traces shorter than one flush never touch disk.
+        Both recorders satisfy the same listener protocol and expose
+        ``packed``, and both produce byte-identical column content and
+        digests (see ``trace/spill.py``).
+        """
+        from repro.trace.spill import SpillingRecorder, spill_rows_from_env
+
+        if spill_rows is None:
+            spill_rows = spill_rows_from_env()
+        if spill_rows is None:
+            return ColumnarRecorder(test_name, interests=interests)
+        return SpillingRecorder(
+            test_name, interests=interests,
+            spill_rows=spill_rows, spill_dir=spill_dir,
+        )
 
 
 __all__ = [

@@ -1,0 +1,182 @@
+"""Spill-to-disk streaming for packed traces: bounded-RSS recording.
+
+A million-event trace at ~100 bytes of column storage per row keeps
+the whole interleaving resident for the lifetime of the analysis.
+:class:`SpillingRecorder` bounds that: rows are packed into an
+in-memory :class:`~repro.trace.columnar.PackedTrace` buffer as usual,
+but every ``spill_rows`` rows the column arrays are appended to
+per-column chunk files on disk and the buffer is reset — only the
+interned side tables (strings, locksets, addresses, cells) stay in
+memory, and those are small and deduplicated by construction.
+
+Finalizing produces a :class:`SpilledTrace`: a ``PackedTrace`` whose
+columns are ``memoryview``s over ``mmap``-ed column files, so every
+consumer — the fused sweep's column locals, ``event(i)``
+reconstruction, ``digest()``, serialization's ``list(column)`` — works
+unchanged with **global row indices preserved**, while the OS pages
+column data in and out on demand (sequential sweeps fault pages in
+order; RSS stays bounded by the page cache, not the trace).  The
+chunk layout is trivially concatenative: chunk ``j`` of column ``c``
+is exactly ``column[j*spill_rows:(j+1)*spill_rows].tobytes()``, so the
+on-disk bytes equal the in-memory column bytes and
+:meth:`PackedTrace.digest` — and with it every fuzz-memo key and
+cached-artifact digest — is identical on both paths (DESIGN.md §13).
+
+The column files are unlinked immediately after mapping (POSIX keeps
+mapped pages valid), so spill directories cannot leak past process
+exit even on crash.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import tempfile
+
+from repro.trace.columnar import PackedTrace
+
+#: Buffered rows before a flush to the column files; also the default
+#: threshold below which nothing is ever written (short traces never
+#: touch disk).  Override per recorder or via ``REPRO_SPILL_ROWS``.
+DEFAULT_SPILL_ROWS = 65_536
+
+_ENV_SPILL_ROWS = "REPRO_SPILL_ROWS"
+
+
+def spill_rows_from_env() -> int | None:
+    """The process-wide spill threshold, or None when spill is off."""
+    raw = os.environ.get(_ENV_SPILL_ROWS)
+    if not raw:
+        return None
+    try:
+        rows = int(raw)
+    except ValueError:
+        return None
+    return rows if rows > 0 else None
+
+
+class SpilledTrace(PackedTrace):
+    """A packed trace whose columns live in unlinked mapped files.
+
+    Read-only: ``append`` would need array columns.  Everything else —
+    length, iteration, ``event(i)``, ``digest()``, ``counts()``,
+    report-side accessors — inherits from :class:`PackedTrace` and
+    works on the ``memoryview`` columns directly.
+    """
+
+    __slots__ = ("_maps",)
+
+    def __init__(self, test_name: str = "") -> None:
+        super().__init__(test_name)
+        self._maps: list[mmap.mmap] = []
+
+    def append(self, event) -> None:  # pragma: no cover - guard rail
+        raise TypeError("SpilledTrace is finalized; record through "
+                        "SpillingRecorder instead")
+
+    def nbytes(self) -> int:
+        """Resident estimate: side tables only — column bytes live in
+        the page cache and are reclaimable, which is the point."""
+        return self.side_nbytes()
+
+    def close(self) -> None:
+        """Drop the column mappings (the trace becomes unusable)."""
+        for name in self.COLUMNS:
+            setattr(self, name, memoryview(b""))
+        for mapping in self._maps:
+            mapping.close()
+        self._maps.clear()
+
+
+class SpillingRecorder:
+    """Drop-in for :class:`ColumnarRecorder` with disk-backed columns.
+
+    Satisfies the same listener protocol (``interests``, ``on_event``)
+    and exposes ``packed`` — finalizing the chunk files into a
+    :class:`SpilledTrace` on first access.
+    """
+
+    def __init__(
+        self,
+        test_name: str = "",
+        interests=None,
+        spill_rows: int = DEFAULT_SPILL_ROWS,
+        spill_dir: str | None = None,
+    ) -> None:
+        self.interests = interests
+        self.spill_rows = max(1, spill_rows)
+        self._buffer = PackedTrace(test_name=test_name)
+        self._dir = tempfile.mkdtemp(prefix="repro-spill-", dir=spill_dir)
+        self._files = {
+            name: open(os.path.join(self._dir, f"col_{name}.bin"), "wb")
+            for name in PackedTrace.COLUMNS
+        }
+        self._packed: SpilledTrace | None = None
+        buffer_append = self._buffer.append
+        buffer_op = self._buffer.op
+        threshold = self.spill_rows
+
+        def on_event(event) -> None:
+            buffer_append(event)
+            if len(buffer_op) >= threshold:
+                self._flush()
+
+        self.on_event = on_event
+
+    def _flush(self) -> None:
+        """Append the buffered column bytes to the chunk files."""
+        buffer = self._buffer
+        for name in PackedTrace.COLUMNS:
+            column = getattr(buffer, name)
+            column.tofile(self._files[name])
+            del column[:]
+
+    @property
+    def packed(self) -> SpilledTrace:
+        """Finalize (idempotent) and return the mapped trace."""
+        if self._packed is None:
+            self._packed = self._finalize()
+        return self._packed
+
+    def _finalize(self) -> SpilledTrace:
+        if self._files is None:
+            raise RuntimeError("SpillingRecorder already finalized")
+        self._flush()
+        buffer = self._buffer
+        trace = SpilledTrace(test_name=buffer.test_name)
+        # Side tables (and intern dicts, for debuggability) move over
+        # wholesale; only the columns are disk-backed.
+        trace.strtab = buffer.strtab
+        trace.locktab = buffer.locktab
+        trace.addrtab = buffer.addrtab
+        trace.cells = buffer.cells
+        trace._strid = buffer._strid
+        trace._lockid = buffer._lockid
+        trace._addrid = buffer._addrid
+        for name, handle in self._files.items():
+            handle.close()
+            path = os.path.join(self._dir, f"col_{name}.bin")
+            size = os.path.getsize(path)
+            typecode = PackedTrace._TYPECODES[name]
+            if size == 0:
+                view = memoryview(b"").cast(typecode)
+            else:
+                with open(path, "rb") as read_handle:
+                    mapping = mmap.mmap(
+                        read_handle.fileno(), 0, access=mmap.ACCESS_READ
+                    )
+                trace._maps.append(mapping)
+                view = memoryview(mapping).cast(typecode)
+            setattr(trace, name, view)
+            os.unlink(path)
+        os.rmdir(self._dir)
+        self._files = None
+        return trace
+
+
+__all__ = [
+    "DEFAULT_SPILL_ROWS",
+    "SpilledTrace",
+    "SpillingRecorder",
+    "spill_rows_from_env",
+]

@@ -1,0 +1,159 @@
+"""Spill-to-disk recording (repro/trace/spill.py).
+
+The contract: a :class:`SpillingRecorder` run is indistinguishable
+from an in-memory :class:`ColumnarRecorder` run — same digest, same
+events, same analysis results, same serialized form — while the column
+bytes live in unlinked mapped files instead of the heap.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.sweep import create_pass, run_sweep
+from repro.trace.columnar import ColumnarRecorder, PackedTrace
+from repro.trace.compressed import compress_trace
+from repro.trace.spill import (
+    DEFAULT_SPILL_ROWS,
+    SpilledTrace,
+    SpillingRecorder,
+    spill_rows_from_env,
+)
+
+from tests.trace.test_compressed import HOT_LOOP, record_spin
+
+
+def record_both(n: int, spill_rows: int):
+    """The same spin run through both recorders."""
+    from repro.lang import load
+    from repro.runtime import VM, Execution, RoundRobinScheduler
+
+    table = load(HOT_LOOP)
+    results = []
+    for recorder in (
+        ColumnarRecorder("spin"),
+        SpillingRecorder("spin", spill_rows=spill_rows),
+    ):
+        vm = VM(table)
+        _, env = vm.run_test("Seed")
+        worker = env["w"]
+        execution = Execution(vm, listeners=(recorder,))
+        for _ in range(2):
+            execution.spawn(
+                lambda ctx: vm.interp.call_method(ctx, worker, "spin", [n])
+            )
+        result = execution.run(
+            RoundRobinScheduler(), max_steps=100 * n + 10_000
+        )
+        assert result.completed
+        results.append(recorder.packed)
+    return results
+
+
+class TestSpilledIdentity:
+    def test_digest_events_counts_identical(self):
+        memory, spilled = record_both(60, spill_rows=32)
+        assert isinstance(spilled, SpilledTrace)
+        assert len(spilled) == len(memory)
+        assert spilled.digest() == memory.digest()
+        assert spilled.counts() == memory.counts()
+        assert [spilled.event(i) for i in range(len(spilled))] == [
+            memory.event(i) for i in range(len(memory))
+        ]
+
+    def test_sweep_results_identical(self):
+        memory, spilled = record_both(60, spill_rows=32)
+        for trace in (spilled, compress_trace(spilled)):
+            mem_pass = create_pass("fasttrack")
+            spill_pass = create_pass("fasttrack")
+            run_sweep((mem_pass,), memory)
+            run_sweep((spill_pass,), trace)
+            assert list(spill_pass.races) == list(mem_pass.races)
+            assert (
+                spill_pass.races.dynamic_count == mem_pass.races.dynamic_count
+            )
+
+    def test_serialization_roundtrip(self):
+        from repro.narada.serial import decode_packed_trace, encode_packed_trace
+
+        memory, spilled = record_both(30, spill_rows=16)
+        decoded = decode_packed_trace(encode_packed_trace(spilled))
+        assert decoded.digest() == memory.digest()
+
+    def test_flush_boundary_exact_multiple(self):
+        """A trace length landing exactly on the chunk size."""
+        recorder = SpillingRecorder("t", spill_rows=4)
+        memory = ColumnarRecorder("t")
+        source = record_spin(10, threads=1)
+        rows = len(source)
+        take = rows - (rows % 4)
+        for i in range(take):
+            event = source.event(i)
+            recorder.on_event(event)
+            memory.on_event(event)
+        assert recorder.packed.digest() == memory.packed.digest()
+
+
+class TestSpilledTraceBehavior:
+    def test_append_rejected(self):
+        recorder = SpillingRecorder("t", spill_rows=8)
+        trace = recorder.packed
+        with pytest.raises(TypeError):
+            trace.append(object())
+
+    def test_nbytes_counts_side_tables_only(self):
+        memory, spilled = record_both(60, spill_rows=32)
+        assert spilled.nbytes() == spilled.side_nbytes()
+        assert spilled.nbytes() < memory.nbytes()
+        assert memory.nbytes() == (
+            memory.column_nbytes() + memory.side_nbytes()
+        )
+
+    def test_empty_recorder_finalizes(self):
+        recorder = SpillingRecorder("empty", spill_rows=8)
+        trace = recorder.packed
+        assert len(trace) == 0
+        assert trace.digest() == PackedTrace("empty").digest()
+
+    def test_close_releases_mappings(self):
+        _, spilled = record_both(30, spill_rows=16)
+        spilled.close()
+        assert spilled._maps == []
+
+    def test_spill_files_unlinked_after_finalize(self):
+        recorder = SpillingRecorder("t", spill_rows=8)
+        spill_dir = recorder._dir
+        source = record_spin(10, threads=1)
+        for i in range(len(source)):
+            recorder.on_event(source.event(i))
+        recorder.packed
+        assert not os.path.exists(spill_dir)
+
+
+class TestFactory:
+    def test_create_defaults_to_in_memory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPILL_ROWS", raising=False)
+        recorder = ColumnarRecorder.create("t")
+        assert isinstance(recorder, ColumnarRecorder)
+
+    def test_create_spills_when_env_set(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_ROWS", "128")
+        recorder = ColumnarRecorder.create("t")
+        assert isinstance(recorder, SpillingRecorder)
+        assert recorder.spill_rows == 128
+        assert isinstance(recorder.packed, SpilledTrace)
+
+    def test_create_explicit_spill_rows_wins(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPILL_ROWS", raising=False)
+        recorder = ColumnarRecorder.create("t", spill_rows=64)
+        assert isinstance(recorder, SpillingRecorder)
+        assert recorder.spill_rows == 64
+
+    @pytest.mark.parametrize("raw", ["", "0", "-5", "nope"])
+    def test_env_rejects_non_positive_and_garbage(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_SPILL_ROWS", raw)
+        assert spill_rows_from_env() is None
+        assert isinstance(ColumnarRecorder.create("t"), ColumnarRecorder)
+
+    def test_default_threshold_is_sane(self):
+        assert DEFAULT_SPILL_ROWS >= 1024
