@@ -119,6 +119,10 @@ EXPECTED_REPORTS = {
         1,
         "PYTHONPATH=src python benchmarks/bench_compressed_traces.py",
     ),
+    "BENCH_static.json": (
+        1,
+        "PYTHONPATH=src python benchmarks/bench_static_filter.py",
+    ),
 }
 
 

@@ -121,6 +121,16 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
              "block-skipping counters, fuzz memo hit rate",
     )
     parser.add_argument(
+        "--no-static-filter", action="store_true",
+        help="disable the static lockset pre-filter: every candidate "
+             "pair gets the full fuzz budget (pre-filter-era behavior)",
+    )
+    parser.add_argument(
+        "--static-stats", action="store_true",
+        help="print the candidate funnel: pairs generated / statically "
+             "pruned (by reason) / ranked / tests fuzzed vs skipped",
+    )
+    parser.add_argument(
         "--unit-timeout", type=float, default=None, metavar="SECONDS",
         help="per-unit wall-clock watchdog deadline (default: none)",
     )
@@ -178,6 +188,7 @@ def _pipeline_config(args, **config) -> PipelineConfig:
         max_retries=args.max_retries,
         retry_backoff=args.retry_backoff,
         fault_inject=args.fault_inject,
+        static_filter=not getattr(args, "no_static_filter", False),
         **extra,
         **config,
     )
@@ -271,12 +282,35 @@ def cmd_analyze(args) -> int:
 def cmd_pairs(args) -> int:
     table, target, source = _load_target(args)
     report = _synthesize(args, target, source)
+    verdicts = report.verdicts if len(report.verdicts) == len(report.pairs) else []
     if args.json:
-        print(json.dumps([_pair_json(p) for p in report.pairs], indent=2))
+        print(
+            json.dumps(
+                [
+                    _pair_json(p, verdicts[i] if verdicts else None)
+                    for i, p in enumerate(report.pairs)
+                ],
+                indent=2,
+            )
+        )
         return 0
-    for pair in report.pairs:
-        print(pair.describe())
-    print(f"\n{report.pair_count} racing pair(s)")
+    for i, pair in enumerate(report.pairs):
+        line = pair.describe()
+        if verdicts:
+            v = verdicts[i]
+            if v.pruned:
+                line += f"  [pruned: {v.reason}]"
+            else:
+                line += f"  [rank {v.score}]"
+                if v.deadlock_risk:
+                    line += " [deadlock watch]"
+        print(line)
+    summary = f"\n{report.pair_count} racing pair(s)"
+    if verdicts:
+        summary += f", {report.pruned_pair_count} statically pruned"
+    print(summary)
+    if args.static_stats:
+        _static_stats([(target, report, None)])
     if args.trace_stats:
         _trace_stats(source)
     return 0
@@ -336,6 +370,14 @@ def cmd_fuzz(args) -> int:
         f"({detection.harmful} harmful, {detection.benign} benign), "
         f"manual TP/FP {detection.manual_tp}/{detection.manual_fp}"
     )
+    if report.pruned_pair_count or detection.pruned_tests:
+        print(
+            f"static pre-filter: {report.pruned_pair_count}/"
+            f"{report.pair_count} pair(s) pruned, "
+            f"{detection.pruned_tests} test(s) skipped"
+        )
+    if args.static_stats:
+        _static_stats([(target, report, detection)])
     if outcome.detection_partial:
         print("(partial: some fuzz units failed; see the fault ledger)")
     for fuzz in detection.fuzz_reports:
@@ -421,6 +463,14 @@ def _run_subjects_pipeline(args) -> int:
                 if outcome.detection_partial:
                     line += " [partial]"
             print(line)
+        if args.static_stats:
+            _static_stats(
+                [
+                    (o.spec.name, o.synthesis, o.detection)
+                    for o in outcomes
+                    if o.synthesis is not None
+                ]
+            )
         _print_fault_summary(orch, always=True)
         if args.trace_stats:
             detections = [
@@ -602,6 +652,14 @@ def cmd_tables(args) -> int:
         ]
         print()
         print(format_table5(detections))
+    if args.static_stats:
+        _static_stats(
+            [
+                (subject.key, outcome.synthesis, outcome.detection)
+                for subject, outcome in zip(subjects, outcomes)
+                if outcome.synthesis is not None
+            ]
+        )
     _print_fault_summary(orch)
     if args.trace_stats and args.detect:
         # Aggregate the deterministic fuzz counters across subjects.
@@ -715,6 +773,9 @@ def cmd_corpus_run(args) -> int:
                         "recall": result.recall,
                         "precision": result.precision,
                         "pair_precision": result.pair_precision,
+                        "pruned_pairs": result.pruned_pairs,
+                        "pruned_fraction": result.pruned_fraction,
+                        "pruned_oracle_races": result.pruned_oracle_races,
                         "oracle_races": result.oracle_races,
                         "detected_races": result.detected_races,
                         "missed_races": result.missed_races,
@@ -886,7 +947,15 @@ def cmd_client(args) -> int:
 
 
 # ----------------------------------------------------------------------
-# --trace-stats reporting.
+# --static-stats / --trace-stats reporting.
+
+
+def _static_stats(rows) -> None:
+    """Print the candidate funnel table (``--static-stats``)."""
+    from repro.report import format_static_filter_table
+
+    print()
+    print(format_static_filter_table(rows))
 
 
 def _trace_stats(source: str, detections=None) -> None:
@@ -1022,21 +1091,26 @@ def _summary_json(summary) -> dict:
     }
 
 
-def _pair_json(pair) -> dict:
-    return {
+def _pair_json(pair, verdict=None) -> dict:
+    data = {
         "field": f"{pair.field[0]}.{pair.field[1]}",
         "first": list(pair.first.method_id()),
         "second": list(pair.second.method_id()),
         "same_site": pair.same_site,
         "site_pairs": sorted(pair.site_pairs),
     }
+    if verdict is not None:
+        data["verdict"] = verdict.to_dict()
+    return data
 
 
 def _detection_json(target, report, detection) -> dict:
     return {
         "class": target,
         "pairs": report.pair_count,
+        "pruned_pairs": report.pruned_pair_count,
         "tests": report.test_count,
+        "pruned_tests": detection.pruned_tests,
         "detected": detection.detected,
         "reproduced": detection.reproduced,
         "harmful": detection.harmful,

@@ -98,6 +98,7 @@ class SubjectScore:
     oracle: set[RaceKey] = field(default_factory=set)
     detected: set[RaceKey] = field(default_factory=set)
     candidate_pairs: set[RaceKey] = field(default_factory=set)
+    pruned_pairs: set[RaceKey] = field(default_factory=set)
     deadlock_expected: bool = False
     deadlock_observed: bool = False
     pipeline_failed: bool = False
@@ -111,8 +112,21 @@ class SubjectScore:
         return self.detected - self.oracle
 
     @property
+    def pruned_oracle(self) -> set[RaceKey]:
+        """Oracle races the static pre-filter discharged — must be empty.
+
+        Any member is a soundness bug in :mod:`repro.static`: the filter
+        claimed a consistent lock / thread-local receiver for a pair the
+        corpus constructed to race."""
+        return self.pruned_pairs & self.oracle
+
+    @property
     def complete(self) -> bool:
-        return not self.pipeline_failed and not self.missed
+        return (
+            not self.pipeline_failed
+            and not self.missed
+            and not self.pruned_oracle
+        )
 
 
 def score_outcome(
@@ -135,11 +149,16 @@ def score_outcome(
         score.pipeline_failed = True
 
     sites = site_method_map(load(subject.source))
-    for pair in outcome.synthesis.pairs:
+    verdicts = outcome.synthesis.verdicts
+    aligned = len(verdicts) == len(outcome.synthesis.pairs)
+    for i, pair in enumerate(outcome.synthesis.pairs):
         methods = tuple(
             sorted((pair.first.method_id()[1], pair.second.method_id()[1]))
         )
-        score.candidate_pairs.add((pair.field[1], methods))
+        pair_key = (pair.field[1], methods)
+        score.candidate_pairs.add(pair_key)
+        if aligned and verdicts[i].pruned:
+            score.pruned_pairs.add(pair_key)
     for fuzz in outcome.detection.fuzz_reports:
         score.detected |= race_keys_of(fuzz.detected, sites)
         if fuzz.deadlocks:
@@ -198,6 +217,20 @@ class CorpusResult:
         return 1.0 if total == 0 else self.true_candidate_pairs / total
 
     @property
+    def pruned_pairs(self) -> int:
+        return sum(len(s.pruned_pairs) for s in self.scores)
+
+    @property
+    def pruned_fraction(self) -> float:
+        total = self.candidate_pairs
+        return 0.0 if total == 0 else self.pruned_pairs / total
+
+    @property
+    def pruned_oracle_races(self) -> int:
+        """Statically pruned pairs that the oracle marks racy (gate: 0)."""
+        return sum(len(s.pruned_oracle) for s in self.scores)
+
+    @property
     def deadlock_expected(self) -> int:
         return sum(1 for s in self.scores if s.deadlock_expected)
 
@@ -225,6 +258,12 @@ class CorpusResult:
                     f"{race_key[1][0]} and {race_key[1][1]} "
                     f"(templates: {', '.join(s.template_keys)})"
                 )
+            for race_key in sorted(s.pruned_oracle):
+                out.append(
+                    f"{s.key}: PRUNED oracle race on {race_key[0]} between "
+                    f"{race_key[1][0]} and {race_key[1][1]} "
+                    f"(templates: {', '.join(s.template_keys)})"
+                )
         return out
 
     def summary(self) -> str:
@@ -237,6 +276,8 @@ class CorpusResult:
             f"({self.true_detected}/{self.detected_races} detected), "
             f"pair precision {self.pair_precision:.3f} "
             f"({self.true_candidate_pairs}/{self.candidate_pairs}), "
+            f"pruned {self.pruned_pairs}/{self.candidate_pairs} "
+            f"({self.pruned_fraction:.1%}, {self.pruned_oracle_races} oracle), "
             f"deadlocks {self.deadlock_observed}/{self.deadlock_expected}"
         )
 

@@ -9,7 +9,7 @@ one class without collisions) and the subject's RNG (used only to vary
 literal constants — structure is never randomized, so the oracle
 construction stays syntax-directed).
 
-The seven disciplines, and what each contributes to the corpus:
+The eight disciplines, and what each contributes to the corpus:
 
 ====================== ====================================================
 ``wrong_mutex``        C1's headline defect: a reset path guards the data
@@ -39,6 +39,14 @@ The seven disciplines, and what each contributes to the corpus:
                        deriver's ⊥-owner fallback yields a no-sharing
                        test; no race is dynamically possible.  Keeps the
                        corpus's precision measurement honest.
+``consistent_lock``    The disciplined control: writer and reader both
+                       guard the data with the *same* dedicated lock
+                       object (not the receiver's monitor), so the
+                       dynamic analysis still flags both accesses as
+                       unprotected and pairs them — but no interleaving
+                       can race.  Exercises the static pre-filter's
+                       consistent-lock prune rule and keeps the pruned
+                       fraction measurable.
 ====================== ====================================================
 
 Seed statements assume the test body declares the shared receiver as
@@ -57,6 +65,7 @@ from repro.corpus.oracle import AccessSpec
 from repro.lang import ast
 from repro.lang.build import (
     assign,
+    binop,
     call,
     class_decl,
     constructor,
@@ -388,9 +397,59 @@ def t_thread_local_receiver(n: int, rng: random.Random) -> TemplateInstance:
     )
 
 
+def t_consistent_lock(n: int, rng: random.Random) -> TemplateInstance:
+    data, lock = f"clData{n}", f"clLock{n}"
+    putm, getm, bumpm = f"clPut{n}", f"clGet{n}", f"clBump{n}"
+    v = rng.randrange(1, 10)
+    return TemplateInstance(
+        template="consistent_lock",
+        fields=[field_decl(data, INT), field_decl(lock, "Pad")],
+        ctor_stmts=[set_this(lock, new("Pad"))],
+        methods=[
+            method(
+                putm, [param("v", INT)], VOID,
+                [sync(this_get(lock), set_this(data, var("v")))],
+            ),
+            method(
+                getm, [], INT,
+                [
+                    vdecl(INT, "r", lit(0)),
+                    sync(this_get(lock), assign("r", this_get(data))),
+                    ret(var("r")),
+                ],
+            ),
+            method(
+                bumpm, [], VOID,
+                [
+                    sync(
+                        this_get(lock),
+                        set_this(data, binop("+", this_get(data), lit(1))),
+                    )
+                ],
+            ),
+        ],
+        seed_stmts=[
+            expr_stmt(call(_recv(), putm, lit(v))),
+            vdecl(INT, f"ca{n}", call(_recv(), getm)),
+            expr_stmt(call(_recv(), bumpm)),
+        ],
+        accesses=[
+            AccessSpec(putm, data, "W", frozenset({lock})),
+            AccessSpec(getm, data, "R", frozenset({lock})),
+            AccessSpec(bumpm, data, "W", frozenset({lock})),
+            AccessSpec(bumpm, data, "R", frozenset({lock})),
+            AccessSpec(putm, lock, "R", frozenset()),
+            AccessSpec(getm, lock, "R", frozenset()),
+            AccessSpec(bumpm, lock, "R", frozenset()),
+        ],
+        shared_helpers=("Pad",),
+    )
+
+
 #: Template registry in canonical order.  The order is part of the
 #: deterministic-generation contract: subject composition draws from
-#: this tuple by index.
+#: this tuple by index.  New templates must be appended — reordering
+#: or inserting earlier would silently recompose every seeded subject.
 TEMPLATES: dict = {
     "wrong_mutex": t_wrong_mutex,
     "unguarded_reader": t_unguarded_reader,
@@ -399,6 +458,7 @@ TEMPLATES: dict = {
     "benign_constant_reset": t_benign_constant_reset,
     "guarded_stale_publication": t_guarded_stale_publication,
     "thread_local_receiver": t_thread_local_receiver,
+    "consistent_lock": t_consistent_lock,
 }
 
 

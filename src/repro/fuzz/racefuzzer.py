@@ -125,6 +125,13 @@ class FuzzReport:
     """Repeat blocks the sweeps encountered across replayed runs."""
     rows_skipped: int = 0
     """Rows covered by a converged block summary instead of decoding."""
+    budget_runs: int = 0
+    """Random-phase runs this test was budgeted (the static pre-filter
+    halves the budget for deadlock-watch tests; equals the configured
+    ``random_runs`` when no budget was applied)."""
+    rank_score: int = 0
+    """Max static risk score of the ranked pairs this test covers (0
+    when the static pre-filter was off)."""
 
     def reproduced_records(self) -> list[RaceRecord]:
         return [r for r in self.detected if r.static_key() in self.reproduced]
@@ -187,10 +194,26 @@ class RaceFuzzer:
         self._vm_seed = vm_seed
         self._directed = directed
 
-    def fuzz(self, test: SynthesizedTest) -> FuzzReport:
+    def fuzz(
+        self,
+        test: SynthesizedTest,
+        runs: int | None = None,
+        rank_score: int = 0,
+    ) -> FuzzReport:
+        """Fuzz one test, optionally under a per-test run budget.
+
+        ``runs`` overrides the configured random-phase run count for
+        this call (the staged candidate pipeline allocates budgets per
+        test from the static verdicts); schedule seeds still depend
+        only on (test name, run index), so a budgeted prefix of runs is
+        bit-identical to the same prefix of a full fuzz.
+        """
+        budget = self._random_runs if runs is None else runs
         report = FuzzReport(
             test=test,
             constant_sites=collect_constant_write_sites(self._table.program),
+            budget_runs=budget,
+            rank_score=rank_score,
         )
         # The interleaving-digest memo is scoped to this one fuzz()
         # call: sharing it across tests would make the hit counters
@@ -198,7 +221,7 @@ class RaceFuzzer:
         # one, breaking the bit-identical-to-serial contract.
         memo: dict[str, tuple] = {}
         try:
-            self._random_phase(test, report, memo)
+            self._random_phase(test, report, memo, budget)
             if self._directed:
                 self._directed_phase(test, report, memo)
         except Exception as error:  # synthesis/collection failures
@@ -219,9 +242,9 @@ class RaceFuzzer:
     # Random phase.
 
     def _random_phase(
-        self, test: SynthesizedTest, report: FuzzReport, memo: dict
+        self, test: SynthesizedTest, report: FuzzReport, memo: dict, runs: int
     ) -> None:
-        for run_index in range(self._random_runs):
+        for run_index in range(runs):
             recorder = ColumnarRecorder.create(test.name, interests=_FUZZ_INTERESTS)
             runner = TestRunner(
                 self._table,

@@ -41,7 +41,7 @@ from repro.narada.serial import SERIAL_VERSION, canonical_json
 
 #: Bump to invalidate every cached artifact after a semantic change to
 #: any pipeline stage (analysis rules, synthesis, fuzz seed derivation).
-CODE_SALT = "narada-pipeline-v6"
+CODE_SALT = "narada-pipeline-v7"
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -75,11 +75,14 @@ from repro.narada.serial import (
     encode_analysis,
     encode_detection,
     encode_fuzz_bundle,
+    decode_static_facts,
     encode_seed_traces,
+    encode_static_facts,
     encode_synthesis,
     encode_test_bundle,
     report_digest,
 )
+from repro.static.filter import allocate_budgets, verdict_index
 
 
 @dataclass(frozen=True)
@@ -108,6 +111,7 @@ class PipelineConfig:
     rng_seed: int | None = None
     random_runs: int = 8
     directed: bool = True
+    static_filter: bool = True
     unit_timeout: float | None = None
     max_retries: int = 2
     retry_backoff: float = 0.05
@@ -122,6 +126,7 @@ class PipelineConfig:
             "vm_seed": self.vm_seed,
             "rng_seed": self.rng_seed,
             "target_class": target_class,
+            "static_filter": self.static_filter,
         }
 
     def detection_config(self, target_class: str) -> dict:
@@ -148,6 +153,7 @@ class PipelineConfig:
             "rng_seed": self.rng_seed,
             "random_runs": self.random_runs,
             "directed": self.directed,
+            "static_filter": self.static_filter,
             "unit_timeout": self.unit_timeout,
             "max_retries": self.max_retries,
             "retry_backoff": self.retry_backoff,
@@ -235,7 +241,12 @@ def _synthesize_unit(
     the analyzer streams the restored columns.
     """
     table = _load_table(source)
-    narada = Narada(table, seed=config.vm_seed, rng_seed=config.rng_seed)
+    narada = Narada(
+        table,
+        seed=config.vm_seed,
+        rng_seed=config.rng_seed,
+        static_filter=config.static_filter,
+    )
     cache = (
         ArtifactCache(cache_root, fault_injector=config.injector())
         if cache_root is not None
@@ -252,6 +263,14 @@ def _synthesize_unit(
             cached_traces = cache.get("seedtrace", trace_key)
             if cached_traces is not None:
                 narada.use_seed_traces(decode_seed_traces(cached_traces))
+        facts_key = None
+        if config.static_filter:
+            # The lockset facts depend only on the program text, so the
+            # staticfilter stage keys on the table digest alone.
+            facts_key = stage_key(dig, "staticfilter", {})
+            cached_facts = cache.get("staticfilter", facts_key)
+            if cached_facts is not None:
+                narada.use_static_facts(decode_static_facts(cached_facts))
         report = narada.synthesize_for_class(target_class)
         if cached is None:
             cache.put("analysis", analysis_key, encode_analysis(narada.analysis()))
@@ -261,6 +280,12 @@ def _synthesize_unit(
                     trace_key,
                     encode_seed_traces(narada.run_seed_suite()),
                 )
+        if facts_key is not None and cache.get("staticfilter", facts_key) is None:
+            cache.put(
+                "staticfilter",
+                facts_key,
+                encode_static_facts(narada.static_facts()),
+            )
         return report
     return narada.synthesize_for_class(target_class)
 
@@ -281,20 +306,28 @@ def _synthesize_worker(
     return encode_synthesis(report)
 
 
-def _fuzz_unit(table: ClassTable, test, config: PipelineConfig):
+def _fuzz_unit(
+    table: ClassTable,
+    test,
+    config: PipelineConfig,
+    runs: int | None = None,
+    rank_score: int = 0,
+):
     fuzzer = RaceFuzzer(
         table,
         random_runs=config.random_runs,
         vm_seed=config.vm_seed,
         directed=config.directed,
     )
-    return fuzzer.fuzz(test)
+    return fuzzer.fuzz(test, runs=runs, rank_score=rank_score)
 
 
 def _fuzz_worker(
     source: str,
     test_bundle: dict,
     config: dict,
+    runs: int | None = None,
+    rank_score: int = 0,
     unit_key: str = "",
     attempt: int = 0,
 ) -> dict:
@@ -306,7 +339,7 @@ def _fuzz_worker(
         injector.before_unit(unit_key, attempt, in_worker=True)
     table = _load_table(source)
     test = decode_test_bundle(test_bundle)
-    report = _fuzz_unit(table, test, cfg)
+    report = _fuzz_unit(table, test, cfg, runs=runs, rank_score=rank_score)
     return encode_fuzz_bundle(report)
 
 
@@ -569,16 +602,20 @@ class PipelineOrchestrator:
     # -- detection phase -----------------------------------------------
 
     def _fuzzunit_key(
-        self, digest: str, target_class: str, test_name: str
+        self, digest: str, target_class: str, test_name: str, runs: int
     ) -> str:
         """Content address of one test's fuzz artifact.
 
         Finer-grained than the per-subject ``detection`` stage: these
         per-test entries are what lets an interrupted or partially
         failed detection phase resume without re-fuzzing finished tests.
+        ``runs`` is the test's allocated fuzz budget — a budgeted fuzz
+        computes a different artifact than a full one, so it must be
+        part of the address.
         """
         config = dict(self.config.detection_config(target_class))
         config["test"] = test_name
+        config["budget_runs"] = runs
         return stage_key(digest, "fuzzunit", config)
 
     def _detection_phase(
@@ -595,6 +632,7 @@ class PipelineOrchestrator:
         config_dict = self.config.to_dict()
         pending: list[tuple[int, object, PoolUnit]] = []
         reports: dict[int, dict[str, object]] = {}
+        budgets_by_spec: dict[int, dict] = {}
         for i, spec in enumerate(specs):
             if syntheses[i] is None:
                 continue  # synthesis failed; nothing to fuzz
@@ -606,9 +644,18 @@ class PipelineOrchestrator:
                 )
                 continue
             reports[i] = {}
+            budgets = allocate_budgets(
+                syntheses[i].tests,
+                verdict_index(syntheses[i]),
+                self.config.random_runs,
+            )
+            budgets_by_spec[i] = budgets
             for test in syntheses[i].tests:
+                budget = budgets[test.name]
+                if budget.runs == 0:
+                    continue  # all covered pairs statically pruned
                 ukey = self._fuzzunit_key(
-                    digests[i], spec.target_class, test.name
+                    digests[i], spec.target_class, test.name, budget.runs
                 )
                 unit_cached = self._get_decoded(
                     "fuzzunit", ukey, decode_fuzz_bundle
@@ -631,6 +678,8 @@ class PipelineOrchestrator:
                         spec.source,
                         encode_test_bundle(test),
                         config_dict,
+                        budget.runs,
+                        budget.score,
                     )
                 pending.append((i, test, unit))
 
@@ -638,7 +687,14 @@ class PipelineOrchestrator:
 
         def inline_fuzz(unit: PoolUnit):
             i, test = meta[unit.key]
-            return _fuzz_unit(_load_table(specs[i].source), test, self.config)
+            budget = budgets_by_spec[i][test.name]
+            return _fuzz_unit(
+                _load_table(specs[i].source),
+                test,
+                self.config,
+                runs=budget.runs,
+                rank_score=budget.score,
+            )
 
         def on_complete(unit: PoolUnit, payload) -> None:
             i, test = meta[unit.key]
@@ -658,6 +714,9 @@ class PipelineOrchestrator:
             detection = DetectionReport(class_name=specs[i].target_class)
             complete = True
             for test in syntheses[i].tests:
+                if budgets_by_spec[i][test.name].runs == 0:
+                    detection.pruned_tests += 1
+                    continue
                 fuzz = per_test.get(test.name)
                 if fuzz is None:
                     complete = False

@@ -41,10 +41,17 @@ class SynthesisReport:
     plans: list[TestPlan]
     tests: list[SynthesizedTest]
     seconds: float
+    verdicts: list = field(default_factory=list)
+    """Per-pair :class:`repro.static.filter.PairVerdict`, aligned with
+    ``pairs``.  Empty when the static pre-filter was off."""
 
     @property
     def pair_count(self) -> int:
         return len(self.pairs)
+
+    @property
+    def pruned_pair_count(self) -> int:
+        return sum(1 for v in self.verdicts if v.pruned)
 
     @property
     def test_count(self) -> int:
@@ -80,6 +87,9 @@ class DetectionReport:
 
     class_name: str
     fuzz_reports: list[FuzzReport] = field(default_factory=list)
+    pruned_tests: int = 0
+    """Synthesized tests skipped because every covered pair was
+    statically pruned (zero fuzz budget)."""
     _union_memo: dict | None = field(
         default=None, repr=False, compare=False
     )
@@ -176,6 +186,7 @@ class Narada:
         source_or_table: str | ClassTable,
         seed: int = 0,
         rng_seed: int | None = None,
+        static_filter: bool = True,
     ) -> None:
         if isinstance(source_or_table, str):
             self.table = load(source_or_table)
@@ -185,9 +196,11 @@ class Narada:
             self._source = None
         self.seed = seed
         self.rng_seed = rng_seed
+        self.static_filter = static_filter
         self._rng = random.Random(rng_seed) if rng_seed is not None else None
         self._analysis: AnalysisResult | None = None
         self._traces: list[PackedTrace] | None = None
+        self._static_facts = None
 
     def source_text(self) -> str:
         """Canonical program text for this table.
@@ -244,13 +257,33 @@ class Narada:
         self._traces = traces
 
     # ------------------------------------------------------------------
+    # Stage 2b: static lockset pre-filter.
+
+    def static_facts(self):
+        """Lockset facts for the program (lazy; cacheable stage)."""
+        if self._static_facts is None:
+            from repro.static.facts import analyze_program
+
+            self._static_facts = analyze_program(self.table)
+        return self._static_facts
+
+    def use_static_facts(self, facts) -> None:
+        """Adopt precomputed (e.g. cache-restored) static facts."""
+        self._static_facts = facts
+
+    # ------------------------------------------------------------------
     # Stages 2+3: pairs, context, synthesis.
 
     def synthesize_for_class(self, class_name: str) -> SynthesisReport:
         """Run the full synthesis pipeline for one analyzed class."""
         start = time.perf_counter()
         analysis = self.analysis()
-        pairs = generate_pairs(analysis, target_class=class_name)
+        pairs = generate_pairs(
+            analysis,
+            target_class=class_name,
+            facts=self.static_facts() if self.static_filter else None,
+            static_filter=self.static_filter,
+        )
         plans = derive_plans(pairs, analysis, self.table, rng=self._rng)
         tests = TestSynthesizer(
             self.table, name_prefix=f"{class_name}Racy"
@@ -263,10 +296,11 @@ class Narada:
             class_name=class_name,
             method_count=method_count,
             loc=loc,
-            pairs=pairs,
+            pairs=list(pairs),
             plans=plans,
             tests=tests,
             seconds=seconds,
+            verdicts=list(getattr(pairs, "verdicts", ())),
         )
 
     def synthesize_all(self, jobs: int = 1) -> list[SynthesisReport]:
@@ -328,9 +362,15 @@ class Narada:
                 rng_seed=self.rng_seed,
                 random_runs=random_runs,
                 directed=directed,
+                static_filter=self.static_filter,
             )
             with PipelineOrchestrator(jobs=jobs, config=config) as orch:
                 return orch.detect(spec, report)
+        from repro.static.filter import allocate_budgets, verdict_index
+
+        budgets = allocate_budgets(
+            report.tests, verdict_index(report), random_runs
+        )
         fuzzer = RaceFuzzer(
             self.table,
             random_runs=random_runs,
@@ -339,5 +379,11 @@ class Narada:
         )
         detection = DetectionReport(class_name=report.class_name)
         for test in report.tests:
-            detection.add(fuzzer.fuzz(test))
+            budget = budgets[test.name]
+            if budget.runs == 0:
+                detection.pruned_tests += 1
+                continue
+            detection.add(
+                fuzzer.fuzz(test, runs=budget.runs, rank_score=budget.score)
+            )
         return detection

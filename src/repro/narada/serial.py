@@ -52,7 +52,7 @@ from repro.synth.synthesizer import SynthesizedTest
 
 #: Bump when the encoding changes shape; cache keys include it so stale
 #: artifacts from older encodings are never decoded.
-SERIAL_VERSION = 4
+SERIAL_VERSION = 5
 
 #: Top-level keys that legitimately differ between identical runs (wall
 #: clock); stripped before hashing for determinism comparisons.
@@ -393,6 +393,8 @@ class Codec:
             "compressed_rows": report.compressed_rows,
             "repeat_blocks": report.repeat_blocks,
             "rows_skipped": report.rows_skipped,
+            "budget_runs": report.budget_runs,
+            "rank_score": report.rank_score,
             "failure_trace": report.failure_trace,
         }
 
@@ -545,6 +547,8 @@ class Codec:
             compressed_rows=data.get("compressed_rows", 0),
             repeat_blocks=data.get("repeat_blocks", 0),
             rows_skipped=data.get("rows_skipped", 0),
+            budget_runs=data.get("budget_runs", 0),
+            rank_score=data.get("rank_score", 0),
             failure_trace=data.get("failure_trace"),
         )
 
@@ -608,12 +612,14 @@ def encode_synthesis(report) -> dict:
         "pairs": pair_ids,
         "plans": plan_ids,
         "tests": test_ids,
+        "verdicts": [v.to_dict() for v in report.verdicts],
         "tables": codec.tables(),
     }
 
 
 def decode_synthesis(data: dict):
     from repro.narada.pipeline import SynthesisReport
+    from repro.static.filter import PairVerdict
 
     codec = Codec.from_tables(data)
     return SynthesisReport(
@@ -624,6 +630,9 @@ def decode_synthesis(data: dict):
         plans=[codec.plan(i) for i in data["plans"]],
         tests=[codec.test(i) for i in data["tests"]],
         seconds=data["seconds"],
+        verdicts=[
+            PairVerdict.from_dict(v) for v in data.get("verdicts", ())
+        ],
     )
 
 
@@ -635,6 +644,7 @@ def encode_detection(report) -> dict:
         "version": SERIAL_VERSION,
         "class_name": report.class_name,
         "fuzz_reports": fuzz,
+        "pruned_tests": report.pruned_tests,
         "tables": codec.tables(),
     }
 
@@ -643,7 +653,10 @@ def decode_detection(data: dict):
     from repro.narada.pipeline import DetectionReport
 
     codec = Codec.from_tables(data)
-    report = DetectionReport(class_name=data["class_name"])
+    report = DetectionReport(
+        class_name=data["class_name"],
+        pruned_tests=data.get("pruned_tests", 0),
+    )
     for fuzz in data["fuzz_reports"]:
         report.add(codec.decode_fuzz_report(fuzz))
     return report
@@ -664,6 +677,21 @@ def encode_fuzz_bundle(report) -> dict:
 def decode_fuzz_bundle(data: dict):
     codec = Codec.from_tables(data)
     return codec.decode_fuzz_report(data["report"])
+
+
+def encode_static_facts(facts) -> dict:
+    """Encoding of the lockset pre-filter facts (staticfilter stage)."""
+    return {
+        "kind": "staticfilter",
+        "version": SERIAL_VERSION,
+        "facts": facts.to_dict(),
+    }
+
+
+def decode_static_facts(data: dict):
+    from repro.static.facts import StaticFacts
+
+    return StaticFacts.from_dict(data["facts"])
 
 
 def _encode_cell(payload) -> list:

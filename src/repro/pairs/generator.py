@@ -108,6 +108,34 @@ def _eligible(access: AccessRecord) -> bool:
     return not access.in_constructor
 
 
+def _canonical(pair: RacyPair) -> RacyPair:
+    """Orient a symmetric pair deterministically.
+
+    ``static_id`` sorts its method ids, so the *identity* of a pair was
+    always order-invariant — but the representative ``first``/``second``
+    orientation used to depend on which side the seed-trace enumeration
+    reached first.  When both sides are eligible seeds (unprotected,
+    non-constructor), pin the orientation to the smaller static id so
+    the same program yields the same representative regardless of seed
+    ordering.  One-sided pairs keep the unprotected access first (the
+    documented invariant).
+    """
+    if pair.same_site:
+        return pair
+    second = pair.second.access
+    if not (second.unprotected and not second.in_constructor):
+        return pair
+    if pair.second.static_id() < pair.first.static_id():
+        return RacyPair(
+            first=pair.second,
+            second=pair.first,
+            field=pair.field,
+            same_site=pair.same_site,
+            site_pairs=pair.site_pairs,
+        )
+    return pair
+
+
 class PairGenerator:
     """Builds the set of potential racy access pairs from an analysis."""
 
@@ -129,7 +157,7 @@ class PairGenerator:
         pairs: dict[tuple, RacyPair] = {}
 
         def record(pair: RacyPair) -> None:
-            existing = pairs.setdefault(pair.static_id(), pair)
+            existing = pairs.setdefault(pair.static_id(), _canonical(pair))
             existing.add_sites(
                 pair.first.access.node_id, pair.second.access.node_id
             )
@@ -175,6 +203,10 @@ class PairGenerator:
                     continue
                 seen.add(side.static_id())
                 sides.append(side)
+        # Canonical enumeration order: the representative access chosen
+        # for each deduplicated pair must not depend on which seed test
+        # the analysis happened to stream first.
+        sides.sort(key=lambda s: s.static_id())
         return sides
 
     def _index_by_field(
@@ -200,11 +232,34 @@ class PairGenerator:
                     continue
                 seen.add(key)
                 index.setdefault(_field_identity(access), []).append(side)
+        for partners in index.values():
+            partners.sort(key=lambda s: s.static_id())
         return index
 
 
 def generate_pairs(
-    analysis: AnalysisResult, target_class: str | None = None
-) -> list[RacyPair]:
-    """Convenience wrapper over :class:`PairGenerator`."""
-    return PairGenerator(analysis).generate(target_class)
+    analysis: AnalysisResult,
+    target_class: str | None = None,
+    *,
+    table=None,
+    facts=None,
+    static_filter: bool = True,
+):
+    """Stage the candidate pipeline: generate, then statically judge.
+
+    Returns a :class:`repro.static.filter.CandidateSet` — a list of
+    :class:`RacyPair` (so legacy callers keep working) carrying one
+    :class:`PairVerdict` per pair when the static pre-filter ran.
+    The filter runs when a class ``table`` (or precomputed ``facts``)
+    is supplied and ``static_filter`` is true; otherwise the verdict
+    list is empty and downstream stages treat every pair as ranked.
+    """
+    from repro.static.facts import analyze_program
+    from repro.static.filter import CandidateSet, evaluate_pairs
+
+    pairs = PairGenerator(analysis).generate(target_class)
+    if not static_filter or (table is None and facts is None):
+        return CandidateSet(pairs)
+    if facts is None:
+        facts = analyze_program(table)
+    return evaluate_pairs(pairs, facts)

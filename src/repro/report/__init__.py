@@ -6,6 +6,7 @@ from repro.report.tables import (
     figure14_distribution,
     format_contege_comparison,
     format_figure14,
+    format_static_filter_table,
     format_table3,
     format_table4,
     format_table5,
@@ -17,6 +18,7 @@ __all__ = [
     "figure14_distribution",
     "format_contege_comparison",
     "format_figure14",
+    "format_static_filter_table",
     "format_table3",
     "format_table4",
     "format_table5",

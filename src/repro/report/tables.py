@@ -111,6 +111,62 @@ def format_table5(
     return "\n".join(lines)
 
 
+def format_static_filter_table(
+    rows: list[tuple[str, SynthesisReport, DetectionReport | None]],
+) -> str:
+    """Staged-pipeline funnel: generated -> pruned -> ranked -> fuzzed.
+
+    One row per subject plus a totals row; the by-reason breakdown
+    (consistent-lock / thread-local / read-read) is aggregated under the
+    table.  ``Fuzzed`` is the test-level consequence of pruning — tests
+    whose covered pairs all discharged get a zero budget — and is only
+    known when a :class:`DetectionReport` accompanies the synthesis.
+    """
+    from repro.static.filter import filter_stats
+
+    lines = [
+        "Static lockset pre-filter: candidate funnel",
+        f"{'Class':<8}{'Pairs':>7}{'Pruned':>8}{'Ranked':>8}"
+        f"{'Tests':>7}{'Fuzzed':>8}{'Skipped':>9}",
+        "-" * 55,
+    ]
+    totals = Counter()
+    reasons: Counter = Counter()
+    deadlock_watch = 0
+    for label, synthesis, detection in rows:
+        stats = filter_stats(synthesis.verdicts)
+        reasons.update(stats.by_reason)
+        deadlock_watch += stats.deadlock_watch
+        tests = synthesis.test_count
+        skipped = detection.pruned_tests if detection is not None else 0
+        fuzzed = tests - skipped
+        totals.update(
+            pairs=stats.generated, pruned=stats.pruned, ranked=stats.ranked,
+            tests=tests, fuzzed=fuzzed, skipped=skipped,
+        )
+        lines.append(
+            f"{label:<8}{stats.generated:>7}{stats.pruned:>8}"
+            f"{stats.ranked:>8}{tests:>7}{fuzzed:>8}{skipped:>9}"
+        )
+    lines.append("-" * 55)
+    lines.append(
+        f"{'Total':<8}{totals['pairs']:>7}{totals['pruned']:>8}"
+        f"{totals['ranked']:>8}{totals['tests']:>7}{totals['fuzzed']:>8}"
+        f"{totals['skipped']:>9}"
+    )
+    fraction = (
+        totals["pruned"] / totals["pairs"] if totals["pairs"] else 0.0
+    )
+    breakdown = ", ".join(
+        f"{reason}={count}" for reason, count in sorted(reasons.items())
+    ) or "none"
+    lines.append(
+        f"pruned {fraction:.1%} of pairs (by reason: {breakdown}; "
+        f"{deadlock_watch} deadlock-watch pair(s) kept at reduced budget)"
+    )
+    return "\n".join(lines)
+
+
 @dataclass
 class Fig14Row:
     """Per-class distribution of tests over race-count buckets (%)"""

@@ -1,0 +1,36 @@
+"""Static lockset pre-filter for the candidate pipeline.
+
+The package implements the **generate → statically prune → rank →
+budget** stage between the Pair Generator and the schedule fuzzer:
+
+* :mod:`repro.static.facts` — a flow-insensitive lockset abstract
+  interpretation over MiniJ ASTs producing per-access-site facts
+  (owner path, must-hold lock paths, thread-locality).
+* :mod:`repro.static.filter` — pair verdicts (pruned / ranked with a
+  risk score), the :class:`CandidateSet` the pair generator returns,
+  and per-test fuzz-budget allocation.
+"""
+
+from repro.static.facts import SiteFacts, StaticFacts, analyze_program
+from repro.static.filter import (
+    CandidateSet,
+    PairVerdict,
+    StaticFilterStats,
+    TestBudget,
+    allocate_budgets,
+    evaluate_pairs,
+    filter_stats,
+)
+
+__all__ = [
+    "SiteFacts",
+    "StaticFacts",
+    "analyze_program",
+    "CandidateSet",
+    "PairVerdict",
+    "StaticFilterStats",
+    "TestBudget",
+    "allocate_budgets",
+    "evaluate_pairs",
+    "filter_stats",
+]

@@ -44,7 +44,17 @@ def _explore(subject):
         assert result.exhausted, f"{test.name}: schedule cap hit"
         observed |= race_keys_of(result.races, sites)
         deadlocked = deadlocked or bool(result.deadlock_schedules)
-    return observed, deadlocked
+    pruned = set()
+    assert len(report.verdicts) == len(report.pairs)
+    for pair, verdict in zip(report.pairs, report.verdicts):
+        if verdict.pruned:
+            methods = tuple(
+                sorted(
+                    (pair.first.method_id()[1], pair.second.method_id()[1])
+                )
+            )
+            pruned.add((pair.field[1], methods))
+    return observed, deadlocked, pruned
 
 
 @pytest.mark.parametrize(
@@ -52,6 +62,13 @@ def _explore(subject):
 )
 def test_oracle_matches_exhaustive_exploration(keys):
     subject = compose_subject(list(keys), class_name="Probe", key="P0")
-    observed, deadlocked = _explore(subject)
+    observed, deadlocked, pruned = _explore(subject)
     assert observed == subject.verdict.race_keys()
     assert deadlocked == subject.verdict.deadlock_potential
+    # The static pre-filter's verdicts are judged against the *schedule
+    # space itself*: a pruned pair must be unobservable under any
+    # bounded-preemption schedule, not merely unclaimed by the oracle.
+    assert not pruned & observed, (
+        f"statically pruned pair(s) raced under exhaustive "
+        f"exploration: {sorted(pruned & observed)}"
+    )

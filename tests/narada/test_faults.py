@@ -275,11 +275,11 @@ class TestWatchdog:
         calls = {"n": 0}
         real = orch_mod._fuzz_unit
 
-        def hang_once(table, test, config):
+        def hang_once(table, test, config, **kwargs):
             calls["n"] += 1
             if calls["n"] == 1:
                 time.sleep(60)
-            return real(table, test, config)
+            return real(table, test, config, **kwargs)
 
         monkeypatch.setattr(orch_mod, "_fuzz_unit", hang_once)
         config = _config(unit_timeout=1.0)
@@ -301,12 +301,12 @@ class TestGracefulDegradation:
         real = orch_mod._fuzz_unit
         poisoned = {"name": None}
 
-        def fail_one(table, test, config):
+        def fail_one(table, test, config, **kwargs):
             if poisoned["name"] is None:
                 poisoned["name"] = test.name
             if test.name == poisoned["name"]:
                 raise RuntimeError("poisoned unit")
-            return real(table, test, config)
+            return real(table, test, config, **kwargs)
 
         monkeypatch.setattr(orch_mod, "_fuzz_unit", fail_one)
         cache = ArtifactCache(tmp_path / "cache")
@@ -391,11 +391,11 @@ class TestCheckpointedResume:
         real = orch_mod._fuzz_unit
         calls = {"n": 0}
 
-        def kill_after_three(table, test, config):
+        def kill_after_three(table, test, config, **kwargs):
             calls["n"] += 1
             if calls["n"] > 3:
                 raise KeyboardInterrupt
-            return real(table, test, config)
+            return real(table, test, config, **kwargs)
 
         monkeypatch.setattr(orch_mod, "_fuzz_unit", kill_after_three)
         cache = ArtifactCache(tmp_path / "cache")

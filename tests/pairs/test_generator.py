@@ -164,3 +164,53 @@ class TestPairGeneration:
         pairs = generate_pairs(analyze_traces(traces))
         for pair in pairs:
             assert pair.first.access.class_name == pair.second.access.class_name
+
+
+class TestCanonicalOrientation:
+    # Two seed tests visit the same two unprotected methods in opposite
+    # orders; whichever order the enumeration meets them, the pair's
+    # representative first/second sides must come out the same.
+    SYMMETRIC = """
+    class Counter {
+      int n;
+      void incA() { this.n = this.n + 1; }
+      void incB() { this.n = this.n + 2; }
+    }
+    test SeedAB { Counter c = new Counter(); c.incA(); c.incB(); }
+    test SeedBA { Counter c = new Counter(); c.incB(); c.incA(); }
+    """
+
+    def _pairs_from(self, seed_order):
+        table = load(self.SYMMETRIC)
+        traces = []
+        for name in seed_order:
+            vm = VM(table)
+            recorder = Recorder(name)
+            vm.run_test(name, listeners=(recorder,))
+            traces.append(recorder.trace)
+        return generate_pairs(analyze_traces(traces))
+
+    def test_orientation_is_order_invariant(self):
+        forward = self._pairs_from(("SeedAB", "SeedBA"))
+        reverse = self._pairs_from(("SeedBA", "SeedAB"))
+        assert len(forward) == len(reverse)
+        for a, b in zip(forward, reverse):
+            assert a.static_id() == b.static_id()
+            assert a.first.static_id() == b.first.static_id()
+            assert a.second.static_id() == b.second.static_id()
+            assert a.site_pairs == b.site_pairs
+
+    def test_symmetric_pair_pinned_to_smaller_static_id(self):
+        for pair in self._pairs_from(("SeedAB", "SeedBA")):
+            second = pair.second.access
+            if pair.same_site:
+                continue
+            if second.unprotected and not second.in_constructor:
+                assert pair.first.static_id() <= pair.second.static_id()
+
+    def test_one_sided_pair_keeps_unprotected_first(self):
+        # put (unprotected W) vs safeSize (protected R): orientation
+        # must keep the documented unprotected-first invariant even
+        # though safeSize's static id may sort lower.
+        for pair in pairs_for():
+            assert pair.first.access.unprotected

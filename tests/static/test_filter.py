@@ -1,0 +1,225 @@
+"""Unit tests for pair verdicts and budget allocation (repro.static.filter)."""
+
+from dataclasses import dataclass, field
+
+from repro.static.facts import SiteFacts, StaticFacts
+from repro.static.filter import TestBudget as Budget
+from repro.static.filter import (
+    PRUNED,
+    RANKED,
+    RULE_CONSISTENT_LOCK,
+    RULE_READ_READ,
+    RULE_THREAD_LOCAL,
+    SCORE_UNKNOWN,
+    PairVerdict,
+    allocate_budgets,
+    evaluate_pair,
+    filter_stats,
+)
+
+
+def site(node_id, kind="W", owner=("this",), locks=(), thread_local=False):
+    return SiteFacts(
+        node_id=node_id,
+        kind=kind,
+        field_name="f",
+        owner=owner,
+        must_locks=frozenset(locks),
+        thread_local=thread_local,
+    )
+
+
+def facts_of(*sites):
+    return StaticFacts(
+        sites={s.node_id: s for s in sites}, site_count=len(sites)
+    )
+
+
+@dataclass
+class FakePair:
+    """evaluate_pair only reads ``site_pairs``; budgets read static_id."""
+
+    site_pairs: set = field(default_factory=set)
+    ident: tuple = ("p",)
+
+    def static_id(self):
+        return self.ident
+
+
+@dataclass
+class FakeTest:
+    name: str
+    covered_pairs: list
+
+
+class TestDischargeRules:
+    def test_consistent_lock_prunes(self):
+        facts = facts_of(
+            site(1, locks={("this", "lk")}),
+            site(2, kind="R", locks={("this", "lk")}),
+        )
+        verdict = evaluate_pair(FakePair({(1, 2)}), facts)
+        assert verdict.status == PRUNED
+        assert verdict.reason == RULE_CONSISTENT_LOCK
+
+    def test_sync_method_vs_guard_field_do_not_intersect(self):
+        # sync method holds monitor `this` (empty suffix); the other
+        # side holds this.lk — different monitors, pair survives.
+        facts = facts_of(
+            site(1, locks={("this",)}),
+            site(2, locks={("this", "lk")}),
+        )
+        verdict = evaluate_pair(FakePair({(1, 2)}), facts)
+        assert verdict.status == RANKED
+
+    def test_relative_suffix_crosses_distinct_owner_paths(self):
+        # a.box.f under sync(a.box.lk) vs this.f under sync(this.lk):
+        # racing accesses share the owner address, so the common
+        # relative suffix ("lk",) names one monitor.
+        facts = facts_of(
+            site(1, owner=("a", "box"), locks={("a", "box", "lk")}),
+            site(2, owner=("this",), locks={("this", "lk")}),
+        )
+        verdict = evaluate_pair(FakePair({(1, 2)}), facts)
+        assert verdict.status == PRUNED
+        assert verdict.reason == RULE_CONSISTENT_LOCK
+
+    def test_thread_local_side_discharges(self):
+        facts = facts_of(
+            site(1, owner=("b",), thread_local=True),
+            site(2),
+        )
+        verdict = evaluate_pair(FakePair({(1, 2)}), facts)
+        assert verdict.status == PRUNED
+        assert verdict.reason == RULE_THREAD_LOCAL
+
+    def test_read_read_discharges(self):
+        facts = facts_of(site(1, kind="R"), site(2, kind="R"))
+        verdict = evaluate_pair(FakePair({(1, 2)}), facts)
+        assert verdict.status == PRUNED
+        assert verdict.reason == RULE_READ_READ
+
+    def test_unknown_site_falls_through(self):
+        facts = facts_of(site(1, locks={("this", "lk")}))
+        verdict = evaluate_pair(FakePair({(1, 99)}), facts)
+        assert verdict.status == RANKED
+        assert verdict.score == SCORE_UNKNOWN
+
+    def test_one_surviving_site_pair_keeps_the_pair(self):
+        facts = facts_of(
+            site(1, locks={("this", "lk")}),
+            site(2, locks={("this", "lk")}),
+            site(3),  # unguarded write, same field
+        )
+        verdict = evaluate_pair(FakePair({(1, 2), (1, 3)}), facts)
+        assert verdict.status == RANKED
+
+    def test_empty_site_pairs_is_never_pruned(self):
+        verdict = evaluate_pair(FakePair(set()), facts_of())
+        assert verdict.status == RANKED
+
+    def test_deadlock_risk_flagged_on_nested_locks(self):
+        facts = facts_of(
+            site(1, locks={("this", "a"), ("this", "b")}),
+            site(2, kind="R", locks={("this", "b"), ("this", "a")}),
+        )
+        verdict = evaluate_pair(FakePair({(1, 2)}), facts)
+        assert verdict.pruned
+        assert verdict.deadlock_risk
+
+
+class TestScores:
+    def test_both_unguarded_write_write_outranks_guarded(self):
+        facts = facts_of(site(1), site(2), site(3, locks={("this", "x")}))
+        hot = evaluate_pair(FakePair({(1, 2)}), facts)
+        cooler = evaluate_pair(FakePair({(1, 3)}), facts)
+        assert hot.score > cooler.score
+
+    def test_unknown_scores_highest_tier(self):
+        facts = facts_of(site(1))
+        unknown = evaluate_pair(FakePair({(1, 99)}), facts)
+        assert unknown.score == SCORE_UNKNOWN
+
+
+class TestBudgets:
+    def p(self, ident):
+        return FakePair(ident=ident)
+
+    def test_fully_pruned_test_gets_zero_runs(self):
+        pair = self.p(("a",))
+        verdicts = {("a",): PairVerdict(PRUNED, RULE_READ_READ, 0)}
+        budgets = allocate_budgets(
+            [FakeTest("t1", [pair])], verdicts, base_runs=8
+        )
+        assert budgets["t1"] == Budget(runs=0, score=0, pruned=True)
+
+    def test_deadlock_watch_keeps_half_budget(self):
+        pair = self.p(("a",))
+        verdicts = {
+            ("a",): PairVerdict(
+                PRUNED, RULE_CONSISTENT_LOCK, 0, deadlock_risk=True
+            )
+        }
+        budgets = allocate_budgets(
+            [FakeTest("t1", [pair])], verdicts, base_runs=8
+        )
+        assert budgets["t1"].runs == 4
+        assert budgets["t1"].pruned
+        # Never rounds down to a skip.
+        budgets = allocate_budgets(
+            [FakeTest("t1", [pair])], verdicts, base_runs=1
+        )
+        assert budgets["t1"].runs == 1
+
+    def test_one_ranked_pair_restores_full_budget(self):
+        pruned = self.p(("a",))
+        ranked = self.p(("b",))
+        verdicts = {
+            ("a",): PairVerdict(PRUNED, RULE_READ_READ, 0),
+            ("b",): PairVerdict(RANKED, "", 5),
+        }
+        budgets = allocate_budgets(
+            [FakeTest("t1", [pruned, ranked])], verdicts, base_runs=8
+        )
+        assert budgets["t1"] == Budget(runs=8, score=5, pruned=False)
+
+    def test_missing_verdict_means_full_budget(self):
+        # Filter off (or stale cache): no verdicts -> legacy behavior.
+        budgets = allocate_budgets(
+            [FakeTest("t1", [self.p(("a",))])], {}, base_runs=8
+        )
+        assert budgets["t1"] == Budget(runs=8, score=0, pruned=False)
+
+
+class TestVerdictSerialization:
+    def test_roundtrip(self):
+        for verdict in (
+            PairVerdict(PRUNED, RULE_THREAD_LOCAL, 0, deadlock_risk=True),
+            PairVerdict(RANKED, "", 7),
+        ):
+            assert PairVerdict.from_dict(verdict.to_dict()) == verdict
+
+    def test_tolerates_minimal_dict(self):
+        verdict = PairVerdict.from_dict({"status": RANKED})
+        assert verdict.status == RANKED
+        assert verdict.score == 0
+        assert not verdict.deadlock_risk
+
+
+class TestStats:
+    def test_filter_stats_partition(self):
+        verdicts = [
+            PairVerdict(PRUNED, RULE_CONSISTENT_LOCK, 0),
+            PairVerdict(PRUNED, RULE_CONSISTENT_LOCK, 0, deadlock_risk=True),
+            PairVerdict(PRUNED, RULE_THREAD_LOCAL, 0),
+            PairVerdict(RANKED, "", 3),
+        ]
+        stats = filter_stats(verdicts)
+        assert stats.generated == 4
+        assert stats.pruned == 3
+        assert stats.ranked == 1
+        assert stats.by_reason[RULE_CONSISTENT_LOCK] == 2
+        assert stats.by_reason[RULE_THREAD_LOCAL] == 1
+        assert stats.deadlock_watch == 1
+        assert stats.score_total == 3
+        assert abs(stats.pruned_fraction - 0.75) < 1e-9
