@@ -111,6 +111,10 @@ EXPECTED_REPORTS = {
         1,
         "PYTHONPATH=src python benchmarks/bench_fault_overhead.py",
     ),
+    "BENCH_chaos.json": (
+        1,
+        "PYTHONPATH=src python benchmarks/bench_chaos_daemon.py",
+    ),
     "BENCH_corpus.json": (
         1,
         "PYTHONPATH=src python benchmarks/bench_corpus_recall.py",

@@ -174,9 +174,12 @@ def _add_target_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cache_from(args) -> ArtifactCache | None:
-    if args.no_cache:
+    if getattr(args, "no_cache", False):
         return None
-    return ArtifactCache(args.cache_dir)
+    return ArtifactCache(
+        args.cache_dir,
+        max_bytes=getattr(args, "cache_max_bytes", None),
+    )
 
 
 def _pipeline_config(args, **config) -> PipelineConfig:
@@ -829,6 +832,10 @@ def cmd_serve(args) -> int:
         jobs=args.jobs,
         cache=_cache_from(args),
         base_config=_pipeline_config(args),
+        max_queue_depth=args.max_queue,
+        default_deadline_s=args.deadline,
+        recv_timeout_s=args.recv_timeout,
+        memory_budget_mb=args.memory_budget_mb,
         **_daemon_endpoint(args),
     )
     daemon.bind()
@@ -878,6 +885,8 @@ def _client_request(args) -> dict:
             request["templates"] = [
                 t.strip() for t in args.templates.split(",") if t.strip()
             ]
+    if getattr(args, "deadline", None) is not None:
+        request["deadline_s"] = args.deadline
     return request
 
 
@@ -899,7 +908,12 @@ def cmd_client(args) -> int:
         print(json.dumps(response, indent=2, sort_keys=True))
         return 0 if response.get("ok") else 1
     if not response.get("ok"):
-        print(f"error from daemon: {response.get('error')}")
+        code = response.get("error_code")
+        prefix = f"error from daemon [{code}]" if code else "error from daemon"
+        print(f"{prefix}: {response.get('error')}")
+        retry_after = response.get("retry_after_s")
+        if retry_after is not None:
+            print(f"retry after {retry_after}s")
         return 1
     op = response.get("op")
     if op == "ping":
@@ -943,6 +957,45 @@ def cmd_client(args) -> int:
     )
     if op == "corpus" and response["problems"]:
         return 1
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    """Report on-disk cache size, entry counts, and quarantine load."""
+    cache = ArtifactCache(args.cache_dir)
+    payload = {
+        "root": str(cache.root),
+        "entries": cache.entry_count(),
+        "total_bytes": cache.total_bytes(),
+        "quarantine_entries": cache.quarantine_count(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"cache root: {payload['root']}")
+    print(
+        f"{payload['entries']} entr{'y' if payload['entries'] == 1 else 'ies'}, "
+        f"{payload['total_bytes']:,} bytes"
+    )
+    print(f"{payload['quarantine_entries']} quarantined entr"
+          f"{'y' if payload['quarantine_entries'] == 1 else 'ies'}")
+    return 0
+
+
+def cmd_cache_evict(args) -> int:
+    """Evict LRU entries down to a byte budget; GC the quarantine."""
+    cache = ArtifactCache(
+        args.cache_dir,
+        quarantine_max_entries=args.quarantine_max_entries,
+        quarantine_max_age_s=args.quarantine_max_age_s,
+    )
+    removed = cache.evict(args.max_bytes)
+    dropped = cache.gc_quarantine()
+    print(
+        f"evicted {removed} entr{'y' if removed == 1 else 'ies'} "
+        f"(now {cache.total_bytes():,} bytes <= {args.max_bytes:,}); "
+        f"dropped {dropped} quarantined"
+    )
     return 0
 
 
@@ -1281,6 +1334,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_endpoint_args(p)
     _add_pipeline_args(p)
+    p.add_argument(
+        "--max-queue", type=int, default=8, metavar="N",
+        help="admission bound: pipeline requests active-or-queued beyond "
+             "this are shed with a structured `busy` frame (default: 8)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline; queued requests past it get "
+             "`deadline_exceeded`, running ones are cancelled at the "
+             "next unit boundary (default: none)",
+    )
+    p.add_argument(
+        "--recv-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-frame recv/send deadline once a frame has started; "
+             "slow-loris connections are torn down past it (default: 30)",
+    )
+    p.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="RSS budget (daemon + workers); above it new work is shed "
+             "with `overloaded` and the pool is recycled (default: none)",
+    )
+    p.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="artifact-cache byte budget; LRU entries are evicted past "
+             "it (default: unbounded)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1328,6 +1407,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--runs", type=int, default=6, help="random schedules/test"
         )
         cd.add_argument("--vm-seed", type=int, default=None)
+        cd.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="per-request deadline enforced by the daemon",
+        )
         _add_json(cd)
         cd.set_defaults(func=cmd_client)
 
@@ -1339,8 +1422,51 @@ def build_parser() -> argparse.ArgumentParser:
     cc.add_argument("--runs", type=int, default=2)
     cc.add_argument("--templates", metavar="T1,T2")
     cc.add_argument("--batch-size", type=int, default=25, metavar="N")
+    cc.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline enforced by the daemon",
+    )
     _add_json(cc)
     cc.set_defaults(func=cmd_client)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect and trim the persistent artifact cache",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    def _add_cache_dir(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--cache-dir", metavar="DIR",
+            help="artifact cache root (default: $REPRO_CACHE_DIR or "
+                 "~/.cache/repro-narada)",
+        )
+
+    chs = cache_sub.add_parser(
+        "stats", help="entry count, byte total, quarantine load"
+    )
+    _add_cache_dir(chs)
+    chs.add_argument("--json", action="store_true", help="JSON output")
+    chs.set_defaults(func=cmd_cache_stats)
+
+    che = cache_sub.add_parser(
+        "evict", help="evict LRU entries to a byte budget; GC quarantine"
+    )
+    _add_cache_dir(che)
+    che.add_argument(
+        "--max-bytes", type=int, required=True, metavar="BYTES",
+        help="target byte budget for live entries",
+    )
+    che.add_argument(
+        "--quarantine-max-entries", type=int, default=512, metavar="N",
+        help="quarantined entries to keep (default: 512)",
+    )
+    che.add_argument(
+        "--quarantine-max-age-s", type=float, default=7 * 24 * 3600.0,
+        metavar="SECONDS",
+        help="max quarantined-entry age (default: 7 days)",
+    )
+    che.set_defaults(func=cmd_cache_evict)
 
     return parser
 

@@ -1,11 +1,19 @@
 """The end-to-end Narada pipeline."""
 
 from repro.narada.cache import ArtifactCache, default_cache_dir, table_digest
-from repro.narada.daemon import DaemonClient, ReproDaemon, default_socket_path
+from repro.narada.daemon import (
+    AdmissionController,
+    DaemonClient,
+    ReproDaemon,
+    ResourceGovernor,
+    default_socket_path,
+)
 from repro.narada.faults import (
+    CancelToken,
     FaultInjector,
     FaultLedger,
     FaultPlan,
+    RunCancelled,
     RunLedger,
     UnitExecutionError,
     UnitFailure,
@@ -20,7 +28,9 @@ from repro.narada.orchestrator import (
 from repro.narada.pipeline import DetectionReport, Narada, SynthesisReport
 
 __all__ = [
+    "AdmissionController",
     "ArtifactCache",
+    "CancelToken",
     "DaemonClient",
     "DetectionReport",
     "FaultInjector",
@@ -30,6 +40,8 @@ __all__ = [
     "PipelineConfig",
     "PipelineOrchestrator",
     "ReproDaemon",
+    "ResourceGovernor",
+    "RunCancelled",
     "RunLedger",
     "SubjectOutcome",
     "SubjectSpec",

@@ -50,14 +50,20 @@ import time
 from dataclasses import dataclass, field
 
 from repro.narada.cache import ArtifactCache, default_cache_dir
-from repro.narada.faults import FaultLedger, FaultTolerantPool
+from repro.narada.faults import (
+    DEFAULT_REBUILD_AFTER_DEATHS,
+    CancelToken,
+    FaultLedger,
+    FaultTolerantPool,
+    RunCancelled,
+)
 from repro.narada.orchestrator import (
     PipelineConfig,
     PipelineOrchestrator,
     SubjectSpec,
     subject_specs,
 )
-from repro.narada.serial import encode_fault_ledger
+from repro.narada.serial import encode_error_frame, encode_fault_ledger
 
 #: Wire protocol version, echoed by ``ping`` so mismatched clients can
 #: fail with a message instead of a decode error.
@@ -72,6 +78,16 @@ DAEMON_SOCKET_ENV = "REPRO_DAEMON_SOCKET"
 
 #: How often an idle connection handler wakes to check for drain.
 _IDLE_POLL_SECONDS = 0.5
+
+#: Default per-frame recv deadline: once a frame's first byte arrives,
+#: the rest must land within this window or the connection is torn down
+#: (the slow-loris defence — a partial length prefix cannot pin a
+#: handler thread).
+DEFAULT_RECV_TIMEOUT_S = 30.0
+
+#: Default bound on requests queued for the run lock; beyond it, new
+#: pipeline requests are shed with a structured ``busy`` frame.
+DEFAULT_MAX_QUEUE_DEPTH = 8
 
 
 class ProtocolError(Exception):
@@ -97,40 +113,64 @@ def send_frame(sock: socket.socket, payload: dict) -> None:
     sock.sendall(struct.pack(">I", len(data)) + data)
 
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+def _recv_exact(
+    sock: socket.socket,
+    count: int,
+    deadline: float | None = None,
+    started: bool = False,
+) -> bytes | None:
     """Read exactly ``count`` bytes; None on clean EOF at a boundary.
 
-    A ``socket.timeout`` before the first byte propagates (the caller's
-    idle/drain poll); mid-frame timeouts keep reading — once a frame
-    has started, only completing it or a hard close makes sense.
+    A ``socket.timeout`` before the first byte of a *frame* propagates
+    (the caller's idle/drain poll).  Once a frame has started
+    (``started`` — bytes arrived in an earlier call — or bytes arrived
+    here), timeouts keep polling; with a ``deadline`` (monotonic clock)
+    armed, breaching it raises :class:`ProtocolError` instead, so a
+    sender dribbling one byte per minute cannot pin a handler thread.
+    Deadline enforcement requires a socket timeout shorter than the
+    deadline (the daemon polls at ``_IDLE_POLL_SECONDS``).
     """
     chunks = b""
     while len(chunks) < count:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ProtocolError(
+                f"recv deadline exceeded mid-frame "
+                f"({len(chunks)}/{count} bytes)"
+            )
         try:
             chunk = sock.recv(count - len(chunks))
         except socket.timeout:
-            if not chunks:
+            if not chunks and not started and deadline is None:
                 raise
             continue
         if not chunk:
-            if chunks:
+            if chunks or started:
                 raise ProtocolError("connection closed mid-frame")
             return None
         chunks += chunk
     return chunks
 
 
-def recv_frame(sock: socket.socket) -> dict | None:
-    """Read one frame; None on clean EOF before a frame starts."""
-    header = _recv_exact(sock, 4)
-    if header is None:
+def recv_frame(
+    sock: socket.socket, recv_timeout: float | None = None
+) -> dict | None:
+    """Read one frame; None on clean EOF before a frame starts.
+
+    ``recv_timeout`` bounds the wall-clock spent receiving one frame,
+    measured from its first byte — waiting for a frame to *start* is
+    unbounded (that is the idle path; the daemon polls drain there).
+    """
+    first = _recv_exact(sock, 1)  # idle wait: socket.timeout propagates
+    if first is None:
         return None
-    (length,) = struct.unpack(">I", header)
+    deadline = (
+        None if recv_timeout is None else time.monotonic() + recv_timeout
+    )
+    rest = _recv_exact(sock, 3, deadline, started=True)
+    (length,) = struct.unpack(">I", first + rest)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame length {length} exceeds limit")
-    body = _recv_exact(sock, length)
-    if body is None:
-        raise ProtocolError("connection closed before frame body")
+    body = b"" if length == 0 else _recv_exact(sock, length, deadline, started=True)
     try:
         payload = json.loads(body)
     except ValueError as error:
@@ -179,6 +219,9 @@ class DaemonStats:
     requests: int = 0
     errors: int = 0
     connections: int = 0
+    #: Framing violations (torn frame, oversize length, undecodable
+    #: JSON, recv-deadline breach); each one tears down its connection.
+    protocol_errors: int = 0
     records: list[RequestRecord] = field(default_factory=list)
 
     #: Bound on retained per-request records (oldest dropped first).
@@ -188,6 +231,156 @@ class DaemonStats:
         self.records.append(rec)
         if len(self.records) > self.MAX_RECORDS:
             del self.records[: len(self.records) - self.MAX_RECORDS]
+
+
+class AdmissionController:
+    """Bounded wait-queue for the run lock, with retry-after estimation.
+
+    Pipeline ops are serialized on the daemon's run lock; without a
+    bound, a burst of clients each parks a handler thread on the lock
+    forever.  This tracks how many requests are active-or-waiting and
+    sheds beyond ``max_queue_depth`` with a ``busy`` frame carrying a
+    retry hint derived from an EMA of recent run durations — the
+    client's expected wait if it came back when a slot frees up.
+    """
+
+    def __init__(self, max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH) -> None:
+        self.max_queue_depth = max(1, max_queue_depth)
+        self._lock = threading.Lock()
+        self.occupancy = 0  # requests holding or waiting on the run lock
+        self.admitted = 0
+        self.shed_busy = 0
+        self.shed_overloaded = 0
+        self.shed_draining = 0
+        self.deadlines_exceeded = 0
+        self.run_seconds_ema = 0.0
+
+    def try_enter(self) -> bool:
+        """Claim a queue slot; False (and a ``shed_busy`` tick) if full."""
+        with self._lock:
+            if self.occupancy >= self.max_queue_depth:
+                self.shed_busy += 1
+                return False
+            self.occupancy += 1
+            self.admitted += 1
+            return True
+
+    def leave(self) -> None:
+        with self._lock:
+            self.occupancy = max(0, self.occupancy - 1)
+
+    def note_run_seconds(self, seconds: float) -> None:
+        with self._lock:
+            if self.run_seconds_ema == 0.0:
+                self.run_seconds_ema = seconds
+            else:
+                self.run_seconds_ema += 0.3 * (seconds - self.run_seconds_ema)
+
+    def retry_after(self) -> float:
+        """Expected wait for a retrying client: queue depth × run EMA."""
+        with self._lock:
+            ema = self.run_seconds_ema or 0.1
+            return max(0.05, self.occupancy * ema)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "max_queue_depth": self.max_queue_depth,
+                "occupancy": self.occupancy,
+                "admitted": self.admitted,
+                "shed_busy": self.shed_busy,
+                "shed_overloaded": self.shed_overloaded,
+                "shed_draining": self.shed_draining,
+                "deadlines_exceeded": self.deadlines_exceeded,
+                "run_seconds_ema": round(self.run_seconds_ema, 4),
+            }
+
+
+def _rss_mb(pid: int) -> float:
+    """Resident set size of ``pid`` in MB via ``/proc`` (0.0 if gone)."""
+    try:
+        with open(f"/proc/{pid}/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0.0
+
+
+class ResourceGovernor:
+    """RSS watchdog: shed work and recycle the pool above a memory budget.
+
+    A background thread samples the daemon process's RSS plus every live
+    pool worker's.  Above ``budget_mb`` it flips :attr:`shedding` (new
+    pipeline requests get ``overloaded`` frames) and marks the pool for
+    recycling (workers — the usual leak site for per-process memo caches
+    — are discarded at the next safe point, i.e. under the run lock);
+    below ~90% of budget it resumes admission.  The hysteresis stops it
+    flapping at the boundary.
+    """
+
+    #: Resume admitting once RSS falls below this fraction of budget.
+    RESUME_FRACTION = 0.9
+
+    def __init__(
+        self,
+        budget_mb: float,
+        poll_interval_s: float = 2.0,
+    ) -> None:
+        self.budget_mb = float(budget_mb)
+        self.poll_interval_s = poll_interval_s
+        self.shedding = False
+        self.recycle_pending = False
+        self.sheds = 0
+        self.recycles = 0
+        self.last_rss_mb = 0.0
+        self._worker_pids = lambda: []  # wired by the daemon
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def sample_rss_mb(self) -> float:
+        total = _rss_mb(os.getpid())
+        for pid in self._worker_pids():
+            total += _rss_mb(pid)
+        return total
+
+    def poll_once(self) -> None:
+        """One watchdog tick (exposed for deterministic tests/benches)."""
+        rss = self.sample_rss_mb()
+        self.last_rss_mb = rss
+        if rss > self.budget_mb:
+            if not self.shedding:
+                self.sheds += 1
+            self.shedding = True
+            self.recycle_pending = True
+        elif rss < self.RESUME_FRACTION * self.budget_mb:
+            self.shedding = False
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-governor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            self.poll_once()
+
+    def to_dict(self) -> dict:
+        return {
+            "budget_mb": self.budget_mb,
+            "last_rss_mb": round(self.last_rss_mb, 1),
+            "shedding": self.shedding,
+            "recycle_pending": self.recycle_pending,
+            "sheds": self.sheds,
+            "recycles": self.recycles,
+        }
 
 
 class ReproDaemon:
@@ -205,6 +398,11 @@ class ReproDaemon:
         jobs: int = 2,
         cache: ArtifactCache | None = None,
         base_config: PipelineConfig | None = None,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        default_deadline_s: float | None = None,
+        recv_timeout_s: float | None = DEFAULT_RECV_TIMEOUT_S,
+        memory_budget_mb: float | None = None,
+        max_consecutive_worker_deaths: int = DEFAULT_REBUILD_AFTER_DEATHS,
     ) -> None:
         if (socket_path is None) == (tcp is None):
             raise ValueError("exactly one of socket_path / tcp is required")
@@ -215,7 +413,17 @@ class ReproDaemon:
         self.base_config = (
             base_config if base_config is not None else PipelineConfig()
         )
+        self.default_deadline_s = default_deadline_s
+        self.recv_timeout_s = recv_timeout_s
+        self.max_consecutive_worker_deaths = max(
+            1, max_consecutive_worker_deaths
+        )
         self.stats = DaemonStats()
+        self.admission = AdmissionController(max_queue_depth)
+        self.governor: ResourceGovernor | None = None
+        if memory_budget_mb is not None:
+            self.governor = ResourceGovernor(memory_budget_mb)
+            self.governor._worker_pids = self._worker_pids
         self._pool: FaultTolerantPool | None = None
         self._listener: socket.socket | None = None
         self._run_lock = threading.Lock()  # serializes pipeline execution
@@ -225,6 +433,16 @@ class ReproDaemon:
         self._started = time.monotonic()
         self._request_counter = 0
         self._bound_address: str | None = None
+
+    def _worker_pids(self) -> list[int]:
+        pool = self._pool
+        if pool is None:
+            return []
+        return [
+            w.process.pid
+            for w in list(pool._workers)
+            if w.process.pid is not None
+        ]
 
     # -- lifecycle -----------------------------------------------------
 
@@ -265,6 +483,7 @@ class ReproDaemon:
                 self.base_config.retry_policy(),
                 FaultLedger(),
                 batch_target_ms=self.base_config.batch_ms,
+                rebuild_after_deaths=self.max_consecutive_worker_deaths,
             )
         return self._pool
 
@@ -277,6 +496,8 @@ class ReproDaemon:
         """
         if self._listener is None:
             self.bind()
+        if self.governor is not None:
+            self.governor.start()
         while not self._draining.is_set():
             try:
                 conn, _ = self._listener.accept()
@@ -290,6 +511,9 @@ class ReproDaemon:
                 target=self._handle_connection, args=(conn,), daemon=True
             )
             thread.start()
+            # Prune finished handlers so a long-lived daemon's thread
+            # list doesn't grow one entry per connection ever served.
+            self._threads = [t for t in self._threads if t.is_alive()]
             self._threads.append(thread)
         # Drain: every in-flight request finishes and answers.
         for thread in self._threads:
@@ -308,6 +532,8 @@ class ReproDaemon:
 
     def close(self) -> None:
         self.initiate_drain()
+        if self.governor is not None:
+            self.governor.stop()
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -325,18 +551,33 @@ class ReproDaemon:
             conn.settimeout(_IDLE_POLL_SECONDS)
             while True:
                 try:
-                    request = recv_frame(conn)
+                    request = recv_frame(conn, self.recv_timeout_s)
                 except socket.timeout:
                     if self._draining.is_set():
                         break
                     continue
-                except ProtocolError:
+                except ProtocolError as error:
+                    # The stream is desynced; answer with a structured
+                    # error frame (best-effort — the peer may be the
+                    # problem) and tear the connection down.
+                    with self._state_lock:
+                        self.stats.protocol_errors += 1
+                    try:
+                        send_frame(
+                            conn, encode_error_frame("protocol", str(error))
+                        )
+                    except OSError:
+                        pass
                     break
                 if request is None:
                     break  # client closed cleanly
                 response = self.handle_request(request)
+                # A response send gets the same wall-clock bound as a
+                # frame recv: a stalled client must not pin the handler.
                 try:
+                    conn.settimeout(self.recv_timeout_s)
                     send_frame(conn, response)
+                    conn.settimeout(_IDLE_POLL_SECONDS)
                 except OSError:
                     break
                 if response.get("op") == "shutdown" or self._draining.is_set():
@@ -425,22 +666,101 @@ class ReproDaemon:
             return subject_specs(all_subjects())
         return subject_specs([get_subject(k) for k in keys])
 
-    def _run_pipeline(
-        self, specs: list[SubjectSpec], config: PipelineConfig, detect: bool
-    ):
-        """One serialized pipeline run on the shared warm pool."""
-        with self._run_lock:
-            orch = PipelineOrchestrator(
-                jobs=self.jobs,
-                cache=self.cache,
-                config=config,
-                pool=self._shared_pool(),
+    def _with_admission(self, request: dict, body) -> dict:
+        """Admission-control a pipeline op; ``body(token)`` runs locked.
+
+        The shed ladder, in order: ``draining`` (daemon is shutting
+        down), ``overloaded`` (RSS governor above budget), ``busy``
+        (admission queue full), ``deadline_exceeded`` (deadline expired
+        while queued, or the run was cancelled at a unit boundary).
+        Every rung answers with a structured error frame; only an
+        admitted request ever touches the run lock or the pool.
+        """
+        if self._draining.is_set():
+            self.admission.shed_draining += 1
+            return encode_error_frame(
+                "draining", "daemon is draining; retry after restart"
             )
+        governor = self.governor
+        if governor is not None and governor.shedding:
+            self.admission.shed_overloaded += 1
+            return encode_error_frame(
+                "overloaded",
+                f"memory budget exceeded (rss {governor.last_rss_mb:.0f}MB"
+                f" > budget {governor.budget_mb:.0f}MB)",
+                retry_after_s=self.admission.retry_after(),
+            )
+        deadline_s = request.get("deadline_s", self.default_deadline_s)
+        token = CancelToken.after(
+            float(deadline_s) if deadline_s is not None else None
+        )
+        if not self.admission.try_enter():
+            return encode_error_frame(
+                "busy",
+                f"admission queue full "
+                f"(depth {self.admission.max_queue_depth})",
+                retry_after_s=self.admission.retry_after(),
+            )
+        try:
+            remaining = token.remaining()
+            acquired = (
+                self._run_lock.acquire()
+                if remaining is None
+                else self._run_lock.acquire(timeout=remaining)
+            )
+            if not acquired:
+                self.admission.deadlines_exceeded += 1
+                return encode_error_frame(
+                    "deadline_exceeded",
+                    "deadline expired while queued for the run lock",
+                    retry_after_s=self.admission.retry_after(),
+                )
+            started = time.monotonic()
             try:
-                outcomes = orch.run(specs, detect=detect)
+                return body(token)
             finally:
-                orch.close()  # borrowed pool survives; owned state drops
-            return outcomes, orch.fault_ledger
+                self.admission.note_run_seconds(time.monotonic() - started)
+                self._post_run_maintenance()
+                self._run_lock.release()
+        except RunCancelled as cancelled:
+            self.admission.deadlines_exceeded += 1
+            return encode_error_frame(
+                "deadline_exceeded", f"run cancelled: {cancelled}"
+            )
+        finally:
+            self.admission.leave()
+
+    def _post_run_maintenance(self) -> None:
+        """Housekeeping at the only safe point: run lock held, pool idle."""
+        governor = self.governor
+        pool = self._pool
+        if governor is not None and governor.recycle_pending:
+            if pool is not None:
+                for worker in list(pool._workers):
+                    pool._discard_worker(worker)
+            governor.recycle_pending = False
+            governor.recycles += 1
+
+    def _run_pipeline(
+        self,
+        specs: list[SubjectSpec],
+        config: PipelineConfig,
+        detect: bool,
+        token: CancelToken | None = None,
+    ):
+        """One pipeline run on the shared warm pool (run lock held)."""
+        orch = PipelineOrchestrator(
+            jobs=self.jobs,
+            cache=self.cache,
+            config=config,
+            pool=self._shared_pool(),
+            cancel=token,
+        )
+        try:
+            outcomes = orch.run(specs, detect=detect)
+        finally:
+            orch.close()  # borrowed pool survives; owned state drops
+        return outcomes, orch.fault_ledger
 
     # -- ops -----------------------------------------------------------
 
@@ -462,12 +782,19 @@ class ReproDaemon:
                 "misses": self.cache.stats.misses,
                 "writes": self.cache.stats.writes,
                 "quarantined": self.cache.stats.quarantined,
+                "write_errors": self.cache.stats.write_errors,
+                "evictions": self.cache.stats.evictions,
+                "quarantine_dropped": self.cache.stats.quarantine_dropped,
+                "quarantine_entries": self.cache.quarantine_count(),
+                "max_bytes": self.cache.max_bytes,
             }
         pool = self._pool
         pool_stats = None
         if pool is not None:
             pool_stats = {
                 "workers": len(pool._workers),
+                "consecutive_deaths": pool.consecutive_deaths,
+                "rebuilds": pool.rebuilds,
                 "unit_cost_ema": {
                     stage: round(cost, 6)
                     for stage, cost in sorted(pool.sizer._ema.items())
@@ -479,6 +806,7 @@ class ReproDaemon:
                 "requests": self.stats.requests,
                 "errors": self.stats.errors,
                 "connections": self.stats.connections,
+                "protocol_errors": self.stats.protocol_errors,
             }
         return {
             "ok": True,
@@ -486,6 +814,10 @@ class ReproDaemon:
             "totals": totals,
             "cache": cache_stats,
             "pool": pool_stats,
+            "admission": self.admission.to_dict(),
+            "governor": (
+                None if self.governor is None else self.governor.to_dict()
+            ),
             "recent_requests": records,
         }
 
@@ -498,7 +830,17 @@ class ReproDaemon:
     def _pipeline_response(self, request: dict, detect: bool) -> dict:
         specs = self._specs_from(request)
         config = self._request_config(request)
-        outcomes, ledger = self._run_pipeline(specs, config, detect=detect)
+        return self._with_admission(
+            request,
+            lambda token: self._pipeline_body(specs, config, detect, token),
+        )
+
+    def _pipeline_body(
+        self, specs, config, detect: bool, token: CancelToken
+    ) -> dict:
+        outcomes, ledger = self._run_pipeline(
+            specs, config, detect=detect, token=token
+        )
         subjects = {}
         for outcome in outcomes:
             entry: dict = {"digest": outcome.digest()}
@@ -537,32 +879,57 @@ class ReproDaemon:
         ).validate()
         config = self._request_config(request)
         batch_size = int(request.get("batch_size", 25))
-        with self._run_lock:
+
+        def body(token: CancelToken) -> dict:
             orch = PipelineOrchestrator(
                 jobs=self.jobs,
                 cache=self.cache,
                 config=config,
                 pool=self._shared_pool(),
+                cancel=token,
             )
             try:
                 result = run_corpus(corpus_config, orch, batch_size=batch_size)
             finally:
                 orch.close()
             ledger = orch.fault_ledger
-        return {
-            "ok": True,
-            "subjects": result.subjects,
-            "recall": result.recall,
-            "precision": result.precision,
-            "pair_precision": result.pair_precision,
-            "oracle_races": result.oracle_races,
-            "detected_races": result.detected_races,
-            "missed_races": result.missed_races,
-            "failed_subjects": result.failed_subjects,
-            "problems": result.problems(),
-            "digests": result.digests,
-            "ledger": encode_fault_ledger(ledger),
-        }
+            return {
+                "ok": True,
+                "subjects": result.subjects,
+                "recall": result.recall,
+                "precision": result.precision,
+                "pair_precision": result.pair_precision,
+                "oracle_races": result.oracle_races,
+                "detected_races": result.detected_races,
+                "missed_races": result.missed_races,
+                "failed_subjects": result.failed_subjects,
+                "problems": result.problems(),
+                "digests": result.digests,
+                "ledger": encode_fault_ledger(ledger),
+            }
+
+        return self._with_admission(request, body)
+
+    def _op_sleep(self, request: dict) -> dict:
+        """Diagnostic: hold the run lock, sleeping cancellably.
+
+        Exists for deterministic admission/deadline testing — a client
+        can park the pipeline for a known duration and watch concurrent
+        requests queue, shed, or hit their deadlines.
+        """
+        seconds = float(request.get("seconds", 0.1))
+
+        def body(token: CancelToken) -> dict:
+            end = time.monotonic() + seconds
+            while True:
+                token.check()  # cancellation boundary, like a pool unit
+                left = end - time.monotonic()
+                if left <= 0:
+                    break
+                time.sleep(min(0.02, left))
+            return {"ok": True, "slept_s": seconds}
+
+        return self._with_admission(request, body)
 
     def _op_shutdown(self, request: dict) -> dict:
         self.initiate_drain()

@@ -81,12 +81,83 @@ DEFAULT_BATCH_TARGET_MS = 75.0
 MAX_BATCH_UNITS = 64
 
 
+#: Consecutive worker deaths (no intervening successful unit) before
+#: the pool declares itself wedged and rebuilds every worker.
+DEFAULT_REBUILD_AFTER_DEATHS = 8
+
+
 class UnitTimeout(Exception):
     """A work unit exceeded its wall-clock watchdog deadline."""
 
 
 class WorkerCrash(Exception):
     """A worker process died (killed, segfaulted, or ``os._exit``)."""
+
+
+class RunCancelled(Exception):
+    """A run was cooperatively cancelled at a unit boundary.
+
+    Raised by :meth:`FaultTolerantPool.run` / :meth:`InlineRunner.run`
+    when their :class:`CancelToken` fires — either explicitly or by its
+    deadline passing.  Completed units up to that point were already
+    published through ``on_complete``; nothing after the boundary runs.
+    """
+
+
+class CancelToken:
+    """Cooperative cancellation handle checked at unit boundaries.
+
+    Carries an optional absolute ``deadline`` (``time.monotonic``
+    scale); :meth:`cancelled` reports true once the deadline passes or
+    :meth:`cancel` was called.  The executors never interrupt a unit
+    mid-flight from this token — cancellation lands *between* units,
+    which is what keeps retried/cancelled runs deterministic.  (Pooled
+    units in flight when the token fires are terminated with their
+    workers; the units themselves are pure, so nothing observable leaks.)
+    """
+
+    __slots__ = ("deadline", "_event", "_reason")
+
+    def __init__(self, deadline: float | None = None) -> None:
+        self.deadline = deadline
+        self._event = threading.Event()
+        self._reason: str | None = None
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "CancelToken":
+        """A token expiring ``seconds`` from now (None: never expires)."""
+        if seconds is None:
+            return cls()
+        return cls(deadline=time.monotonic() + max(0.0, seconds))
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def cancelled(self) -> bool:
+        return self._event.is_set() or self.expired()
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (None: no deadline)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def reason(self) -> str:
+        if self._event.is_set():
+            return self._reason or "cancelled"
+        if self.expired():
+            return "deadline exceeded"
+        return "not cancelled"
+
+    def check(self) -> None:
+        """Raise :class:`RunCancelled` if the token has fired."""
+        if self.cancelled():
+            raise RunCancelled(self.reason())
 
 
 class InjectedCrash(RuntimeError):
@@ -110,13 +181,49 @@ class UnitExecutionError(Exception):
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Parsed ``--fault-inject`` spec: per-kind injection probabilities."""
+    """Parsed ``--fault-inject`` spec: per-kind injection probabilities.
+
+    The first three kinds are worker-level (PR 5): ``crash`` kills the
+    worker process mid-unit, ``hang`` sleeps past the watchdog,
+    ``corrupt`` tears a cache entry after its atomic publish.  The rest
+    are the daemon-layer chaos kinds:
+
+    * ``enospc`` — a cache write raises ``OSError(ENOSPC)`` before the
+      temp file is published (the cache must degrade to a non-caching
+      pipeline, never crash the unit);
+    * ``spill`` — a spill-to-disk column chunk is corrupted after its
+      flush (content addressing must *detect* it: the spilled digest
+      diverges instead of silently reusing poisoned artifacts);
+    * ``torn_frame`` / ``oversize_frame`` / ``slow_client`` — wire-level
+      client misbehavior, consumed by the chaos bench's client driver
+      (``benchmarks/bench_chaos_daemon.py``) to decide per request
+      whether to shear a frame, send an oversized length prefix, or
+      stall mid-frame.
+
+    All kinds share the sha-keyed :func:`draw` discipline: injections
+    are a pure function of ``(kind, key, attempt)``, so a chaos run is
+    reproducible and retries converge.
+    """
 
     crash: float = 0.0
     hang: float = 0.0
     corrupt: float = 0.0
+    enospc: float = 0.0
+    spill: float = 0.0
+    torn_frame: float = 0.0
+    oversize_frame: float = 0.0
+    slow_client: float = 0.0
 
-    KINDS = ("crash", "hang", "corrupt")
+    KINDS = (
+        "crash",
+        "hang",
+        "corrupt",
+        "enospc",
+        "spill",
+        "torn_frame",
+        "oversize_frame",
+        "slow_client",
+    )
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
@@ -151,15 +258,20 @@ class FaultPlan:
         return any(getattr(self, kind) > 0.0 for kind in self.KINDS)
 
 
-def _draw(kind: str, key: str, attempt: int) -> float:
+def draw(kind: str, key: str, attempt: int) -> float:
     """Deterministic uniform [0, 1) draw for one injection decision.
 
     Keyed on content only — never on wall clock, process identity, or
     pool scheduling — so a fault-injected run is reproducible, and on
-    the attempt index so retries redraw and eventually pass.
+    the attempt index so retries redraw and eventually pass.  Public:
+    the daemon chaos bench keys its client-side misbehavior (torn
+    frames, stalls) on the same discipline.
     """
     digest = hashlib.sha256(f"{kind}\x1f{key}\x1f{attempt}".encode()).digest()
     return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+_draw = draw  # original (private) name, kept for in-tree callers
 
 
 @dataclass(frozen=True)
@@ -208,6 +320,23 @@ class FaultInjector:
         """Should this cache entry be torn after its atomic publish?"""
         return bool(
             self.plan.corrupt and _draw("corrupt", key, 0) < self.plan.corrupt
+        )
+
+    def enospc_write(self, key: str) -> bool:
+        """Should this cache write fail with ``OSError(ENOSPC)``?
+
+        Drawn per entry (not per attempt): a full disk stays full for
+        the duration of one write, and the cache layer must absorb the
+        failure as a skipped publish, not a crashed unit.
+        """
+        return bool(
+            self.plan.enospc and _draw("enospc", key, 0) < self.plan.enospc
+        )
+
+    def corrupt_spill(self, key: str) -> bool:
+        """Should this spill chunk be corrupted after its flush?"""
+        return bool(
+            self.plan.spill and _draw("spill", key, 0) < self.plan.spill
         )
 
 
@@ -626,12 +755,20 @@ class FaultTolerantPool:
         ledger: FaultLedger,
         on_complete=None,
         batch_target_ms: float = DEFAULT_BATCH_TARGET_MS,
+        rebuild_after_deaths: int = DEFAULT_REBUILD_AFTER_DEATHS,
     ) -> None:
         self.jobs = max(1, jobs)
         self.policy = policy
         self.ledger = ledger
         self.on_complete = on_complete
         self.sizer = BatchSizer(target_ms=batch_target_ms)
+        self.rebuild_after_deaths = max(1, rebuild_after_deaths)
+        #: Worker deaths since the last successful unit; a long-lived
+        #: (daemon) pool uses this to spot a wedged state — workers
+        #: dying faster than they complete anything — and rebuild.
+        self.consecutive_deaths = 0
+        #: Full teardown-and-respawn cycles forced by the wedge guard.
+        self.rebuilds = 0
         self._workers: list[_Worker] = []
 
     # -- lifecycle -----------------------------------------------------
@@ -648,6 +785,8 @@ class FaultTolerantPool:
             self._workers.append(self._spawn())
 
     def _discard_worker(self, worker: _Worker) -> None:
+        if worker not in self._workers:  # already torn down by a rebuild
+            return
         self._workers.remove(worker)
         try:
             worker.conn.close()
@@ -706,14 +845,60 @@ class FaultTolerantPool:
     def _respawn_after(self, worker: _Worker) -> None:
         self._discard_worker(worker)
         self.ledger.pool_respawns += 1
+        self.consecutive_deaths += 1
+
+    def _rebuild_if_wedged(self, pending: deque) -> int:
+        """Tear down every worker once deaths outpace progress.
+
+        A pool where ``rebuild_after_deaths`` workers died without a
+        single unit completing in between is wedged — typically shared
+        parent-side state (a poisoned pipe, leaked memory pressure)
+        rather than one bad unit.  Rebuilding discards *all* workers,
+        idle ones included; in-flight batches on the survivors are
+        requeued from their cursor with attempt counts untouched (those
+        units were interrupted, not at fault).  Returns how many
+        in-flight units were requeued so the caller can fix its count.
+        """
+        if self.consecutive_deaths < self.rebuild_after_deaths:
+            return 0
+        requeued = 0
+        for worker in list(self._workers):
+            batch_rest = (
+                worker.batch[worker.cursor :] if worker.batch is not None else []
+            )
+            worker.batch = None
+            pending.extendleft(reversed(batch_rest))
+            requeued += len(batch_rest)
+            self._discard_worker(worker)
+        self.rebuilds += 1
+        self.consecutive_deaths = 0
+        return requeued
+
+    def _abort_in_flight(self) -> None:
+        """Cancellation teardown: kill busy workers, keep idle ones warm.
+
+        A cancelled run abandons its in-flight batches; the workers
+        executing them are terminated (their pipes would otherwise hold
+        stale replies that poison the next run on this shared pool).
+        """
+        for worker in list(self._workers):
+            if worker.batch is not None:
+                worker.batch = None
+                self._discard_worker(worker)
 
     # -- the dispatch loop ---------------------------------------------
 
-    def run(self, units: list[PoolUnit]) -> dict[str, object]:
+    def run(
+        self, units: list[PoolUnit], cancel: CancelToken | None = None
+    ) -> dict[str, object]:
         """Run every unit; return ``{unit.key: payload}`` for successes.
 
         Permanently failed units are absent from the result and present
-        in the ledger — the caller degrades gracefully.
+        in the ledger — the caller degrades gracefully.  When ``cancel``
+        fires (explicitly or by deadline) the loop stops at the next
+        unit boundary, terminates in-flight workers, and raises
+        :class:`RunCancelled`; results completed before the boundary
+        were already delivered through ``on_complete``.
         """
         if not units:
             return {}
@@ -721,6 +906,9 @@ class FaultTolerantPool:
         pending: deque[PoolUnit] = deque(units)
         in_flight = 0
         while pending or in_flight:
+            if cancel is not None and cancel.cancelled():
+                self._abort_in_flight()
+                raise RunCancelled(cancel.reason())
             now = time.monotonic()
             self._ensure_workers(len(pending) + in_flight)
             # Dispatch batches of ready units to idle workers.
@@ -743,6 +931,7 @@ class FaultTolerantPool:
                 except OSError:
                     self._respawn_after(worker)
                     pending.extendleft(reversed(batch))
+                    in_flight -= self._rebuild_if_wedged(pending)
                     break
                 worker.batch = batch
                 worker.cursor = 0
@@ -759,7 +948,7 @@ class FaultTolerantPool:
                 continue
             timeout = (
                 self._POLL_SECONDS
-                if self.policy.unit_timeout is not None
+                if self.policy.unit_timeout is not None or cancel is not None
                 else 1.0
             )
             ready = connection.wait([w.conn for w in busy], timeout=timeout)
@@ -824,6 +1013,7 @@ class FaultTolerantPool:
             if reply[0] == "ok":
                 results[unit.key] = reply[1]
                 self.ledger.completed += 1
+                self.consecutive_deaths = 0  # forward progress: not wedged
                 if self.on_complete is not None:
                     self.on_complete(unit, reply[1])
             else:
@@ -861,7 +1051,8 @@ class FaultTolerantPool:
         self._respawn_after(worker)
         self._handle_failure(blamed, pending, error_repr, "")
         pending.extendleft(reversed(remainder))
-        return 1 + len(remainder)
+        rebuilt = self._rebuild_if_wedged(pending)
+        return 1 + len(remainder) + rebuilt
 
     def _take_batch(self, pending: deque, now: float) -> list[PoolUnit]:
         """Pop up to one dispatch's worth of backoff-ready units.
@@ -919,11 +1110,18 @@ class InlineRunner:
         self.injector = injector
         self.on_complete = on_complete
 
-    def run(self, units: list[PoolUnit], inline_fn) -> dict[str, object]:
+    def run(
+        self,
+        units: list[PoolUnit],
+        inline_fn,
+        cancel: CancelToken | None = None,
+    ) -> dict[str, object]:
         """Run every unit via ``inline_fn(unit)``; see pool.run()."""
         results: dict[str, object] = {}
         for unit in units:
             while True:
+                if cancel is not None:
+                    cancel.check()  # unit boundary (and between retries)
                 try:
                     with watchdog(self.policy.unit_timeout):
                         if self.injector is not None:

@@ -55,6 +55,7 @@ from repro.lang import ClassTable, load
 from repro.narada.cache import ArtifactCache, stage_key, table_digest
 from repro.narada.faults import (
     DEFAULT_BATCH_TARGET_MS,
+    CancelToken,
     FaultInjector,
     FaultLedger,
     FaultTolerantPool,
@@ -376,12 +377,19 @@ class PipelineOrchestrator:
         resume: bool = False,
         run_dir: str | pathlib.Path | None = None,
         pool: FaultTolerantPool | None = None,
+        cancel: CancelToken | None = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache
         self.config = config if config is not None else PipelineConfig()
         self.resume = resume
         self.run_dir = run_dir
+        #: Cooperative cancellation: checked between phases and at every
+        #: unit boundary inside the pool/inline runner.  The daemon sets
+        #: this to the request's deadline token; a cancelled run raises
+        #: :class:`RunCancelled` without poisoning the shared pool
+        #: (idle workers stay warm, busy ones are respawned).
+        self.cancel = cancel
         self.fault_ledger = FaultLedger()
         self._pool: FaultTolerantPool | None = pool
         self._owns_pool = pool is None
@@ -477,11 +485,11 @@ class PipelineOrchestrator:
                 injector=self.config.injector(),
                 on_complete=on_complete,
             )
-            return runner.run(units, inline_fn)
+            return runner.run(units, inline_fn, cancel=self.cancel)
         pool = self._executor()
         pool.on_complete = on_complete
         try:
-            return pool.run(units)
+            return pool.run(units, cancel=self.cancel)
         finally:
             pool.on_complete = None
 
@@ -790,6 +798,8 @@ class PipelineOrchestrator:
         digests = [table_digest(spec.source) for spec in specs]
         journal = self._open_journal(digests)
         try:
+            if self.cancel is not None:
+                self.cancel.check()  # phase boundary
             synth_keys = [
                 stage_key(
                     digests[i],
@@ -809,6 +819,8 @@ class PipelineOrchestrator:
                 for i, spec in enumerate(specs)
             ]
             if detect:
+                if self.cancel is not None:
+                    self.cancel.check()  # phase boundary
                 detect_keys = [
                     stage_key(
                         digests[i],

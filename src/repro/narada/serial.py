@@ -827,6 +827,50 @@ def decode_fault_ledger(data: dict):
 
 
 # ----------------------------------------------------------------------
+# Daemon error frames.
+
+#: Machine-readable daemon error codes.  ``busy``/``overloaded``/
+#: ``draining`` are load-shed responses (the request was never started,
+#: retrying is safe); ``deadline_exceeded`` means the request was
+#: admitted but cancelled at its deadline; ``protocol`` covers framing
+#: violations (torn/oversize frames, malformed JSON); ``bad_request``
+#: and ``internal`` keep their CLI-era meanings.
+ERROR_CODES = (
+    "bad_request",
+    "busy",
+    "deadline_exceeded",
+    "draining",
+    "internal",
+    "overloaded",
+    "protocol",
+)
+
+
+def encode_error_frame(
+    code: str, message: str, retry_after_s: float | None = None
+) -> dict:
+    """Structured daemon error response.
+
+    Every shed/failure path through the daemon answers with this shape
+    so clients can branch on ``error_code`` instead of parsing prose;
+    ``retry_after_s`` (when present) is the server's EMA-based hint for
+    when capacity is likely to free up.
+    """
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code: {code!r}")
+    frame: dict = {
+        "ok": False,
+        "kind": "error",
+        "version": SERIAL_VERSION,
+        "error_code": code,
+        "error": message,
+    }
+    if retry_after_s is not None:
+        frame["retry_after_s"] = round(max(0.0, retry_after_s), 3)
+    return frame
+
+
+# ----------------------------------------------------------------------
 # Canonical bytes + digests.
 
 

@@ -102,9 +102,16 @@ class SpillingRecorder:
         interests=None,
         spill_rows: int = DEFAULT_SPILL_ROWS,
         spill_dir: str | None = None,
+        fault_injector=None,
     ) -> None:
         self.interests = interests
         self.spill_rows = max(1, spill_rows)
+        #: Optional :class:`repro.narada.faults.FaultInjector`; when its
+        #: plan carries a ``spill`` rate, flushed chunks are sheared so
+        #: digest-verification downstream exercises detection of
+        #: corrupted spill files (chaos-harness hook, off in production).
+        self.fault_injector = fault_injector
+        self._flush_counter = 0
         self._buffer = PackedTrace(test_name=test_name)
         self._dir = tempfile.mkdtemp(prefix="repro-spill-", dir=spill_dir)
         self._files = {
@@ -126,10 +133,23 @@ class SpillingRecorder:
     def _flush(self) -> None:
         """Append the buffered column bytes to the chunk files."""
         buffer = self._buffer
+        self._flush_counter += 1
+        corrupt = (
+            self.fault_injector is not None
+            and self.fault_injector.corrupt_spill(
+                f"{buffer.test_name}#{self._flush_counter}"
+            )
+        )
         for name in PackedTrace.COLUMNS:
             column = getattr(buffer, name)
+            if corrupt and name == "op" and column:
+                # Injected chunk corruption: flip the first buffered op
+                # so the spilled trace's digest diverges from the packed
+                # path — the detectable symptom of a torn chunk write.
+                column = column[:]
+                column[0] = (column[0] + 1) % 256
             column.tofile(self._files[name])
-            del column[:]
+            del getattr(buffer, name)[:]
 
     @property
     def packed(self) -> SpilledTrace:

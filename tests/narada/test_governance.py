@@ -1,0 +1,232 @@
+"""Resource governance: cancellation tokens, pool cancel + wedged-pool
+rebuild, the RSS governor, and the admission controller."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.narada import ArtifactCache, CancelToken, ReproDaemon, RunCancelled
+from repro.narada.daemon import AdmissionController, ResourceGovernor, _rss_mb
+from repro.narada.faults import (
+    FaultLedger,
+    FaultTolerantPool,
+    InlineRunner,
+    PoolUnit,
+    RetryPolicy,
+)
+
+
+def _echo(value, key="", attempt=0):
+    return (value, attempt)
+
+
+def _slow(value, key="", attempt=0):
+    time.sleep(0.25)
+    return (value, attempt)
+
+
+def _always_crash(value, key="", attempt=0):
+    os._exit(17)
+
+
+def _crash_once(value, key="", attempt=0):
+    if attempt == 0:
+        os._exit(17)
+    return (value, attempt)
+
+
+def _units(values, fn=_echo):
+    return [
+        PoolUnit(
+            key=f"u{i}", stage="stage", subject="S", name=f"u{i}",
+            fn=fn, args=(value,),
+        )
+        for i, value in enumerate(values)
+    ]
+
+
+def _pool(jobs=1, **policy):
+    policy.setdefault("backoff", 0.0)
+    policy.setdefault("max_retries", 2)
+    return FaultTolerantPool(jobs, RetryPolicy(**policy), FaultLedger())
+
+
+class TestCancelToken:
+    def test_unbounded_token_never_cancels(self):
+        token = CancelToken.after(None)
+        assert not token.cancelled()
+        assert token.remaining() is None
+        token.check()  # no raise
+
+    def test_deadline_expiry(self):
+        token = CancelToken.after(0.01)
+        assert token.remaining() <= 0.01
+        time.sleep(0.03)
+        assert token.expired()
+        assert token.cancelled()
+        with pytest.raises(RunCancelled, match="deadline"):
+            token.check()
+
+    def test_explicit_cancel_with_reason(self):
+        token = CancelToken.after(None)
+        token.cancel("operator abort")
+        with pytest.raises(RunCancelled, match="operator abort"):
+            token.check()
+
+    def test_remaining_clamps_to_zero(self):
+        token = CancelToken.after(0.0)
+        assert token.remaining() == 0.0
+
+
+class TestInlineCancel:
+    def test_cancelled_before_first_unit(self):
+        runner = InlineRunner(RetryPolicy(backoff=0.0), FaultLedger())
+        token = CancelToken.after(None)
+        token.cancel()
+        with pytest.raises(RunCancelled):
+            runner.run(_units(["a"]), lambda u: u.fn(*u.args), cancel=token)
+
+    def test_uncancelled_run_completes(self):
+        runner = InlineRunner(RetryPolicy(backoff=0.0), FaultLedger())
+        results = runner.run(
+            _units(["a", "b"]),
+            lambda u: u.fn(*u.args, key=u.key),
+            cancel=CancelToken.after(None),
+        )
+        assert set(results) == {"u0", "u1"}
+
+
+class TestPoolCancel:
+    def test_deadline_cancels_mid_run_and_pool_recovers(self):
+        pool = _pool(jobs=1)
+        try:
+            token = CancelToken.after(0.3)
+            with pytest.raises(RunCancelled, match="deadline"):
+                pool.run(_units(["v"] * 40, fn=_slow), cancel=token)
+            # The pool is not poisoned: a fresh run on the same pool
+            # completes (workers respawn on demand).
+            results = pool.run(_units(["w", "x"]))
+            assert results == {"u0": ("w", 0), "u1": ("x", 0)}
+        finally:
+            pool.close()
+
+    def test_external_cancel_from_another_thread(self):
+        pool = _pool(jobs=1)
+        token = CancelToken.after(None)
+        try:
+            killer = threading.Timer(0.2, token.cancel, args=("shed",))
+            killer.start()
+            with pytest.raises(RunCancelled, match="shed"):
+                pool.run(_units(["v"] * 40, fn=_slow), cancel=token)
+            killer.join()
+        finally:
+            pool.close()
+
+
+class TestWedgedPoolRebuild:
+    def test_rebuild_after_consecutive_deaths(self):
+        pool = _pool(jobs=2, max_retries=1)
+        pool.rebuild_after_deaths = 2
+        try:
+            results = pool.run(_units(["a", "b", "c"], fn=_always_crash))
+            # Every unit fails (crash on every attempt), nothing hangs,
+            # and the wedge detector fired at least once.
+            assert results == {}
+            assert pool.rebuilds >= 1
+            assert pool.consecutive_deaths == 0  # reset by the rebuild
+            # The rebuilt pool still executes clean work.
+            assert pool.run(_units(["ok"]))["u0"] == ("ok", 0)
+            assert pool.consecutive_deaths == 0  # reset by forward progress
+        finally:
+            pool.close()
+
+    def test_no_rebuild_on_scattered_deaths(self):
+        pool = _pool(jobs=1, max_retries=2)
+        pool.rebuild_after_deaths = 50
+        try:
+            results = pool.run(_units(["a", "b"], fn=_crash_once))
+            assert len(results) == 2
+            assert pool.rebuilds == 0
+        finally:
+            pool.close()
+
+
+class TestResourceGovernor:
+    def test_rss_sampling_reads_proc(self):
+        assert _rss_mb(os.getpid()) > 1.0
+        assert _rss_mb(2 ** 31 - 5) == 0.0  # no such pid: absorbed
+
+    def test_over_budget_sheds_and_marks_recycle(self):
+        governor = ResourceGovernor(budget_mb=0.001)
+        governor.poll_once()
+        assert governor.shedding
+        assert governor.recycle_pending
+        assert governor.sheds == 1
+        governor.poll_once()
+        assert governor.sheds == 1  # transition counted once
+
+    def test_hysteresis_resumes_below_fraction(self):
+        governor = ResourceGovernor(budget_mb=100.0)
+        governor.sample_rss_mb = lambda: 101.0
+        governor.poll_once()
+        assert governor.shedding
+        governor.sample_rss_mb = lambda: 95.0  # within 90%..100%: hold
+        governor.poll_once()
+        assert governor.shedding
+        governor.sample_rss_mb = lambda: 80.0  # below 90%: resume
+        governor.poll_once()
+        assert not governor.shedding
+
+    def test_daemon_sheds_overloaded_then_recovers(self, tmp_path):
+        daemon = ReproDaemon(
+            socket_path=str(tmp_path / "d.sock"),
+            jobs=1,
+            cache=ArtifactCache(tmp_path / "cache"),
+            memory_budget_mb=0.001,
+        )
+        daemon.governor.poll_once()
+        shed = daemon.handle_request({"op": "sleep", "seconds": 0.01})
+        assert shed["ok"] is False
+        assert shed["error_code"] == "overloaded"
+        assert "retry_after_s" in shed
+        # Raise the budget: the governor resumes, work is admitted, and
+        # the pending pool recycle is applied after the run.
+        daemon.governor.budget_mb = 10**6
+        daemon.governor.poll_once()
+        ok = daemon.handle_request({"op": "sleep", "seconds": 0.01})
+        assert ok["ok"] is True
+        assert daemon.governor.recycles == 1
+        assert not daemon.governor.recycle_pending
+
+
+class TestAdmissionController:
+    def test_bounded_entry_and_shed_count(self):
+        admission = AdmissionController(max_queue_depth=2)
+        assert admission.try_enter()
+        assert admission.try_enter()
+        assert not admission.try_enter()
+        assert admission.shed_busy == 1
+        admission.leave()
+        assert admission.try_enter()
+
+    def test_retry_after_scales_with_occupancy(self):
+        admission = AdmissionController(max_queue_depth=4)
+        admission.note_run_seconds(2.0)
+        admission.try_enter()
+        one = admission.retry_after()
+        admission.try_enter()
+        assert admission.retry_after() == pytest.approx(2 * one)
+
+    def test_ema_converges(self):
+        admission = AdmissionController()
+        admission.note_run_seconds(1.0)
+        for _ in range(30):
+            admission.note_run_seconds(3.0)
+        assert admission.run_seconds_ema == pytest.approx(3.0, abs=0.05)
+
+    def test_to_dict_is_json_ready(self):
+        payload = AdmissionController().to_dict()
+        assert payload["occupancy"] == 0
+        assert payload["max_queue_depth"] == 8
